@@ -1,0 +1,65 @@
+//! Criterion benches for the closed-form SSN evaluators — the cost a
+//! designer pays per estimate (versus the transient simulation measured in
+//! `transient.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssn_core::scenario::SsnScenario;
+use ssn_core::{lcmodel, lmodel};
+use ssn_devices::process::Process;
+use ssn_units::{Farads, Seconds};
+use std::hint::black_box;
+
+fn scenarios() -> Vec<(&'static str, SsnScenario)> {
+    let base = SsnScenario::builder(&Process::p018())
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()
+        .expect("valid scenario");
+    vec![
+        ("overdamped_n8", base.with_drivers(8).expect("valid")),
+        ("underdamped_n1", base.with_drivers(1).expect("valid")),
+        (
+            "l_only_n8",
+            base.with_package(base.inductance(), Farads::ZERO)
+                .expect("valid"),
+        ),
+    ]
+}
+
+fn bench_vn_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form/vn_max");
+    for (label, s) in scenarios() {
+        group.bench_with_input(BenchmarkId::new("lc_model", label), &s, |b, s| {
+            b.iter(|| lcmodel::vn_max(black_box(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("l_only", label), &s, |b, s| {
+            b.iter(|| lmodel::vn_max(black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_waveform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form/waveform_1k_samples");
+    for (label, s) in scenarios() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
+            b.iter(|| lcmodel::vn_waveform(black_box(s), 1000).expect("valid waveform"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario_build(c: &mut Criterion) {
+    // Includes the ASDM fit: the one-time cost per process.
+    let process = Process::p018();
+    c.bench_function("closed_form/scenario_build_with_fit", |b| {
+        b.iter(|| {
+            SsnScenario::builder(black_box(&process))
+                .drivers(8)
+                .build()
+                .expect("valid scenario")
+        })
+    });
+}
+
+criterion_group!(benches, bench_vn_max, bench_waveform, bench_scenario_build);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the simulator front ends: deck parsing with
+//! subcircuit flattening, AC sweeps, and the diode Newton path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssn_spice::parser::parse_deck;
+use ssn_spice::{ac_analysis, dc_operating_point, AcOptions, Circuit, DcOptions, SourceWave};
+use std::hint::black_box;
+
+fn bank_deck(n: usize) -> String {
+    let mut deck = String::from(
+        "bank\n.subckt slice in ng out\nM1 out in ng 0 drv\nCl out 0 5p IC=1.8\n.ends\n\
+         Vin in 0 PWL(0 0 50p 0 550p 1.8)\nLg ng 0 5n IC=0\nCg ng 0 1p IC=0\n",
+    );
+    for i in 0..n {
+        deck.push_str(&format!("X{i} in ng out{i} slice\n"));
+    }
+    deck.push_str(
+        ".model drv NMOS vth0=0.43 gamma=0.3 phi=0.8 alpha=1.24 b=6.1m kd=0.66 lambda=0.05\n.end\n",
+    );
+    deck
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let deck = bank_deck(16);
+    c.bench_function("frontends/parse_deck_16_slices", |b| {
+        b.iter(|| parse_deck(black_box(&deck)).expect("parses"))
+    });
+}
+
+fn bench_ac_sweep(c: &mut Criterion) {
+    let mut circuit = Circuit::new();
+    circuit
+        .isource("iin", "0", "tank", SourceWave::Dc(0.0))
+        .expect("valid");
+    circuit.inductor("l1", "tank", "0", 5e-9).expect("valid");
+    circuit.capacitor("c1", "tank", "0", 1e-12).expect("valid");
+    circuit.resistor("r1", "tank", "0", 5e3).expect("valid");
+    let opts = AcOptions::log_sweep("iin", 1e8, 3e10, 40);
+    c.bench_function("frontends/ac_sweep_100pts_tank", |b| {
+        b.iter(|| ac_analysis(black_box(&circuit), black_box(&opts)).expect("solves"))
+    });
+}
+
+fn bench_diode_newton(c: &mut Criterion) {
+    use ssn_devices::Diode;
+    let mut circuit = Circuit::new();
+    circuit
+        .vsource("v1", "in", "0", SourceWave::Dc(1.0))
+        .expect("valid");
+    circuit.resistor("r1", "in", "d", 1e3).expect("valid");
+    circuit
+        .diode("d1", "d", "0", Diode::new(1e-14, 1.0))
+        .expect("valid");
+    c.bench_function("frontends/diode_dc_newton", |b| {
+        b.iter(|| dc_operating_point(black_box(&circuit), DcOptions::default()).expect("solves"))
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_ac_sweep, bench_diode_newton);
+criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! EXT1/EXT2 — Design-space implications and ablations.
+//!
+//! * **Z-figure equivalence** (paper Section 3): scaling `N`, `L`, or `s`
+//!   by the same factor changes `Vn_max` identically.
+//! * **Critical capacitance** (Section 4 / Eqn. 27): `C_m` vs `N` and `L`.
+//! * **Ablations** called out in DESIGN.md:
+//!   - `sigma = 1` ablation (collapses the ASDM to a Vemuru-style model),
+//!   - ASDM dropped into the transient simulator vs. the golden device,
+//!   - integration-method ablation (BE vs trapezoidal vs reference RKF45).
+//!
+//! Run with `cargo run -p ssn-bench --bin design_space --release`.
+
+use ssn_bench::{mv, pct, simulate_scenario, Table};
+use ssn_core::bridge::{measure, DriverBankConfig};
+use ssn_core::scenario::SsnScenario;
+use ssn_core::{lcmodel, lmodel};
+use ssn_devices::process::Process;
+use ssn_devices::Asdm;
+use ssn_spice::{transient, IntegrationMethod, TranOptions};
+use ssn_units::{Henrys, Seconds};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = Process::p018();
+    let base = SsnScenario::builder(&process)
+        .drivers(8)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+
+    z_figure_equivalence(&base)?;
+    critical_capacitance_map(&base)?;
+    sigma_ablation(&process, &base)?;
+    asdm_in_simulator(&process, &base)?;
+    integration_ablation(&process, &base)?;
+    fit_weighting_ablation(&process)?;
+    Ok(())
+}
+
+/// How does the fit's current weighting trade Fig-1 fidelity against
+/// Fig-4 (peak SSN) accuracy?
+fn fit_weighting_ablation(process: &Process) -> Result<(), Box<dyn std::error::Error>> {
+    use ssn_devices::fit::{fit_asdm_weighted, sample_ssn_region, SsnRegionSpec};
+
+    println!("== ablation: ASDM fit weighting (current^w emphasis) ==");
+    let samples = sample_ssn_region(
+        &process.output_driver(),
+        &SsnRegionSpec::for_process(process),
+    );
+    let mut table = Table::new(&["weight w", "K (mS)", "sigma", "V0 (mV)", "worst SSN err (N=1..12)"]);
+    for w in [0.0, 1.0, 2.0, 4.0] {
+        let asdm = fit_asdm_weighted(&samples, w)?;
+        let mut worst = 0.0f64;
+        for n in [1usize, 2, 4, 8, 12] {
+            let s = SsnScenario::from_asdm(asdm, process.vdd())
+                .drivers(n)
+                .inductance(process.package().inductance)
+                .capacitance(process.package().capacitance)
+                .rise_time(Seconds::from_nanos(0.5))
+                .build()?;
+            let sim = simulate_scenario(process, &s)?.vn_max.value();
+            let lc = lcmodel::vn_max(&s).0.value();
+            worst = worst.max((lc - sim).abs() / sim);
+        }
+        table.row(&[
+            format!("{w:.0}"),
+            format!("{:.3}", asdm.k().value() * 1e3),
+            format!("{:.3}", asdm.sigma()),
+            format!("{:.1}", asdm.v0().value() * 1e3),
+            pct(worst),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "negative result: emphasizing the full-on corner raises V0 and the\n\
+         turn-on transient is mis-timed — the paper's plain unweighted fit\n\
+         over the whole SSN region is already the right choice.\n"
+    );
+    table.write_csv("ablation_fit_weighting")?;
+    Ok(())
+}
+
+fn z_figure_equivalence(base: &SsnScenario) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== EXT1: Z = N*L*s equivalence (Eqn. 10) ==");
+    let mut table = Table::new(&["change", "Z", "Vn_max (L-only)", "Vn_max (LC)"]);
+    let variants: Vec<(&str, SsnScenario)> = vec![
+        ("baseline (N=8, L=5n, tr=0.5n)", base.clone()),
+        ("N x2", base.with_drivers(16)?),
+        ("L x2", base.with_package(base.inductance() * 2.0, base.capacitance())?),
+        ("s x2 (tr / 2)", base.with_rise_time(base.rise_time() / 2.0)?),
+        ("N x2, L / 2 (Z unchanged)", {
+            base.with_drivers(16)?
+                .with_package(base.inductance() / 2.0, base.capacitance())?
+        }),
+    ];
+    for (label, s) in &variants {
+        table.row(&[
+            (*label).to_owned(),
+            format!("{:.0}", s.z_figure()),
+            mv(lmodel::vn_max(s).value()),
+            mv(lcmodel::vn_max(s).0.value()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "the three x2 rows give the SAME L-only Vn_max — Z is the only lever.\n\
+         (the LC column differs because C does not enter Z.)\n"
+    );
+    table.write_csv("ext1_z_figure")?;
+    Ok(())
+}
+
+fn critical_capacitance_map(base: &SsnScenario) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== EXT2: critical capacitance C_m = (N K sigma)^2 L / 4 ==");
+    let mut table = Table::new(&["N", "C_m @ L=5nH", "C_m @ L=2.5nH", "region @ C=1pF"]);
+    for n in [1usize, 2, 4, 8, 16] {
+        let s5 = base.with_drivers(n)?;
+        let s25 = s5.with_package(Henrys::from_nanos(2.5), s5.capacitance())?;
+        table.row(&[
+            n.to_string(),
+            lcmodel::critical_capacitance(&s5).to_string(),
+            lcmodel::critical_capacitance(&s25).to_string(),
+            lcmodel::classify(&s5).to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("C_m is quadratic in N: small banks ring, large banks are over-damped.\n");
+    table.write_csv("ext2_critical_capacitance")?;
+    Ok(())
+}
+
+/// How much of the model's accuracy comes from fitting sigma > 1?
+fn sigma_ablation(
+    process: &Process,
+    base: &SsnScenario,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== ablation: force sigma = 1 in the fitted ASDM ==");
+    let a = base.asdm();
+    let ablated = Asdm::new(a.k(), 1.0, a.v0());
+    let mut table = Table::new(&["N", "sim", "full ASDM", "sigma=1", "err full", "err sigma=1"]);
+    let mut full_err = 0.0f64;
+    let mut abl_err = 0.0f64;
+    for n in [2usize, 4, 8, 16] {
+        let s = base.with_drivers(n)?;
+        let s_abl = SsnScenario::from_asdm(ablated, s.vdd())
+            .drivers(n)
+            .inductance(s.inductance())
+            .capacitance(s.capacitance())
+            .rise_time(s.rise_time())
+            .build()?;
+        let sim = simulate_scenario(process, &s)?.vn_max.value();
+        let v_full = lcmodel::vn_max(&s).0.value();
+        let v_abl = lcmodel::vn_max(&s_abl).0.value();
+        let ef = (v_full - sim).abs() / sim;
+        let ea = (v_abl - sim).abs() / sim;
+        full_err = full_err.max(ef);
+        abl_err = abl_err.max(ea);
+        table.row(&[
+            n.to_string(),
+            mv(sim),
+            mv(v_full),
+            mv(v_abl),
+            pct(ef),
+            pct(ea),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "worst error: full {} vs sigma-ablated {} — the source-sensitivity fit matters.\n",
+        pct(full_err),
+        pct(abl_err)
+    );
+    table.write_csv("ablation_sigma")?;
+    Ok(())
+}
+
+/// Drop the fitted ASDM into the simulator in place of the golden device:
+/// the closed form and the ASDM-simulation should then agree almost
+/// exactly, isolating "device modelling error" from "circuit maths error".
+fn asdm_in_simulator(
+    process: &Process,
+    base: &SsnScenario,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== ablation: ASDM device inside the transient simulator ==");
+    let mut table = Table::new(&["N", "closed form", "sim w/ ASDM", "sim w/ golden", "CF vs ASDM-sim"]);
+    for n in [2usize, 8] {
+        let s = base.with_drivers(n)?;
+        let closed = lcmodel::vn_max(&s).0.value();
+        let asdm_cfg = DriverBankConfig::from_scenario(&s, Arc::new(*s.asdm()));
+        let asdm_sim = measure(&asdm_cfg)?.vn_max.value();
+        let golden_sim = simulate_scenario(process, &s)?.vn_max.value();
+        table.row(&[
+            n.to_string(),
+            mv(closed),
+            mv(asdm_sim),
+            mv(golden_sim),
+            pct((closed - asdm_sim).abs() / asdm_sim),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "closed form vs ASDM-device simulation isolates the circuit algebra\n\
+         (should be ~1%); the residual against the golden device is the\n\
+         device-modelling error the paper trades for closed-form solvability.\n"
+    );
+    table.write_csv("ablation_asdm_sim")?;
+    Ok(())
+}
+
+fn integration_ablation(
+    process: &Process,
+    base: &SsnScenario,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== ablation: integration method on the driver-bank transient ==");
+    let s = base.with_drivers(8)?;
+    let cfg = DriverBankConfig::from_scenario(&s, Arc::new(process.output_driver()));
+    let circuit = cfg.build_circuit()?;
+    let t_stop = 50e-12 + s.rise_time().value() * 2.5;
+    let mut table = Table::new(&["method", "Vn_max", "timepoints", "newton iters"]);
+    for (label, method, lte) in [
+        ("backward Euler", IntegrationMethod::BackwardEuler, 0.002),
+        ("trapezoidal", IntegrationMethod::Trapezoidal, 0.002),
+        ("trapezoidal (loose)", IntegrationMethod::Trapezoidal, 0.02),
+    ] {
+        let opts = TranOptions {
+            lte_rel: lte,
+            lte_abs: 2e-5,
+            ..TranOptions::to(t_stop)
+                .with_ic()
+                .with_method(method)
+                .with_dt_max(s.rise_time().value() / 50.0)
+        };
+        let res = transient(&circuit, opts)?;
+        let vn = res.voltage("ng")?;
+        table.row(&[
+            label.to_owned(),
+            mv(vn.peak().value),
+            res.len().to_string(),
+            res.newton_iterations().to_string(),
+        ]);
+    }
+    println!("{table}");
+    table.write_csv("ablation_integration")?;
+    Ok(())
+}

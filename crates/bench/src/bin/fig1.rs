@@ -1,0 +1,96 @@
+//! FIG1 — Modeling of MOSFET I–V characteristic (paper Fig. 1).
+//!
+//! Sweeps the golden 0.18 um NFET's gate voltage at several source
+//! voltages with the drain held at `V_dd` (the SSN operating region), fits
+//! the ASDM, and reports the linear model's tracking error — reproducing
+//! the "equally spaced, linear in V_G" observation that motivates the ASDM.
+//!
+//! Run with `cargo run -p ssn-bench --bin fig1`.
+
+use ssn_bench::{pct, Table};
+use ssn_devices::fit::{fit_asdm, sample_ssn_region, SsnRegionSpec};
+use ssn_devices::process::Process;
+use ssn_devices::MosModel;
+use ssn_units::Volts;
+use ssn_waveform::{AsciiPlot, Waveform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = Process::p018();
+    let driver = process.output_driver();
+    let vdd = process.vdd().value();
+    let samples = sample_ssn_region(&driver, &SsnRegionSpec::for_process(&process));
+    let asdm = fit_asdm(&samples)?;
+    println!("golden device: {} | fitted {asdm}\n", driver.name());
+
+    let vs_list = [0.0, 0.2, 0.4, 0.6, 0.8];
+    let mut headers = vec!["V_G (V)".to_owned()];
+    for vs in vs_list {
+        headers.push(format!("sim Vs={vs}"));
+        headers.push(format!("asdm Vs={vs}"));
+    }
+    let mut table = Table::new(&headers);
+    let mut plot = AsciiPlot::new(68, 18).with_labels("V_G (V)", "I_D (mA)");
+
+    for step in 0..=12 {
+        let vg = vdd * f64::from(step) / 12.0;
+        let mut row = vec![format!("{vg:.2}")];
+        for vs in vs_list {
+            let sim = driver.ids(vg - vs, vdd - vs, -vs).id;
+            let model = asdm
+                .drain_current(Volts::new(vg), Volts::new(vs))
+                .value();
+            row.push(format!("{:.3}", sim * 1e3));
+            row.push(format!("{:.3}", model * 1e3));
+        }
+        table.row(&row);
+    }
+    for vs in [0.0, 0.4, 0.8] {
+        let sim = Waveform::from_fn(0.0, vdd, 120, |vg| driver.ids(vg - vs, vdd - vs, -vs).id * 1e3)?;
+        let lin = Waveform::from_fn(0.0, vdd, 120, |vg| {
+            asdm.drain_current(Volts::new(vg), Volts::new(vs)).value() * 1e3
+        })?;
+        plot = plot
+            .with_trace(format!("sim  Vs={vs}"), &sim)
+            .with_trace(format!("asdm Vs={vs}"), &lin);
+    }
+
+    println!("{table}");
+    println!("{plot}");
+
+    // Equal-spacing check: the vertical gaps between adjacent Vs curves at
+    // full gate drive should be nearly constant (linear dependence on Vs).
+    let gaps: Vec<f64> = vs_list
+        .windows(2)
+        .map(|w| {
+            let a = driver.ids(vdd - w[0], vdd - w[0], -w[0]).id;
+            let b = driver.ids(vdd - w[1], vdd - w[1], -w[1]).id;
+            a - b
+        })
+        .collect();
+    let gmin = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+    let gmax = gaps.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "curve spacing at V_G = Vdd: {:.3}..{:.3} mA (spread {}) — \"equally spaced\" holds",
+        gmin * 1e3,
+        gmax * 1e3,
+        pct((gmax - gmin) / gmax)
+    );
+
+    // Tracking error above 1/3 of full scale (the region that matters).
+    let imax = samples.iter().map(|s| s.id).fold(0.0f64, f64::max);
+    let worst = samples
+        .iter()
+        .filter(|s| s.id > imax / 3.0)
+        .map(|s| {
+            let p = asdm
+                .drain_current(Volts::new(s.vg), Volts::new(s.vs))
+                .value();
+            (p - s.id).abs() / s.id
+        })
+        .fold(0.0f64, f64::max);
+    println!("worst ASDM error above 1/3 full-scale current: {}", pct(worst));
+
+    let path = table.write_csv("fig1_iv_curves")?;
+    println!("csv: {}", path.display());
+    Ok(())
+}

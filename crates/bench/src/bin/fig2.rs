@@ -1,0 +1,98 @@
+//! FIG2 — Comparison of simulation and model results (paper Fig. 2).
+//!
+//! The paper's L-only validation: N = 8 drivers behind a 5 nH ground
+//! inductor, 0.5 ns input ramp. Panel (a) shows the simulated waveforms,
+//! panel (b) the modelled vs simulated SSN voltage, panel (c) the modelled
+//! vs simulated inductor current.
+//!
+//! Run with `cargo run -p ssn-bench --bin fig2`.
+
+use ssn_bench::{mv, pct, simulate_scenario, Table};
+use ssn_core::scenario::SsnScenario;
+use ssn_core::lmodel;
+use ssn_devices::process::Process;
+use ssn_units::{Farads, Seconds};
+use ssn_waveform::{AsciiPlot, CsvTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = Process::p018();
+    // L-only configuration, as in paper Section 3 (C neglected).
+    let scenario = SsnScenario::builder(&process)
+        .drivers(8)
+        .capacitance(Farads::ZERO)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+    println!("{scenario}\n");
+
+    let sim = simulate_scenario(&process, &scenario)?;
+
+    // (a) simulated waveforms.
+    println!("(a) simulated waveforms");
+    let plot = AsciiPlot::new(66, 14)
+        .with_trace("VIN", &sim.input)
+        .with_trace("VOUT", &sim.output)
+        .with_trace("Vn (SSN)", &sim.ground_bounce)
+        .with_labels("time (s)", "V");
+    println!("{plot}");
+
+    // (b) modelled vs simulated SSN voltage.
+    let model_vn = lmodel::vn_waveform(&scenario, 256)?;
+    println!("(b) SSN voltage: model (Eqn. 6) vs simulation");
+    let plot = AsciiPlot::new(66, 12)
+        .with_trace("model", &model_vn)
+        .with_trace("sim", &sim.ground_bounce)
+        .with_labels("time (s)", "Vn (V)");
+    println!("{plot}");
+
+    // (c) modelled vs simulated inductor current.
+    let model_il = lmodel::current_waveform(&scenario, 256)?;
+    println!("(c) inductor current: model (Eqn. 8) vs simulation");
+    let plot = AsciiPlot::new(66, 12)
+        .with_trace("model", &model_il)
+        .with_trace("sim", &sim.inductor_current)
+        .with_labels("time (s)", "I (A)");
+    println!("{plot}");
+
+    // Numeric comparison over the ramp window.
+    let tr = scenario.rise_time().value();
+    let mut table = Table::new(&["t (ps)", "Vn model", "Vn sim", "I model (mA)", "I sim (mA)"]);
+    for k in 0..=10 {
+        let t = tr * f64::from(k) / 10.0;
+        table.row(&[
+            format!("{:.0}", t * 1e12),
+            mv(model_vn.sample(t)),
+            mv(sim.ground_bounce.sample(t)),
+            format!("{:.2}", model_il.sample(t) * 1e3),
+            format!("{:.2}", sim.inductor_current.sample(t) * 1e3),
+        ]);
+    }
+    println!("{table}");
+
+    let v_err = (lmodel::vn_max(&scenario).value() - sim.vn_max.value()).abs()
+        / sim.vn_max.value();
+    let i_model_end = model_il.sample(tr);
+    let i_sim_end = sim.inductor_current.sample(tr);
+    let i_err = (i_model_end - i_sim_end).abs() / i_sim_end;
+    println!(
+        "peak SSN:  model {} vs sim {}  ({} error)",
+        mv(lmodel::vn_max(&scenario).value()),
+        mv(sim.vn_max.value()),
+        pct(v_err)
+    );
+    println!(
+        "end-of-ramp current: model {:.2} mA vs sim {:.2} mA ({} error)",
+        i_model_end * 1e3,
+        i_sim_end * 1e3,
+        pct(i_err)
+    );
+
+    // CSV with all traces aligned on the model grid.
+    let mut csv = CsvTable::new("time_s", &model_vn, "vn_model");
+    csv.push("vn_sim", &sim.ground_bounce)?;
+    csv.push("il_model", &model_il)?;
+    csv.push("il_sim", &sim.inductor_current)?;
+    let path = ssn_bench::results_dir()?.join("fig2_waveforms.csv");
+    std::fs::write(&path, csv.to_csv_string())?;
+    println!("csv: {}", path.display());
+    Ok(())
+}

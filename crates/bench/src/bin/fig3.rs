@@ -1,0 +1,93 @@
+//! FIG3 — Comparison with previous models (paper Fig. 3).
+//!
+//! Maximum SSN voltage vs. number of simultaneously switching drivers, for
+//! the golden-device simulation, this work's Eqn. 7, and the prior models
+//! (Vemuru '96, Song '99, plus the classic Senthinathan–Prince '91). The
+//! paper's claim: the ASDM-based formula tracks the simulation best across
+//! the whole driver range; the prose adds that 0.25 um and 0.35 um behave
+//! the same, so those sweeps are included.
+//!
+//! Run with `cargo run -p ssn-bench --bin fig3` (add `--release` for speed).
+
+use ssn_bench::{mv, pct, simulate_scenario, Table};
+use ssn_core::baselines::{senthinathan_prince, song, vemuru, BaselineInputs};
+use ssn_core::lmodel;
+use ssn_core::scenario::SsnScenario;
+use ssn_devices::process::Process;
+use ssn_units::{Farads, Seconds};
+use ssn_waveform::{AsciiPlot, Waveform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for process in Process::all() {
+        run_process(&process)?;
+    }
+    Ok(())
+}
+
+fn run_process(process: &Process) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== {} (Vdd = {}) ==", process.name(), process.vdd());
+    let tr = Seconds::from_nanos(0.5);
+    let base = SsnScenario::builder(process)
+        .capacitance(Farads::ZERO) // Fig. 3 is the L-only comparison
+        .rise_time(tr)
+        .build()?;
+
+    let ns: Vec<usize> = (1..=16).collect();
+    let mut table = Table::new(&["N", "sim", "this work", "Vemuru96", "Song99", "SenPr91"]);
+    let mut errs = [0.0f64; 4]; // mean |rel err| accumulators
+    let (mut w_sim, mut w_this, mut w_vem, mut w_song) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+
+    for &n in &ns {
+        let s = base.with_drivers(n)?;
+        let sim = simulate_scenario(process, &s)?.vn_max.value();
+        let this = lmodel::vn_max(&s).value();
+        let inputs = BaselineInputs::from_process(process, n, s.inductance(), tr);
+        let vem = vemuru(&inputs).value();
+        let son = song(&inputs).value();
+        let sp = senthinathan_prince(&inputs).value();
+        table.row(&[
+            n.to_string(),
+            mv(sim),
+            mv(this),
+            mv(vem),
+            mv(son),
+            mv(sp),
+        ]);
+        for (k, v) in [this, vem, son, sp].into_iter().enumerate() {
+            errs[k] += (v - sim).abs() / sim / ns.len() as f64;
+        }
+        w_sim.push(sim);
+        w_this.push(this);
+        w_vem.push(vem);
+        w_song.push(son);
+    }
+    println!("{table}");
+    println!(
+        "mean |relative error| vs simulation:  this work {}  Vemuru {}  Song {}  SenPr {}",
+        pct(errs[0]),
+        pct(errs[1]),
+        pct(errs[2]),
+        pct(errs[3])
+    );
+    let winner = errs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| ["this work", "Vemuru96", "Song99", "SenPr91"][i])
+        .unwrap_or("?");
+    println!("most accurate: {winner}\n");
+
+    let t: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let plot = AsciiPlot::new(64, 14)
+        .with_trace("sim", &Waveform::new(t.clone(), w_sim)?)
+        .with_trace("this work", &Waveform::new(t.clone(), w_this)?)
+        .with_trace("Vemuru96", &Waveform::new(t.clone(), w_vem)?)
+        .with_trace("Song99", &Waveform::new(t, w_song)?)
+        .with_labels("N drivers", "Vn_max (V)");
+    println!("{plot}");
+
+    let path = table.write_csv(&format!("fig3_{}", process.name()))?;
+    println!("csv: {}\n", path.display());
+    Ok(())
+}

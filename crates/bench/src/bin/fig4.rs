@@ -1,0 +1,104 @@
+//! FIG4 — Simulated vs calculated maximum SSN across damping regions
+//! (paper Fig. 4).
+//!
+//! Two package configurations — (a,c) the typical PGA `L = 5 nH, C = 1 pF`
+//! and (b,d) doubled ground pads `L = 2.5 nH, C = 2 pF` — swept over the
+//! driver count. Panels (a,b) plot the maximum SSN from the simulation,
+//! the L-only model and the LC model; panels (c,d) the relative errors.
+//! The paper's claims: the L-only model is adequate only in the
+//! over-damped region, while the LC model stays within ~3% everywhere.
+//!
+//! Run with `cargo run -p ssn-bench --bin fig4 --release`.
+
+use ssn_bench::{mv, pct, simulate_scenario, Table};
+use ssn_core::scenario::SsnScenario;
+use ssn_core::{lcmodel, lmodel};
+use ssn_devices::process::Process;
+use ssn_units::{Farads, Henrys, Seconds};
+
+struct Panel {
+    label: &'static str,
+    l: Henrys,
+    c: Farads,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = Process::p018();
+    let panels = [
+        Panel {
+            label: "(a,c) PGA: L = 5 nH, C = 1 pF",
+            l: Henrys::from_nanos(5.0),
+            c: Farads::from_picos(1.0),
+        },
+        Panel {
+            label: "(b,d) doubled ground pads: L = 2.5 nH, C = 2 pF",
+            l: Henrys::from_nanos(2.5),
+            c: Farads::from_picos(2.0),
+        },
+    ];
+    let base = SsnScenario::builder(&process)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+
+    for panel in panels {
+        println!("== {} ==", panel.label);
+        let mut table = Table::new(&[
+            "N", "region", "case", "sim", "L-only", "LC model", "err L-only", "err LC",
+        ]);
+        let mut worst_lc = 0.0f64;
+        let mut worst_lonly_under = 0.0f64;
+        let mut worst_lonly_over = 0.0f64;
+
+        for n in 1..=16usize {
+            let s = base.with_drivers(n)?.with_package(panel.l, panel.c)?;
+            let sim = simulate_scenario(&process, &s)?.vn_max.value();
+            let l_only = lmodel::vn_max(&s).value();
+            let (lc, case) = lcmodel::vn_max(&s);
+            let lc = lc.value();
+            let e_l = (l_only - sim).abs() / sim;
+            let e_lc = (lc - sim).abs() / sim;
+            worst_lc = worst_lc.max(e_lc);
+            let region = lcmodel::classify(&s);
+            match region {
+                lcmodel::Damping::Underdamped { .. } => {
+                    worst_lonly_under = worst_lonly_under.max(e_l)
+                }
+                _ => worst_lonly_over = worst_lonly_over.max(e_l),
+            }
+            let case_tag = match case {
+                lcmodel::MaxSsnCase::Overdamped => "1",
+                lcmodel::MaxSsnCase::CriticallyDamped => "2",
+                lcmodel::MaxSsnCase::UnderdampedFastInput => "3a",
+                lcmodel::MaxSsnCase::UnderdampedSlowInput => "3b",
+                lcmodel::MaxSsnCase::LOnly => "L",
+            };
+            table.row(&[
+                n.to_string(),
+                region.to_string(),
+                case_tag.to_string(),
+                mv(sim),
+                mv(l_only),
+                mv(lc),
+                pct(e_l),
+                pct(e_lc),
+            ]);
+        }
+        println!("{table}");
+        println!("worst LC-model error:                    {}", pct(worst_lc));
+        println!(
+            "worst L-only error (under-damped region): {}",
+            pct(worst_lonly_under)
+        );
+        println!(
+            "worst L-only error (over/critical region): {}",
+            pct(worst_lonly_over)
+        );
+        println!(
+            "paper claim shape: LC small everywhere; L-only collapses only when under-damped\n"
+        );
+        let tag = if panel.c.value() > 1.5e-12 { "b" } else { "a" };
+        let path = table.write_csv(&format!("fig4_panel_{tag}"))?;
+        println!("csv: {}\n", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! TAB1 — Formulas for maximum SSN voltage considering both parasitic
+//! inductance and capacitance (paper Table 1).
+//!
+//! Builds one scenario per Table-1 case, prints the case-selection
+//! quantities (`alpha`, `omega0`, first-peak time vs. conduction window),
+//! and verifies each closed-form maximum three ways: against the model's
+//! own waveform maximum, against a dense numerical integration of the SSN
+//! ODE, and against the nonlinear golden-device simulation.
+//!
+//! Run with `cargo run -p ssn-bench --bin table1 --release`.
+
+use ssn_bench::{mv, pct, simulate_scenario, Table};
+use ssn_core::scenario::SsnScenario;
+use ssn_core::{lcmodel, MaxSsnCase};
+use ssn_devices::process::Process;
+use ssn_numeric::ode::{rkf45, Rkf45Options};
+use ssn_units::{Farads, Henrys, Seconds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = Process::p018();
+    let base = SsnScenario::builder(&process)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+
+    // Hand-picked operating points hitting each Table-1 row (see the
+    // damping map in `examples/package_explorer.rs`).
+    let cases: Vec<(&str, SsnScenario)> = vec![
+        (
+            "case 1: over-damped",
+            base.with_drivers(8)?
+                .with_package(Henrys::from_nanos(5.0), Farads::from_picos(1.0))?,
+        ),
+        ("case 2: critically damped", {
+            let s = base.with_drivers(4)?;
+            let cm = lcmodel::critical_capacitance(&s);
+            s.with_package(s.inductance(), cm)?
+        }),
+        (
+            "case 3a: under-damped, fast input",
+            base.with_drivers(1)?
+                .with_package(Henrys::from_nanos(5.0), Farads::from_picos(1.0))?,
+        ),
+        (
+            "case 3b: under-damped, slow input",
+            base.with_drivers(3)?
+                .with_package(Henrys::from_nanos(5.0), Farads::from_picos(1.0))?,
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "case", "alpha (1/s)", "omega0 (1/s)", "t_peak vs window", "formula", "waveform",
+        "ODE", "sim", "err vs sim",
+    ]);
+
+    for (label, s) in cases {
+        let (vmax, case) = lcmodel::vn_max(&s);
+        let wave_max = lcmodel::vn_waveform(&s, 8000)?.peak().value;
+        let ode_max = ode_max(&s);
+        let sim = simulate_scenario(&process, &s)?.vn_max.value();
+        let a = lcmodel::alpha(&s);
+        let w0 = lcmodel::omega0(&s);
+        let window = s.conduction_window().value();
+        let peak_note = match lcmodel::first_peak_time(&s) {
+            Some(tp) => {
+                let tp_rel = tp.value() - s.conduction_start().value();
+                format!("{:.0} ps vs {:.0} ps", tp_rel * 1e12, window * 1e12)
+            }
+            None => "monotone".to_owned(),
+        };
+        assert_case_selection(label, case);
+        table.row(&[
+            label.to_owned(),
+            format!("{a:.3e}"),
+            format!("{w0:.3e}"),
+            peak_note,
+            mv(vmax.value()),
+            mv(wave_max),
+            mv(ode_max),
+            mv(sim),
+            pct((vmax.value() - sim).abs() / sim),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "formula == waveform max == ODE max validates the Table-1 algebra;\n\
+         err vs sim is the modelling error against the nonlinear golden device."
+    );
+    let path = table.write_csv("table1_cases")?;
+    println!("csv: {}", path.display());
+    Ok(())
+}
+
+/// Dense numerical maximum of the SSN ODE over the conduction window.
+fn ode_max(s: &SsnScenario) -> f64 {
+    let l = s.inductance().value();
+    let c = s.capacitance().value();
+    let nk = s.n_drivers() as f64 * s.asdm().k().value();
+    let sigma = s.asdm().sigma();
+    let v_inf = s.v_inf().value();
+    let t0 = s.conduction_start().value();
+    let tr = s.rise_time().value();
+    let traj = rkf45(
+        |_, y, dy| {
+            dy[0] = y[1];
+            dy[1] = (v_inf - y[0] - sigma * l * nk * y[1]) / (l * c);
+        },
+        t0,
+        tr,
+        &[0.0, 0.0],
+        Rkf45Options {
+            h_max: (tr - t0) / 4000.0,
+            ..Rkf45Options::default()
+        },
+    )
+    .expect("SSN ODE integrates");
+    traj.y.iter().map(|y| y[0]).fold(0.0, f64::max)
+}
+
+fn assert_case_selection(label: &str, case: MaxSsnCase) {
+    let expected = if label.starts_with("case 1") {
+        MaxSsnCase::Overdamped
+    } else if label.starts_with("case 2") {
+        MaxSsnCase::CriticallyDamped
+    } else if label.starts_with("case 3a") {
+        MaxSsnCase::UnderdampedFastInput
+    } else {
+        MaxSsnCase::UnderdampedSlowInput
+    };
+    assert_eq!(case, expected, "{label} selected {case}");
+}

@@ -1,0 +1,161 @@
+//! A minimal `--key value` argument parser.
+
+use crate::error::CliError;
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed command arguments: `--key value` options (repeatable), boolean
+/// `--flag`s, and bare positionals, in order.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    options: HashMap<String, Vec<String>>,
+    flags: Vec<String>,
+    positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Parses `argv` given the sets of known value-taking options and known
+    /// boolean flags (both written without the `--` prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown options or a missing value.
+    pub fn parse(
+        argv: &[String],
+        value_options: &[&str],
+        bool_flags: &[&str],
+    ) -> Result<Self, CliError> {
+        let mut out = Self::default();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    out.flags.push(name.to_owned());
+                } else if value_options.contains(&name) {
+                    let Some(value) = it.next() else {
+                        return Err(CliError::usage(format!("--{name} needs a value")));
+                    };
+                    out.options
+                        .entry(name.to_owned())
+                        .or_default()
+                        .push(value.clone());
+                } else {
+                    return Err(CliError::usage(format!("unknown option --{name}")));
+                }
+            } else {
+                out.positionals.push(tok.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// `true` when `--help` was requested.
+    pub fn wants_help(&self) -> bool {
+        self.flags.iter().any(|f| f == "help")
+    }
+
+    /// `true` when boolean `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The last value of `--name`, if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All values of a repeatable `--name`.
+    pub fn values(&self, name: &str) -> &[String] {
+        self.options.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Parses `--name`'s value with `FromStr` (quantities, numbers, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value does not parse.
+    pub fn parsed<T: FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
+                CliError::usage(format!("--{name}: cannot parse {raw:?}"))
+            }),
+        }
+    }
+
+    /// Like [`ParsedArgs::parsed`] with a fallback.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParsedArgs::parsed`].
+    pub fn parsed_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        Ok(self.parsed(name)?.unwrap_or(default))
+    }
+
+    /// A required option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when absent or unparseable.
+    pub fn required<T: FromStr>(&self, name: &str) -> Result<T, CliError> {
+        self.parsed(name)?
+            .ok_or_else(|| CliError::usage(format!("--{name} is required")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssn_units::Seconds;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options_flags_and_positionals() {
+        let a = ParsedArgs::parse(
+            &argv(&["deck.sp", "--probe", "ng", "--probe", "out0", "--fast", "--n", "8"]),
+            &["probe", "n"],
+            &["fast", "help"],
+        )
+        .unwrap();
+        assert_eq!(a.positionals(), &["deck.sp".to_owned()]);
+        assert_eq!(a.values("probe"), &["ng".to_owned(), "out0".to_owned()]);
+        assert!(a.flag("fast"));
+        assert!(!a.wants_help());
+        assert_eq!(a.value("n"), Some("8"));
+        assert_eq!(a.parsed::<usize>("n").unwrap(), Some(8));
+        assert_eq!(a.parsed_or::<usize>("m", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn quantity_values_parse_with_suffixes() {
+        let a = ParsedArgs::parse(&argv(&["--tr", "0.5n"]), &["tr"], &[]).unwrap();
+        let tr: Seconds = a.required("tr").unwrap();
+        assert!((tr.value() - 0.5e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn errors_are_usage_errors() {
+        assert!(matches!(
+            ParsedArgs::parse(&argv(&["--nope"]), &["n"], &[]),
+            Err(CliError::Usage { .. })
+        ));
+        assert!(matches!(
+            ParsedArgs::parse(&argv(&["--n"]), &["n"], &[]),
+            Err(CliError::Usage { .. })
+        ));
+        let a = ParsedArgs::parse(&argv(&["--n", "zz"]), &["n"], &[]).unwrap();
+        assert!(a.parsed::<usize>("n").is_err());
+        assert!(a.required::<usize>("missing").is_err());
+    }
+}

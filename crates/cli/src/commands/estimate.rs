@@ -1,0 +1,83 @@
+//! `ssn estimate` — closed-form SSN estimate for one driver bank.
+
+use super::resolve_process;
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use ssn_core::bridge::{measure, DriverBankConfig};
+use ssn_core::scenario::SsnScenario;
+use ssn_core::{lcmodel, lmodel};
+use ssn_units::{Farads, Henrys, Seconds};
+use std::io::Write;
+use std::sync::Arc;
+
+const HELP: &str = "\
+usage: ssn estimate --process <p018|p025|p035> --drivers <N> [options]
+
+options:
+    --rise-time <t>     input rise time (default 0.5n)
+    --inductance <L>    ground-path inductance (default: process package)
+    --capacitance <C>   ground-path capacitance (default: process package)
+    --simulate          also run the golden-device transient and report
+                        the model-vs-simulation error
+    --full              print the one-page signoff report instead of the
+                        short summary (combines with --simulate)
+";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Usage errors for bad options; analysis errors from the suite.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["process", "drivers", "rise-time", "inductance", "capacitance"],
+        &["simulate", "full", "help"],
+    )?;
+    if args.wants_help() {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let process = resolve_process(
+        args.value("process")
+            .ok_or_else(|| CliError::usage("--process is required"))?,
+    )?;
+    let drivers: usize = args.required("drivers")?;
+    let mut builder = SsnScenario::builder(&process)
+        .drivers(drivers)
+        .rise_time(args.parsed_or("rise-time", Seconds::from_nanos(0.5))?);
+    if let Some(l) = args.parsed::<Henrys>("inductance")? {
+        builder = builder.inductance(l);
+    }
+    if let Some(c) = args.parsed::<Farads>("capacitance")? {
+        builder = builder.capacitance(c);
+    }
+    let scenario = builder.build()?;
+
+    if args.flag("full") {
+        let golden = args
+            .flag("simulate")
+            .then(|| -> Arc<dyn ssn_devices::MosModel> { Arc::new(process.output_driver()) });
+        let report = ssn_core::report::assess(&scenario, golden)?;
+        writeln!(out, "{report}")?;
+        return Ok(());
+    }
+
+    writeln!(out, "{scenario}")?;
+    writeln!(out, "damping: {} | critical capacitance C_m = {}",
+        lcmodel::classify(&scenario),
+        lcmodel::critical_capacitance(&scenario))?;
+    writeln!(out, "L-only model (Eqn. 7): Vn_max = {}", lmodel::vn_max(&scenario))?;
+    let (lc, case) = lcmodel::vn_max(&scenario);
+    writeln!(out, "LC model (Table 1):    Vn_max = {lc}  [{case}]")?;
+
+    if args.flag("simulate") {
+        let cfg =
+            DriverBankConfig::from_scenario(&scenario, Arc::new(process.output_driver()));
+        let sim = measure(&cfg)?;
+        let err = (lc.value() - sim.vn_max.value()).abs() / sim.vn_max.value();
+        writeln!(out, "simulated:             Vn_max = {}", sim.vn_max)?;
+        writeln!(out, "LC model vs simulation: {:.1}% error", err * 100.0)?;
+    }
+    Ok(())
+}

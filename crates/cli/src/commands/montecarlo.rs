@@ -1,0 +1,81 @@
+//! `ssn montecarlo` — variation/yield analysis.
+
+use super::resolve_process;
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use ssn_core::montecarlo::{run_monte_carlo, VariationSpec};
+use ssn_core::scenario::SsnScenario;
+use ssn_core::lcmodel;
+use ssn_units::{Seconds, Volts};
+use std::io::Write;
+
+const HELP: &str = "\
+usage: ssn montecarlo --process <p018|p025|p035> --drivers <N> [options]
+
+options:
+    --rise-time <t>     input rise time (default 0.5n)
+    --samples <n>       Monte Carlo samples (default 2000)
+    --seed <u64>        RNG seed (default 1)
+    --budget <V>        also report the yield against this budget
+    --k-frac <x>        fractional sigma of K (default 0.08)
+    --l-frac <x>        fractional sigma of L (default 0.10)
+    --c-frac <x>        fractional sigma of C (default 0.15)
+";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Usage errors for bad options; analysis errors from the suite.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &[
+            "process", "drivers", "rise-time", "samples", "seed", "budget", "k-frac", "l-frac",
+            "c-frac",
+        ],
+        &["help"],
+    )?;
+    if args.wants_help() {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let process = resolve_process(
+        args.value("process")
+            .ok_or_else(|| CliError::usage("--process is required"))?,
+    )?;
+    let drivers: usize = args.required("drivers")?;
+    let samples: usize = args.parsed_or("samples", 2000)?;
+    let seed: u64 = args.parsed_or("seed", 1)?;
+
+    let scenario = SsnScenario::builder(&process)
+        .drivers(drivers)
+        .rise_time(args.parsed_or("rise-time", Seconds::from_nanos(0.5))?)
+        .build()?;
+    let spec = VariationSpec {
+        k_frac: args.parsed_or("k-frac", 0.08)?,
+        l_frac: args.parsed_or("l-frac", 0.10)?,
+        c_frac: args.parsed_or("c-frac", 0.15)?,
+        ..VariationSpec::typical()
+    };
+    let mc = run_monte_carlo(&scenario, &spec, samples, seed)?;
+
+    writeln!(out, "nominal Vn_max: {}", lcmodel::vn_max(&scenario).0)?;
+    writeln!(
+        out,
+        "{samples} samples: mean {} sd {}",
+        mc.mean(),
+        mc.std_dev()
+    )?;
+    for q in [0.5, 0.9, 0.95, 0.99] {
+        writeln!(out, "  q{:<4} {}", (q * 100.0) as u32, mc.quantile(q))?;
+    }
+    if let Some(budget) = args.parsed::<Volts>("budget")? {
+        writeln!(
+            out,
+            "yield within {budget}: {:.1}%",
+            mc.yield_within(budget) * 100.0
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! `ssn simulate` — run a SPICE deck and report probes.
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use ssn_spice::parser::parse_deck_file;
+use ssn_spice::{transient, TranOptions};
+use ssn_waveform::AsciiPlot;
+use std::io::Write;
+
+const HELP: &str = "\
+usage: ssn simulate <deck.sp> [options]
+
+options:
+    --probe <node>      node voltage to report (repeatable; default: all
+                        sources' positive nodes are skipped, so give at
+                        least one probe for useful output)
+    --t-stop <t>        override the deck's .tran stop time
+    --plot              render an ASCII plot of the probes
+";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Usage errors for bad options, I/O errors reading the deck, simulation
+/// failures from the engine.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(argv, &["probe", "t-stop"], &["plot", "help"])?;
+    if args.wants_help() {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let [path] = args.positionals() else {
+        return Err(CliError::usage("expected exactly one deck path"));
+    };
+    let deck = parse_deck_file(path)?;
+    writeln!(
+        out,
+        "{}: {} elements, {} nodes",
+        deck.title,
+        deck.circuit.element_count(),
+        deck.circuit.node_count()
+    )?;
+
+    let opts = match (deck.tran, args.parsed::<ssn_units::Seconds>("t-stop")?) {
+        (_, Some(t)) => TranOptions::to(t.value()).with_ic(),
+        (Some(t), None) => t.to_options(),
+        (None, None) => {
+            return Err(CliError::usage(
+                "deck has no .tran card; pass --t-stop",
+            ))
+        }
+    };
+    let result = transient(&deck.circuit, opts)?;
+    writeln!(
+        out,
+        "simulated {} timepoints ({} newton iterations, {} rejected steps)",
+        result.len(),
+        result.newton_iterations(),
+        result.rejected_steps()
+    )?;
+
+    let mut plot = AsciiPlot::new(64, 12).with_labels("time (s)", "V");
+    for probe in args.values("probe") {
+        let w = result.voltage(probe)?;
+        let peak = w.peak();
+        writeln!(
+            out,
+            "{probe}: peak {:.4} V at {:.3e} s, final {:.4} V",
+            peak.value,
+            peak.time,
+            result.final_voltage(probe)?
+        )?;
+        plot = plot.with_trace(probe.clone(), &w);
+    }
+    if args.flag("plot") && plot.n_traces() > 0 {
+        writeln!(out, "{plot}")?;
+    }
+    Ok(())
+}

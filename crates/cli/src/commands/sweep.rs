@@ -1,0 +1,113 @@
+//! `ssn sweep` — maximum SSN vs. driver count, with the prior models.
+
+use super::resolve_process;
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use ssn_core::baselines::{senthinathan_prince, song, vemuru, BaselineInputs};
+use ssn_core::bridge::{measure, DriverBankConfig};
+use ssn_core::scenario::SsnScenario;
+use ssn_core::{lcmodel, lmodel};
+use ssn_units::Seconds;
+use std::io::Write;
+use std::sync::Arc;
+
+const HELP: &str = "\
+usage: ssn sweep --process <p018|p025|p035> [options]
+
+options:
+    --max-drivers <N>   sweep N = 1..=N (default 16)
+    --rise-time <t>     input rise time (default 0.5n)
+    --no-simulation     skip the (slow) golden-device reference column
+    --csv <path>        also write the table as CSV
+";
+
+/// Runs the command.
+///
+/// # Errors
+///
+/// Usage errors for bad options; analysis errors from the suite.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        argv,
+        &["process", "max-drivers", "rise-time", "csv"],
+        &["no-simulation", "help"],
+    )?;
+    if args.wants_help() {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let process = resolve_process(
+        args.value("process")
+            .ok_or_else(|| CliError::usage("--process is required"))?,
+    )?;
+    let max_n: usize = args.parsed_or("max-drivers", 16)?;
+    if max_n == 0 {
+        return Err(CliError::usage("--max-drivers must be positive"));
+    }
+    let tr = args.parsed_or("rise-time", Seconds::from_nanos(0.5))?;
+    let simulate = !args.flag("no-simulation");
+
+    let base = SsnScenario::builder(&process).rise_time(tr).build()?;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut header = vec!["N".to_owned(), "L-only".to_owned(), "LC".to_owned()];
+    if simulate {
+        header.push("sim".to_owned());
+    }
+    header.extend(["Vemuru96".to_owned(), "Song99".to_owned(), "SenPr91".to_owned()]);
+
+    for n in 1..=max_n {
+        let s = base.with_drivers(n)?;
+        let inputs = BaselineInputs::from_process(&process, n, s.inductance(), tr);
+        let mut row = vec![
+            n.to_string(),
+            format!("{:.1} mV", lmodel::vn_max(&s).value() * 1e3),
+            format!("{:.1} mV", lcmodel::vn_max(&s).0.value() * 1e3),
+        ];
+        if simulate {
+            let sim = measure(&DriverBankConfig::from_scenario(
+                &s,
+                Arc::new(process.output_driver()),
+            ))?;
+            row.push(format!("{:.1} mV", sim.vn_max.value() * 1e3));
+        }
+        row.push(format!("{:.1} mV", vemuru(&inputs).value() * 1e3));
+        row.push(format!("{:.1} mV", song(&inputs).value() * 1e3));
+        row.push(format!("{:.1} mV", senthinathan_prince(&inputs).value() * 1e3));
+        rows.push(row);
+    }
+
+    // Render aligned.
+    let widths: Vec<usize> = (0..header.len())
+        .map(|i| {
+            rows.iter()
+                .map(|r| r[i].len())
+                .chain([header[i].len()])
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    writeln!(out, "{}", fmt(&header))?;
+    for r in &rows {
+        writeln!(out, "{}", fmt(r))?;
+    }
+
+    if let Some(path) = args.value("csv") {
+        let mut text = header.join(",");
+        text.push('\n');
+        for r in &rows {
+            text.push_str(&r.join(","));
+            text.push('\n');
+        }
+        std::fs::write(path, text)?;
+        writeln!(out, "csv written to {path}")?;
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! CLI error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the `ssn` command-line tool.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The invocation itself was malformed.
+    Usage {
+        /// What was wrong.
+        message: String,
+    },
+    /// An I/O failure (reading decks, writing CSVs, stdout).
+    Io(std::io::Error),
+    /// An analysis failure from the underlying suite.
+    Analysis(Box<dyn Error + Send + Sync>),
+}
+
+impl CliError {
+    /// Builds a usage error.
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self::Usage {
+            message: message.into(),
+        }
+    }
+
+    /// The conventional process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::Usage { .. } => 2,
+            Self::Io(_) => 3,
+            Self::Analysis(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage { message } => write!(f, "usage error: {message}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Analysis(e) => write!(f, "analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Usage { .. } => None,
+            Self::Io(e) => Some(e),
+            Self::Analysis(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ssn_core::SsnError> for CliError {
+    fn from(e: ssn_core::SsnError) -> Self {
+        Self::Analysis(Box::new(e))
+    }
+}
+
+impl From<ssn_spice::SpiceError> for CliError {
+    fn from(e: ssn_spice::SpiceError) -> Self {
+        Self::Analysis(Box::new(e))
+    }
+}
+
+impl From<ssn_waveform::WaveformError> for CliError {
+    fn from(e: ssn_waveform::WaveformError) -> Self {
+        Self::Analysis(Box::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_and_display() {
+        let u = CliError::usage("bad flag");
+        assert_eq!(u.exit_code(), 2);
+        assert!(u.to_string().contains("bad flag"));
+        let io: CliError = std::io::Error::other("disk").into();
+        assert_eq!(io.exit_code(), 3);
+        assert!(io.source().is_some());
+        let a: CliError = ssn_spice::SpiceError::UnknownProbe { name: "x".into() }.into();
+        assert_eq!(a.exit_code(), 1);
+        assert!(a.to_string().contains("analysis failed"));
+    }
+}

@@ -1,0 +1,252 @@
+#![warn(missing_docs)]
+
+//! The `ssn` command-line tool.
+//!
+//! A thin, scriptable front end over the SSN suite:
+//!
+//! ```text
+//! ssn estimate --process p018 --drivers 8 [--rise-time 0.5n] [--simulate]
+//! ssn sweep    --process p018 --max-drivers 16 [--csv out.csv]
+//! ssn budget   --process p018 --drivers 32 --budget 450m
+//! ssn simulate deck.sp [--probe node]...
+//! ```
+//!
+//! All machinery lives in [`run`] so the whole tool is testable without
+//! spawning processes; `main.rs` only forwards `std::env::args`.
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::ParsedArgs;
+pub use error::CliError;
+
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ssn — simultaneous switching noise estimation (Ding & Mazumder, DATE 2002)
+
+USAGE:
+    ssn <command> [options]
+
+COMMANDS:
+    estimate    closed-form SSN estimate for a driver bank
+    fit         fit the ASDM to a process's golden device
+    sweep       max SSN vs driver count, with prior-model comparison
+    budget      design advisor: fit a bank under a noise budget
+    montecarlo  variation/yield analysis of the estimate
+    impedance   AC impedance of the ground network
+    simulate    run a SPICE deck and report probed waveforms
+    help        show this text
+
+Run `ssn <command> --help` for command options. Quantities accept SI/SPICE
+suffixes: 0.5n, 450m, 2.2p, 1MEG.
+";
+
+/// Executes the CLI with explicit arguments and output sink.
+///
+/// `argv` excludes the program name (pass `std::env::args().skip(1)`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed options, or any
+/// analysis failure; the caller maps it to an exit code.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let Some(command) = argv.first() else {
+        writeln!(out, "{USAGE}")?;
+        return Err(CliError::usage("missing command"));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "estimate" => commands::estimate::run(rest, out),
+        "fit" => commands::fit::run(rest, out),
+        "sweep" => commands::sweep::run(rest, out),
+        "budget" => commands::budget::run(rest, out),
+        "montecarlo" => commands::montecarlo::run(rest, out),
+        "impedance" => commands::impedance::run(rest, out),
+        "simulate" => commands::simulate::run(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => {
+            writeln!(out, "{USAGE}")?;
+            Err(CliError::usage(format!("unknown command {other:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(argv: &[&str]) -> (Result<(), CliError>, String) {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let res = run(&argv, &mut buf);
+        (res, String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (res, text) = run_to_string(&["help"]);
+        assert!(res.is_ok());
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("estimate"));
+    }
+
+    #[test]
+    fn missing_command_is_an_error_with_usage() {
+        let (res, text) = run_to_string(&[]);
+        assert!(res.is_err());
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let (res, _) = run_to_string(&["frobnicate"]);
+        assert!(matches!(res, Err(CliError::Usage { .. })));
+    }
+
+    #[test]
+    fn estimate_end_to_end() {
+        let (res, text) = run_to_string(&[
+            "estimate",
+            "--process",
+            "p018",
+            "--drivers",
+            "8",
+            "--rise-time",
+            "0.5n",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("Vn_max"), "{text}");
+        assert!(text.contains("case"), "{text}");
+    }
+
+    #[test]
+    fn estimate_with_simulation() {
+        let (res, text) = run_to_string(&[
+            "estimate", "--process", "p018", "--drivers", "4", "--simulate",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("simulated"), "{text}");
+        assert!(text.contains('%'), "{text}");
+    }
+
+    #[test]
+    fn estimate_full_report() {
+        let (res, text) = run_to_string(&[
+            "estimate", "--process", "p018", "--drivers", "8", "--full",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("SSN assessment"), "{text}");
+        assert!(text.contains("budget check"), "{text}");
+    }
+
+    #[test]
+    fn sweep_produces_table() {
+        let (res, text) = run_to_string(&[
+            "sweep", "--process", "p018", "--max-drivers", "4", "--no-simulation",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.lines().count() >= 5, "{text}");
+        assert!(text.contains("Vemuru"), "{text}");
+    }
+
+    #[test]
+    fn budget_advises() {
+        let (res, text) = run_to_string(&[
+            "budget", "--process", "p018", "--drivers", "32", "--budget", "450m",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("simultaneous"), "{text}");
+        assert!(text.contains("rise time"), "{text}");
+        assert!(text.contains("groups"), "{text}");
+    }
+
+    #[test]
+    fn simulate_runs_a_deck_file() {
+        let dir = std::env::temp_dir().join("ssn_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("rc.sp");
+        std::fs::write(
+            &path,
+            "rc step\nVin in 0 DC 1\nR1 in out 1k\nC1 out 0 1n IC=0\n.tran 1n 5u UIC\n.end\n",
+        )
+        .expect("write deck");
+        let (res, text) = run_to_string(&[
+            "simulate",
+            path.to_str().expect("utf8 path"),
+            "--probe",
+            "out",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("out"), "{text}");
+        assert!(text.contains("peak"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn montecarlo_reports_quantiles() {
+        let (res, text) = run_to_string(&[
+            "montecarlo",
+            "--process",
+            "p018",
+            "--drivers",
+            "8",
+            "--samples",
+            "200",
+            "--budget",
+            "750m",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("q95"), "{text}");
+        assert!(text.contains("yield"), "{text}");
+    }
+
+    #[test]
+    fn impedance_finds_resonance() {
+        let (res, text) = run_to_string(&[
+            "impedance", "--process", "p018", "--drivers", "8", "--points", "10",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("resonance peak"), "{text}");
+        // Bare tank resonates near 2.25 GHz.
+        assert!(text.contains("e9"), "{text}");
+    }
+
+    #[test]
+    fn fit_reports_parameters() {
+        let (res, text) = run_to_string(&["fit", "--process", "p018"]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("sigma"), "{text}");
+        assert!(text.contains("fit report"), "{text}");
+        // Cold corner shifts the fit.
+        let (res2, cold) = run_to_string(&["fit", "--process", "p018", "--temperature", "233"]);
+        assert!(res2.is_ok(), "{cold}");
+        assert_ne!(text, cold);
+        // Bad temperature is a usage error.
+        let (res3, _) = run_to_string(&["fit", "--process", "p018", "--temperature", "-1"]);
+        assert!(matches!(res3, Err(CliError::Usage { .. })));
+    }
+
+    #[test]
+    fn bad_process_name_reports_cleanly() {
+        let (res, _) = run_to_string(&["estimate", "--process", "p999", "--drivers", "8"]);
+        match res {
+            Err(CliError::Usage { message }) => assert!(message.contains("p999")),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_help_flags() {
+        for cmd in ["estimate", "sweep", "budget", "simulate", "montecarlo", "impedance", "fit"] {
+            let (res, text) = run_to_string(&[cmd, "--help"]);
+            assert!(res.is_ok(), "{cmd}");
+            assert!(text.contains("USAGE") || text.contains("usage"), "{cmd}: {text}");
+        }
+    }
+}

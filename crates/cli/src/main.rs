@@ -1,0 +1,15 @@
+//! The `ssn` binary: forwards to [`ssn_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match ssn_cli::run(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ssn: {e}");
+            ExitCode::from(e.exit_code() as u8)
+        }
+    }
+}

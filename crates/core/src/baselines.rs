@@ -1,0 +1,232 @@
+//! Prior-work SSN estimators the paper compares against (Fig. 3).
+//!
+//! All three baselines start from the Sakurai–Newton alpha-power device
+//! description — they differ in the approximation used to make the SSN
+//! equation tractable:
+//!
+//! * **Senthinathan–Prince 1991** (paper ref \[4\]): long-channel square law,
+//!   `dVn/dt` feedback neglected.
+//! * **Vemuru 1996** (paper ref \[6\]): velocity-saturated device with a
+//!   *constant* current derivative `dI/dVgs`.
+//! * **Song 1999** (paper ref \[8\]): constant current derivative *and* a
+//!   noise voltage assumed linear in time.
+//!
+//! The Song reconstruction follows the two stated assumptions; the original
+//! constants are not recoverable from the paper text, so its curve is
+//! qualitatively (not numerically) faithful — see DESIGN.md.
+
+use ssn_devices::process::Process;
+use ssn_numeric::roots::{brent, RootOptions};
+use ssn_units::{Henrys, Seconds, SlewRate, Volts};
+
+/// Device and circuit parameters shared by all baseline estimators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineInputs {
+    /// Alpha-power drive `B` (A / V^alpha).
+    pub b: f64,
+    /// Threshold voltage (V).
+    pub vth: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+    /// Number of simultaneously switching drivers.
+    pub n: usize,
+    /// Ground-path inductance.
+    pub l: Henrys,
+    /// Input slew rate.
+    pub s: SlewRate,
+    /// Supply voltage.
+    pub vdd: Volts,
+}
+
+impl BaselineInputs {
+    /// Builds the inputs for `n` standard output drivers of `process`
+    /// switching with rise time `tr` behind inductance `l`.
+    pub fn from_process(process: &Process, n: usize, l: Henrys, tr: Seconds) -> Self {
+        let d = process.output_driver();
+        Self {
+            b: d.drive(),
+            vth: d.vth0(),
+            alpha: d.alpha(),
+            n,
+            l,
+            s: process.vdd() / tr,
+            vdd: process.vdd(),
+        }
+    }
+
+    fn vgt_max(&self) -> f64 {
+        (self.vdd.value() - self.vth).max(0.0)
+    }
+}
+
+/// Senthinathan–Prince 1991: square-law devices, `dVn/dt` neglected.
+///
+/// The equivalent square-law transconductance is matched to the alpha-power
+/// full-on current (`beta/2 (Vdd - Vth)^2 = B (Vdd - Vth)^alpha`), giving
+///
+/// ```text
+/// Vn_max = N L beta s (Vdd - Vth) / (1 + N L beta s)
+/// ```
+pub fn senthinathan_prince(inp: &BaselineInputs) -> Volts {
+    let vgt = inp.vgt_max();
+    if vgt <= 0.0 {
+        return Volts::ZERO;
+    }
+    let beta = 2.0 * inp.b * vgt.powf(inp.alpha - 2.0);
+    let nlbs = inp.n as f64 * inp.l.value() * beta * inp.s.value();
+    Volts::new(nlbs * vgt / (1.0 + nlbs))
+}
+
+/// Vemuru 1996: velocity-saturated device with constant `dI/dVgs`.
+///
+/// The constant derivative linearizes the device into
+/// `I = K_v (V_gs - V_th)` with `K_v = alpha B (Vdd - Vth)^(alpha - 1)`
+/// (the full-swing tangent), and the resulting first-order ODE gives
+///
+/// ```text
+/// Vn_max = N L K_v s [1 - exp(-(Vdd - Vth) / (s N L K_v))]
+/// ```
+///
+/// Structurally this is the paper's Eqn. 7 with `sigma = 1` and
+/// `V_0 = V_th` — which is exactly why the ASDM paper outperforms it: the
+/// fitted `sigma > 1` and `V_0 > V_th` capture source feedback and the
+/// real turn-on point.
+pub fn vemuru(inp: &BaselineInputs) -> Volts {
+    let vgt = inp.vgt_max();
+    if vgt <= 0.0 {
+        return Volts::ZERO;
+    }
+    let kv = inp.alpha * inp.b * vgt.powf(inp.alpha - 1.0);
+    let nlks = inp.n as f64 * inp.l.value() * kv * inp.s.value();
+    Volts::new(nlks * (1.0 - (-vgt / nlks).exp()))
+}
+
+/// Song 1999: constant current derivative plus a linear-in-time noise
+/// voltage `Vn(t) = (Vn_max / t_r) t`, yielding the implicit equation
+///
+/// ```text
+/// Vn_max = N L alpha B (s - Vn_max/W) [ (s - Vn_max/W) W - ... ]^(alpha-1)
+/// ```
+///
+/// evaluated at the end of the conduction window `W = (Vdd - Vth)/s` and
+/// solved with Brent's method.
+pub fn song(inp: &BaselineInputs) -> Volts {
+    let vgt = inp.vgt_max();
+    if vgt <= 0.0 {
+        return Volts::ZERO;
+    }
+    let window = vgt / inp.s.value();
+    let nlb = inp.n as f64 * inp.l.value() * inp.alpha * inp.b;
+    let f = |v: f64| {
+        let eff_slew = inp.s.value() - v / window;
+        if eff_slew <= 0.0 {
+            return -v;
+        }
+        let vgt_end = (eff_slew * window).max(0.0);
+        nlb * eff_slew * vgt_end.powf(inp.alpha - 1.0) - v
+    };
+    // f(0) > 0 and f(Vdd) < 0 for physical inputs; fall back to 0 if the
+    // bracket degenerates (ultra-weak drivers).
+    let hi = inp.vdd.value();
+    if f(0.0) <= 0.0 {
+        return Volts::ZERO;
+    }
+    match brent(f, 0.0, hi, RootOptions::default()) {
+        Ok(v) => Volts::new(v),
+        Err(_) => Volts::new(hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: usize) -> BaselineInputs {
+        BaselineInputs::from_process(
+            &Process::p018(),
+            n,
+            Henrys::from_nanos(5.0),
+            Seconds::from_nanos(0.5),
+        )
+    }
+
+    #[test]
+    fn from_process_extracts_device() {
+        let i = inputs(8);
+        assert_eq!(i.n, 8);
+        assert!((i.vth - 0.43).abs() < 1e-12);
+        assert!((i.alpha - 1.24).abs() < 1e-12);
+        assert!((i.s.value() - 3.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn all_baselines_grow_with_n() {
+        for f in [senthinathan_prince, vemuru, song] {
+            let v1 = f(&inputs(1)).value();
+            let v8 = f(&inputs(8)).value();
+            let v16 = f(&inputs(16)).value();
+            assert!(v1 > 0.0);
+            assert!(v8 > v1);
+            assert!(v16 > v8);
+            // Saturation: noise stays below the rail.
+            assert!(v16 < 1.8);
+        }
+    }
+
+    #[test]
+    fn baselines_are_mutually_distinct() {
+        let i = inputs(8);
+        let sp = senthinathan_prince(&i).value();
+        let ve = vemuru(&i).value();
+        let so = song(&i).value();
+        assert!((sp - ve).abs() > 1e-3, "sp = {sp}, ve = {ve}");
+        assert!((ve - so).abs() > 1e-3, "ve = {ve}, so = {so}");
+    }
+
+    #[test]
+    fn vemuru_reduces_to_asdm_form_with_sigma_one() {
+        // With sigma = 1, V0 = vth, K = Kv, the paper's Eqn. 7 equals the
+        // Vemuru expression — a consistency check tying the baseline to
+        // the main model.
+        use crate::lmodel;
+        use crate::scenario::SsnScenario;
+        use ssn_devices::Asdm;
+        use ssn_units::Siemens;
+
+        let i = inputs(8);
+        let kv = i.alpha * i.b * i.vgt_max().powf(i.alpha - 1.0);
+        let asdm = Asdm::new(Siemens::new(kv), 1.0, Volts::new(i.vth));
+        let s = SsnScenario::from_asdm(asdm, i.vdd)
+            .drivers(i.n)
+            .inductance(i.l)
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap();
+        let via_eqn7 = lmodel::vn_max(&s).value();
+        let via_vemuru = vemuru(&i).value();
+        assert!(
+            (via_eqn7 - via_vemuru).abs() < 1e-12,
+            "{via_eqn7} vs {via_vemuru}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        let mut i = inputs(4);
+        i.vth = 2.5; // above vdd: drivers never conduct
+        assert_eq!(senthinathan_prince(&i), Volts::ZERO);
+        assert_eq!(vemuru(&i), Volts::ZERO);
+        assert_eq!(song(&i), Volts::ZERO);
+    }
+
+    #[test]
+    fn song_solution_satisfies_its_own_equation() {
+        let i = inputs(8);
+        let v = song(&i).value();
+        let window = i.vgt_max() / i.s.value();
+        let eff = i.s.value() - v / window;
+        let rhs = i.n as f64 * i.l.value() * i.alpha * i.b * eff
+            * (eff * window).powf(i.alpha - 1.0);
+        assert!((rhs - v).abs() < 1e-9, "residual {}", rhs - v);
+    }
+}

@@ -1,0 +1,295 @@
+//! SSN-aware design utilities (the executable form of paper Section 3's
+//! design implications).
+//!
+//! The paper observes that for a fixed process the *only* lever over the
+//! maximum SSN is the circuit-oriented figure `Z = N * L * s`, and that its
+//! three factors trade off exactly one-for-one. These helpers answer the
+//! questions a pad-ring designer actually asks: *how many drivers may
+//! switch together under a noise budget? how slow must the input slew be?
+//! how should switching be staggered?*
+
+use crate::error::SsnError;
+use crate::lcmodel;
+use crate::scenario::SsnScenario;
+use ssn_numeric::optimize::golden_section;
+use ssn_numeric::roots::{brent, RootOptions};
+use ssn_units::{Seconds, Volts};
+
+/// Hard cap on driver counts considered by the search helpers.
+const MAX_DRIVERS: usize = 65_536;
+
+/// The largest number of simultaneously switching drivers whose maximum SSN
+/// (full LC model) stays within `budget`, holding everything else in
+/// `template` fixed.
+///
+/// Returns 0 when even a single driver violates the budget.
+///
+/// # Errors
+///
+/// Returns [`SsnError::InvalidScenario`] when the budget is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_core::{design, scenario::SsnScenario};
+/// use ssn_devices::Asdm;
+/// use ssn_units::{Siemens, Volts};
+///
+/// # fn main() -> Result<(), ssn_core::SsnError> {
+/// let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+/// let template = SsnScenario::from_asdm(asdm, Volts::new(1.8)).build()?;
+/// let n = design::max_simultaneous_drivers(&template, Volts::new(0.45))?;
+/// assert!(n >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_simultaneous_drivers(
+    template: &SsnScenario,
+    budget: Volts,
+) -> Result<usize, SsnError> {
+    if !(budget.value() > 0.0) {
+        return Err(SsnError::scenario("noise budget must be positive"));
+    }
+    let fits = |n: usize| -> bool {
+        match template.with_drivers(n) {
+            Ok(s) => lcmodel::vn_max(&s).0 <= budget,
+            Err(_) => false,
+        }
+    };
+    if !fits(1) {
+        return Ok(0);
+    }
+    // Exponential probe then binary search (vn_max grows monotonically
+    // with N).
+    let mut lo = 1usize;
+    let mut hi = 2usize;
+    while hi <= MAX_DRIVERS && fits(hi) {
+        lo = hi;
+        hi *= 2;
+    }
+    if hi > MAX_DRIVERS {
+        return Ok(lo);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// The fastest input rise time keeping the maximum SSN (full LC model)
+/// within `budget`, holding everything else fixed.
+///
+/// With a parasitic `C` the *in-window* maximum is not monotone in `t_r`:
+/// an ultrafast edge closes its conduction window before the ground node
+/// has charged, so the windowed bounce looks deceptively small even though
+/// post-window ringing would be violent. This helper therefore works on
+/// the physically meaningful **slow branch**: it locates the worst-case
+/// rise time first and then searches toward slower edges, so the returned
+/// `t_r` guarantees the budget for *every* rise time at or above it.
+///
+/// Returns 1 ps (the search floor) when no rise time in
+/// `[1 ps, 1 us]` ever violates the budget.
+///
+/// # Errors
+///
+/// * [`SsnError::InvalidScenario`] when the budget is not positive or is
+///   unreachable even at a 1 us rise time.
+pub fn required_rise_time(template: &SsnScenario, budget: Volts) -> Result<Seconds, SsnError> {
+    if !(budget.value() > 0.0) {
+        return Err(SsnError::scenario("noise budget must be positive"));
+    }
+    let vn = |tr: f64| -> f64 {
+        template
+            .with_rise_time(Seconds::new(tr))
+            .map(|s| lcmodel::vn_max(&s).0.value())
+            .unwrap_or(f64::INFINITY)
+    };
+    let (t_fast, t_slow) = (1e-12f64, 1e-6f64);
+    if vn(t_slow) > budget.value() {
+        return Err(SsnError::scenario(format!(
+            "budget {budget} unreachable: even tr = 1 us gives {:.3} V",
+            vn(t_slow)
+        )));
+    }
+    // Locate the worst-case rise time on a log axis (vn is unimodal in tr:
+    // rising while the window limits charging, falling once slew relief
+    // dominates).
+    let log_peak = golden_section(
+        |lg| -vn(10f64.powf(lg)),
+        t_fast.log10(),
+        t_slow.log10(),
+        1e-6,
+    )
+    .map_err(SsnError::from)?;
+    let tr_peak = 10f64.powf(log_peak);
+    if vn(tr_peak) <= budget.value() {
+        // No rise time in range ever violates the budget.
+        return Ok(Seconds::new(t_fast));
+    }
+    let root = brent(
+        |tr| vn(tr) - budget.value(),
+        tr_peak,
+        t_slow,
+        RootOptions {
+            x_tol: 1e-16,
+            f_tol: 1e-9,
+            max_iter: 200,
+        },
+    )
+    .map_err(SsnError::from)?;
+    Ok(Seconds::new(root))
+}
+
+/// A switching-skew plan: split the bank into groups fired `group_delay`
+/// apart so each group's SSN stays within budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaggerPlan {
+    /// Number of groups.
+    pub groups: usize,
+    /// Drivers per group (the last group may be smaller).
+    pub group_size: usize,
+    /// Recommended delay between group firings: one rise time plus three
+    /// L-only time constants, so each transient settles before the next
+    /// group switches.
+    pub group_delay: Seconds,
+    /// Predicted per-group maximum SSN.
+    pub vn_max_per_group: Volts,
+}
+
+/// Plans the minimal staggering of `template.n_drivers()` drivers so that
+/// each group's SSN stays within `budget` (the paper's "reducing N in
+/// practice means making the drivers not switch simultaneously").
+///
+/// # Errors
+///
+/// Returns [`SsnError::InvalidScenario`] when the budget is not positive or
+/// even one driver alone violates it (staggering cannot help then — slow
+/// the edge instead, see [`required_rise_time`]).
+pub fn stagger_plan(template: &SsnScenario, budget: Volts) -> Result<StaggerPlan, SsnError> {
+    let per_group_max = max_simultaneous_drivers(template, budget)?;
+    if per_group_max == 0 {
+        return Err(SsnError::scenario(
+            "budget unreachable even for a single driver; reduce slew instead",
+        ));
+    }
+    let total = template.n_drivers();
+    let groups = total.div_ceil(per_group_max);
+    let group_size = total.div_ceil(groups);
+    let sized = template.with_drivers(group_size)?;
+    let tau = crate::lmodel::time_constant(&sized);
+    Ok(StaggerPlan {
+        groups,
+        group_size,
+        group_delay: template.rise_time() + tau * 3.0,
+        vn_max_per_group: lcmodel::vn_max(&sized).0,
+    })
+}
+
+impl std::fmt::Display for StaggerPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} groups of <= {} drivers, {} apart (per-group Vn_max {})",
+            self.groups, self.group_size, self.group_delay, self.vn_max_per_group
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssn_devices::Asdm;
+    use ssn_units::{Farads, Henrys, Siemens};
+
+    fn template(n: usize) -> SsnScenario {
+        let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+        SsnScenario::from_asdm(asdm, Volts::new(1.8))
+            .drivers(n)
+            .inductance(Henrys::from_nanos(5.0))
+            .capacitance(Farads::from_picos(1.0))
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn driver_budget_is_tight() {
+        let t = template(8);
+        let budget = Volts::new(0.5);
+        let n = max_simultaneous_drivers(&t, budget).unwrap();
+        assert!(n >= 1);
+        let at_n = lcmodel::vn_max(&t.with_drivers(n).unwrap()).0;
+        let at_n1 = lcmodel::vn_max(&t.with_drivers(n + 1).unwrap()).0;
+        assert!(at_n <= budget, "{at_n} > {budget} at N = {n}");
+        assert!(at_n1 > budget, "{at_n1} <= {budget} at N = {}", n + 1);
+    }
+
+    #[test]
+    fn driver_budget_zero_when_unreachable() {
+        let t = template(8);
+        assert_eq!(
+            max_simultaneous_drivers(&t, Volts::new(1e-6)).unwrap(),
+            0
+        );
+        assert!(max_simultaneous_drivers(&t, Volts::ZERO).is_err());
+    }
+
+    #[test]
+    fn rise_time_budget_is_tight() {
+        let t = template(8);
+        let budget = Volts::new(0.4);
+        let tr = required_rise_time(&t, budget).unwrap();
+        let at = lcmodel::vn_max(&t.with_rise_time(tr).unwrap()).0;
+        assert!((at.value() - 0.4).abs() < 1e-6, "vn at solved tr = {at}");
+        // Faster violates.
+        let faster = lcmodel::vn_max(&t.with_rise_time(tr * 0.8).unwrap()).0;
+        assert!(faster > budget);
+        assert!(required_rise_time(&t, Volts::ZERO).is_err());
+    }
+
+    #[test]
+    fn rise_time_trivial_when_budget_loose() {
+        // With C = 0 the supremum over all rise times is (Vdd - V0)/sigma
+        // = 0.96 V, so a 1.0 V budget is never violated.
+        let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+        let t = SsnScenario::from_asdm(asdm, Volts::new(1.8))
+            .drivers(1)
+            .inductance(Henrys::from_nanos(5.0))
+            .capacitance(Farads::ZERO)
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap();
+        let tr = required_rise_time(&t, Volts::new(1.0)).unwrap();
+        assert!(tr.value() <= 1e-12 * 1.01);
+    }
+
+    #[test]
+    fn stagger_covers_all_drivers() {
+        let t = template(16);
+        let plan = stagger_plan(&t, Volts::new(0.45)).unwrap();
+        assert!(plan.groups * plan.group_size >= 16);
+        assert!(plan.vn_max_per_group <= Volts::new(0.45));
+        assert!(plan.group_delay > t.rise_time());
+        let text = plan.to_string();
+        assert!(text.contains("groups"));
+    }
+
+    #[test]
+    fn stagger_single_group_when_budget_loose() {
+        let t = template(4);
+        let plan = stagger_plan(&t, Volts::new(1.5)).unwrap();
+        assert_eq!(plan.groups, 1);
+        assert_eq!(plan.group_size, 4);
+    }
+
+    #[test]
+    fn stagger_unreachable_budget_errors() {
+        let t = template(8);
+        assert!(stagger_plan(&t, Volts::new(1e-9)).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the SSN core.
+
+use ssn_numeric::NumericError;
+use ssn_spice::SpiceError;
+use ssn_waveform::WaveformError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by SSN scenario construction or evaluation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SsnError {
+    /// A scenario parameter was out of its physical domain.
+    InvalidScenario {
+        /// Human-readable description.
+        context: String,
+    },
+    /// Device-model fitting failed.
+    Fit(NumericError),
+    /// The validation simulator failed.
+    Simulation(SpiceError),
+    /// A waveform operation failed.
+    Waveform(WaveformError),
+}
+
+impl SsnError {
+    pub(crate) fn scenario(context: impl Into<String>) -> Self {
+        Self::InvalidScenario {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for SsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidScenario { context } => write!(f, "invalid SSN scenario: {context}"),
+            Self::Fit(e) => write!(f, "model fit failed: {e}"),
+            Self::Simulation(e) => write!(f, "validation simulation failed: {e}"),
+            Self::Waveform(e) => write!(f, "waveform operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for SsnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::InvalidScenario { .. } => None,
+            Self::Fit(e) => Some(e),
+            Self::Simulation(e) => Some(e),
+            Self::Waveform(e) => Some(e),
+        }
+    }
+}
+
+impl From<NumericError> for SsnError {
+    fn from(e: NumericError) -> Self {
+        Self::Fit(e)
+    }
+}
+
+impl From<SpiceError> for SsnError {
+    fn from(e: SpiceError) -> Self {
+        Self::Simulation(e)
+    }
+}
+
+impl From<WaveformError> for SsnError {
+    fn from(e: WaveformError) -> Self {
+        Self::Waveform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SsnError::scenario("n must be positive");
+        assert!(e.to_string().contains("n must be positive"));
+        assert!(e.source().is_none());
+        let e: SsnError = NumericError::argument("bad").into();
+        assert!(e.to_string().contains("fit failed"));
+        assert!(e.source().is_some());
+        let e: SsnError = WaveformError::InvalidTimeGrid.into();
+        assert!(e.to_string().contains("waveform"));
+    }
+}

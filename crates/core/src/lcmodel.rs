@@ -1,0 +1,481 @@
+//! The full LC SSN model (paper Section 4 and Table 1).
+//!
+//! Including the parasitic capacitance `C` of the ground bonding wires and
+//! pads turns the noise equation into the second-order ODE (paper Eqn. 13)
+//!
+//! ```text
+//! L C Vn'' + sigma L N K Vn' + Vn = L N K s
+//! ```
+//!
+//! i.e. a damped oscillator with natural frequency `omega0 = 1/sqrt(LC)`
+//! and damping rate `alpha = N K sigma / (2 C)`. The paper's Table 1 gives
+//! the maximum noise in four cases — over-damped, critically damped, and
+//! under-damped with fast or slow input — all reproduced here.
+
+use crate::lmodel;
+use crate::scenario::SsnScenario;
+use ssn_units::{Farads, Seconds, Volts};
+use ssn_waveform::{Waveform, WaveformError};
+
+/// Relative tolerance inside which `alpha` and `omega0` are considered
+/// equal (the critically damped knife edge).
+const CRITICAL_REL_TOL: f64 = 1e-9;
+
+/// The damping regime of the SSN ground path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Damping {
+    /// `alpha > omega0`: two real decay rates (`lambda1 > lambda2`, both
+    /// negative).
+    Overdamped {
+        /// The slow (less negative) eigenvalue.
+        lambda1: f64,
+        /// The fast eigenvalue.
+        lambda2: f64,
+    },
+    /// `alpha == omega0` (within tolerance): degenerate eigenvalue.
+    CriticallyDamped {
+        /// The repeated decay rate (positive number; the eigenvalue is
+        /// `-alpha`).
+        alpha: f64,
+    },
+    /// `alpha < omega0`: complex eigenvalues, the node rings.
+    Underdamped {
+        /// Decay rate.
+        alpha: f64,
+        /// Ringing frequency `omega = sqrt(omega0^2 - alpha^2)` (rad/s).
+        omega: f64,
+    },
+}
+
+impl std::fmt::Display for Damping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overdamped { .. } => write!(f, "over-damped"),
+            Self::CriticallyDamped { .. } => write!(f, "critically damped"),
+            Self::Underdamped { .. } => write!(f, "under-damped"),
+        }
+    }
+}
+
+/// Which Table-1 row produced a maximum-SSN value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxSsnCase {
+    /// Case 1: over-damped, maximum at the end of the ramp.
+    Overdamped,
+    /// Case 2: critically damped, maximum at the end of the ramp.
+    CriticallyDamped,
+    /// Case 3a: under-damped with a fast input — the first ring peak lands
+    /// inside the ramp window.
+    UnderdampedFastInput,
+    /// Case 3b: under-damped with a slow input — the ramp ends before the
+    /// first peak, so the maximum is the boundary value.
+    UnderdampedSlowInput,
+    /// Degenerate `C = 0`: the LC model reduces to the L-only model.
+    LOnly,
+}
+
+impl std::fmt::Display for MaxSsnCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overdamped => write!(f, "case 1 (over-damped)"),
+            Self::CriticallyDamped => write!(f, "case 2 (critically damped)"),
+            Self::UnderdampedFastInput => write!(f, "case 3a (under-damped, fast input)"),
+            Self::UnderdampedSlowInput => write!(f, "case 3b (under-damped, slow input)"),
+            Self::LOnly => write!(f, "L-only limit (C = 0)"),
+        }
+    }
+}
+
+/// The damping rate `alpha = N K sigma / (2 C)` (1/s).
+///
+/// Returns infinity when `C = 0` (the L-only limit).
+pub fn alpha(s: &SsnScenario) -> f64 {
+    let c = s.capacitance().value();
+    if c == 0.0 {
+        return f64::INFINITY;
+    }
+    s.n_drivers() as f64 * s.asdm().k().value() * s.asdm().sigma() / (2.0 * c)
+}
+
+/// The natural frequency `omega0 = 1 / sqrt(LC)` (rad/s); infinity when
+/// `C = 0`.
+pub fn omega0(s: &SsnScenario) -> f64 {
+    let lc = s.inductance().value() * s.capacitance().value();
+    if lc == 0.0 {
+        return f64::INFINITY;
+    }
+    1.0 / lc.sqrt()
+}
+
+/// Classifies the scenario's damping regime.
+///
+/// `C = 0` classifies as over-damped with the L-only pole `-1/tau` as the
+/// slow eigenvalue (the fast eigenvalue escapes to negative infinity).
+pub fn classify(s: &SsnScenario) -> Damping {
+    let c = s.capacitance().value();
+    if c == 0.0 {
+        let tau = lmodel::time_constant(s).value();
+        return Damping::Overdamped {
+            lambda1: -1.0 / tau,
+            lambda2: f64::NEG_INFINITY,
+        };
+    }
+    let a = alpha(s);
+    let w0 = omega0(s);
+    if (a - w0).abs() <= CRITICAL_REL_TOL * w0 {
+        Damping::CriticallyDamped { alpha: a }
+    } else if a > w0 {
+        let beta = (a * a - w0 * w0).sqrt();
+        Damping::Overdamped {
+            lambda1: -a + beta,
+            lambda2: -a - beta,
+        }
+    } else {
+        Damping::Underdamped {
+            alpha: a,
+            omega: (w0 * w0 - a * a).sqrt(),
+        }
+    }
+}
+
+/// The critical capacitance `C_m = (N K sigma)^2 L / 4` (paper Eqn. 27):
+/// the system is under-damped exactly when `C > C_m`.
+pub fn critical_capacitance(s: &SsnScenario) -> Farads {
+    let nks = s.n_drivers() as f64 * s.asdm().k().value() * s.asdm().sigma();
+    Farads::new(nks * nks * s.inductance().value() / 4.0)
+}
+
+/// The SSN voltage at time `t` on the ramp time axis (zero before
+/// conduction, clamped at `tr`).
+///
+/// Reduces to [`lmodel::vn_at`] when `C = 0`.
+pub fn vn_at(s: &SsnScenario, t: Seconds) -> Volts {
+    if s.capacitance().value() == 0.0 {
+        return lmodel::vn_at(s, t);
+    }
+    let t0 = s.conduction_start().value();
+    let t = t.value().min(s.rise_time().value());
+    if t <= t0 {
+        return Volts::ZERO;
+    }
+    let tp = t - t0;
+    let v_inf = s.v_inf().value();
+    let shape = match classify(s) {
+        Damping::Overdamped { lambda1, lambda2 } => {
+            // Vn = V_inf [1 - (l2 e^{l1 t} - l1 e^{l2 t}) / (l2 - l1)]
+            (lambda2 * (lambda1 * tp).exp() - lambda1 * (lambda2 * tp).exp())
+                / (lambda2 - lambda1)
+        }
+        Damping::CriticallyDamped { alpha } => (-alpha * tp).exp() * (1.0 + alpha * tp),
+        Damping::Underdamped { alpha, omega } => {
+            (-alpha * tp).exp() * ((omega * tp).cos() + alpha / omega * (omega * tp).sin())
+        }
+    };
+    Volts::new(v_inf * (1.0 - shape))
+}
+
+/// The SSN waveform over `[0, tr]` with `n` samples.
+///
+/// # Errors
+///
+/// Returns [`WaveformError`] when `n < 2`.
+pub fn vn_waveform(s: &SsnScenario, n: usize) -> Result<Waveform, WaveformError> {
+    Waveform::from_fn(0.0, s.rise_time().value(), n, |t| {
+        vn_at(s, Seconds::new(t)).value()
+    })
+}
+
+/// The time of the first under-damped ring peak after conduction starts:
+/// `t0 + pi / omega` (paper Eqn. 25). `None` outside the under-damped
+/// region.
+pub fn first_peak_time(s: &SsnScenario) -> Option<Seconds> {
+    match classify(s) {
+        Damping::Underdamped { omega, .. } => Some(Seconds::new(
+            s.conduction_start().value() + std::f64::consts::PI / omega,
+        )),
+        _ => None,
+    }
+}
+
+/// The maximum SSN voltage and the Table-1 case that produced it.
+///
+/// * Cases 1 and 2 (over/critically damped): the waveform is monotone
+///   during the ramp, so the maximum is the boundary value at `tr`.
+/// * Case 3a (under-damped, `pi/omega <= tr - t0`): the first ring peak
+///   `V_inf (1 + exp(-pi alpha / omega))` (paper Eqn. 24).
+/// * Case 3b (under-damped, slow input): the boundary value at `tr`.
+///
+/// `C = 0` falls back to the L-only closed form.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_core::{lcmodel, scenario::SsnScenario};
+/// use ssn_devices::Asdm;
+/// use ssn_units::{Farads, Siemens, Volts};
+///
+/// # fn main() -> Result<(), ssn_core::SsnError> {
+/// let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+/// let s = SsnScenario::from_asdm(asdm, Volts::new(1.8))
+///     .drivers(1)
+///     .capacitance(Farads::from_picos(1.0))
+///     .build()?;
+/// let (vmax, case) = lcmodel::vn_max(&s);
+/// // A single driver behind a 1 pF pad rings: case 3a, with overshoot
+/// // above the asymptote.
+/// assert_eq!(case, lcmodel::MaxSsnCase::UnderdampedFastInput);
+/// assert!(vmax.value() > s.v_inf().value());
+/// # Ok(())
+/// # }
+/// ```
+pub fn vn_max(s: &SsnScenario) -> (Volts, MaxSsnCase) {
+    if s.capacitance().value() == 0.0 {
+        return (lmodel::vn_max(s), MaxSsnCase::LOnly);
+    }
+    let window = s.conduction_window().value();
+    match classify(s) {
+        Damping::Overdamped { .. } => (vn_at(s, s.rise_time()), MaxSsnCase::Overdamped),
+        Damping::CriticallyDamped { .. } => {
+            (vn_at(s, s.rise_time()), MaxSsnCase::CriticallyDamped)
+        }
+        Damping::Underdamped { alpha, omega } => {
+            let t_peak = std::f64::consts::PI / omega;
+            if t_peak <= window {
+                let v = s.v_inf().value() * (1.0 + (-alpha * t_peak).exp());
+                (Volts::new(v), MaxSsnCase::UnderdampedFastInput)
+            } else {
+                (vn_at(s, s.rise_time()), MaxSsnCase::UnderdampedSlowInput)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssn_devices::Asdm;
+    use ssn_numeric::ode::{rkf45, Rkf45Options};
+    use ssn_units::{Henrys, Siemens};
+
+    fn base(n: usize, c_pf: f64) -> SsnScenario {
+        let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+        SsnScenario::from_asdm(asdm, Volts::new(1.8))
+            .drivers(n)
+            .inductance(Henrys::from_nanos(5.0))
+            .capacitance(Farads::from_picos(c_pf))
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn damping_classification_sweeps_with_n() {
+        // alpha grows with N, so small N rings and large N is over-damped
+        // (paper Section 4's closing observation).
+        assert!(matches!(classify(&base(1, 1.0)), Damping::Underdamped { .. }));
+        assert!(matches!(classify(&base(2, 1.0)), Damping::Underdamped { .. }));
+        assert!(matches!(classify(&base(8, 1.0)), Damping::Overdamped { .. }));
+        assert!(matches!(classify(&base(16, 1.0)), Damping::Overdamped { .. }));
+    }
+
+    #[test]
+    fn critical_capacitance_separates_regions() {
+        let s = base(4, 1.0);
+        let cm = critical_capacitance(&s);
+        // Slightly below C_m: over-damped. Slightly above: under-damped.
+        let below = s.with_package(s.inductance(), cm * 0.99).unwrap();
+        let above = s.with_package(s.inductance(), cm * 1.01).unwrap();
+        assert!(matches!(classify(&below), Damping::Overdamped { .. }));
+        assert!(matches!(classify(&above), Damping::Underdamped { .. }));
+        // And C_m is quadratic in N: doubling N quadruples it.
+        let cm2 = critical_capacitance(&s.with_drivers(8).unwrap());
+        assert!((cm2.value() / cm.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c_zero_reduces_to_l_only() {
+        let s = base(8, 0.0);
+        assert_eq!(alpha(&s), f64::INFINITY);
+        assert_eq!(omega0(&s), f64::INFINITY);
+        let (v, case) = vn_max(&s);
+        assert_eq!(case, MaxSsnCase::LOnly);
+        assert!((v.value() - lmodel::vn_max(&s).value()).abs() < 1e-15);
+        let t = Seconds::from_nanos(0.3);
+        assert!((vn_at(&s, t).value() - lmodel::vn_at(&s, t).value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn small_c_converges_to_l_only_model() {
+        // As C -> 0 the LC waveform must approach the L-only waveform.
+        let s = base(8, 0.001); // 1 fF
+        let t = Seconds::from_nanos(0.4);
+        let lc = vn_at(&s, t).value();
+        let l = lmodel::vn_at(&s, t).value();
+        assert!((lc - l).abs() / l < 1e-3, "lc = {lc}, l = {l}");
+    }
+
+    /// Integrate the exact second-order ODE numerically and compare with
+    /// the closed form in every damping regime.
+    #[test]
+    fn closed_form_matches_numerical_ode_all_regimes() {
+        for (n, c_pf) in [(1usize, 1.0), (2, 1.0), (8, 1.0), (16, 1.0), (4, 2.0)] {
+            let s = base(n, c_pf);
+            let l = s.inductance().value();
+            let c = s.capacitance().value();
+            let nk = s.n_drivers() as f64 * s.asdm().k().value();
+            let sigma = s.asdm().sigma();
+            let v_inf = s.v_inf().value();
+            let t0 = s.conduction_start().value();
+            let tr = s.rise_time().value();
+            // LC v'' + sigma L N K v' + v = V_inf, v(t0) = v'(t0) = 0.
+            let traj = rkf45(
+                |_, y, dy| {
+                    dy[0] = y[1];
+                    dy[1] = (v_inf - y[0] - sigma * l * nk * y[1]) / (l * c);
+                },
+                t0,
+                tr,
+                &[0.0, 0.0],
+                Rkf45Options {
+                    h_max: (tr - t0) / 2000.0,
+                    ..Rkf45Options::default()
+                },
+            )
+            .unwrap();
+            for &frac in &[0.3, 0.6, 0.9, 1.0] {
+                let t = t0 + (tr - t0) * frac;
+                let closed = vn_at(&s, Seconds::new(t)).value();
+                let numeric = traj.sample(0, t).unwrap();
+                // Tolerance set by the linear resampling of the dense
+                // trajectory (h_max^2 * |Vn''| / 8), not the integrator.
+                assert!(
+                    (closed - numeric).abs() < 2e-6 * v_inf.max(1.0),
+                    "N = {n}, C = {c_pf} pF, t = {t}: closed {closed} vs ode {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overdamped_waveform_is_monotone() {
+        let s = base(16, 1.0);
+        let w = vn_waveform(&s, 500).unwrap();
+        let mut prev = -1.0;
+        for &v in w.values() {
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        let (vmax, case) = vn_max(&s);
+        assert_eq!(case, MaxSsnCase::Overdamped);
+        assert!((vmax.value() - w.peak().value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdamped_fast_input_peak_formula_matches_waveform() {
+        let s = base(1, 1.0);
+        let (vmax, case) = vn_max(&s);
+        assert_eq!(case, MaxSsnCase::UnderdampedFastInput);
+        let w = vn_waveform(&s, 4000).unwrap();
+        assert!(
+            (vmax.value() - w.peak().value).abs() / vmax.value() < 1e-4,
+            "formula {} vs waveform {}",
+            vmax.value(),
+            w.peak().value
+        );
+        // The peak exceeds V_inf (overshoot) but is below 2 V_inf.
+        assert!(vmax.value() > s.v_inf().value());
+        assert!(vmax.value() < 2.0 * s.v_inf().value());
+        // Peak time matches Eqn. 25.
+        let tp = first_peak_time(&s).unwrap().value();
+        assert!((w.peak().time - tp).abs() / tp < 1e-3);
+    }
+
+    #[test]
+    fn underdamped_slow_input_takes_boundary_value() {
+        // Pick parameters putting the first peak past the ramp end:
+        // moderate alpha, small omega (alpha just below omega0).
+        let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+        let s = SsnScenario::from_asdm(asdm, Volts::new(1.8))
+            .drivers(3)
+            .inductance(Henrys::from_nanos(5.0))
+            .capacitance(Farads::from_picos(1.0))
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap();
+        let (vmax, case) = vn_max(&s);
+        assert_eq!(case, MaxSsnCase::UnderdampedSlowInput, "{:?}", classify(&s));
+        let w = vn_waveform(&s, 4000).unwrap();
+        assert!((vmax.value() - w.peak().value).abs() / vmax.value() < 1e-6);
+        // Boundary maximum = value at tr.
+        assert!((vmax.value() - vn_at(&s, s.rise_time()).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vn_max_is_continuous_across_the_critical_boundary() {
+        // Walk C across C_m; the maximum must not jump.
+        let s = base(4, 1.0);
+        let cm = critical_capacitance(&s).value();
+        let mut last = None;
+        for k in -5..=5 {
+            let c = cm * (1.0 + f64::from(k) * 1e-4);
+            let sc = s
+                .with_package(s.inductance(), Farads::new(c))
+                .unwrap();
+            let (v, _) = vn_max(&sc);
+            if let Some(prev) = last {
+                let step: f64 = v.value() - prev;
+                assert!(
+                    step.abs() < 1e-4,
+                    "jump of {step} across the damping boundary at C = {c}"
+                );
+            }
+            last = Some(v.value());
+        }
+    }
+
+    #[test]
+    fn critically_damped_formula_is_the_limit_of_both_sides() {
+        let s = base(4, 1.0);
+        let cm = critical_capacitance(&s).value();
+        let exact = s
+            .with_package(s.inductance(), Farads::new(cm))
+            .unwrap();
+        assert!(matches!(classify(&exact), Damping::CriticallyDamped { .. }));
+        let t = Seconds::from_nanos(0.45);
+        let v_mid = vn_at(&exact, t).value();
+        let v_lo = vn_at(
+            &s.with_package(s.inductance(), Farads::new(cm * (1.0 - 1e-6)))
+                .unwrap(),
+            t,
+        )
+        .value();
+        let v_hi = vn_at(
+            &s.with_package(s.inductance(), Farads::new(cm * (1.0 + 1e-6)))
+                .unwrap(),
+            t,
+        )
+        .value();
+        assert!((v_mid - v_lo).abs() < 1e-6);
+        assert!((v_mid - v_hi).abs() < 1e-6);
+        let (_, case) = vn_max(&exact);
+        assert_eq!(case, MaxSsnCase::CriticallyDamped);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(
+            classify(&base(16, 1.0)).to_string(),
+            "over-damped"
+        );
+        assert_eq!(classify(&base(1, 1.0)).to_string(), "under-damped");
+        assert!(MaxSsnCase::UnderdampedFastInput.to_string().contains("3a"));
+        assert!(MaxSsnCase::LOnly.to_string().contains("C = 0"));
+        assert!(MaxSsnCase::CriticallyDamped.to_string().contains("case 2"));
+    }
+
+    #[test]
+    fn first_peak_time_only_when_underdamped() {
+        assert!(first_peak_time(&base(1, 1.0)).is_some());
+        assert!(first_peak_time(&base(16, 1.0)).is_none());
+    }
+}

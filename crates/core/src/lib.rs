@@ -1,0 +1,64 @@
+// The `!(a > b)` validation idiom below deliberately treats NaN as a
+// failure; the negated form is kept on purpose.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+//! Closed-form simultaneous switching noise (SSN) estimation with
+//! application-specific device modeling.
+//!
+//! This crate implements the contribution of *Ding & Mazumder, "Accurate
+//! Estimating Simultaneous Switching Noises by Using Application Specific
+//! Device Modeling", DATE 2002*:
+//!
+//! * [`scenario`] — the [`SsnScenario`] bundle: an
+//!   ASDM-modelled driver bank behind a package ground path,
+//! * [`lmodel`] — the inductance-only SSN model (paper Section 3,
+//!   Eqns. 6–10) including the `Z = N L s` circuit-oriented figure,
+//! * [`lcmodel`] — the full LC model (Section 4, Table 1): damping
+//!   classification, waveforms per region, the four-case maximum-SSN
+//!   formulas and the critical capacitance,
+//! * [`baselines`] — reimplementations of the prior models the paper
+//!   compares against (Vemuru '96, Song '99, Senthinathan–Prince '91),
+//! * [`bridge`] — generation and measurement of the equivalent
+//!   driver-bank netlist in [`ssn_spice`] (the HSPICE substitute),
+//! * [`design`] — the design-space utilities implied by Section 3
+//!   (noise-budget sizing, slew targets, switching-skew scheduling).
+//!
+//! # Examples
+//!
+//! Estimate the ground bounce of eight drivers behind a PGA package:
+//!
+//! ```
+//! use ssn_core::scenario::SsnScenario;
+//! use ssn_core::{lmodel, lcmodel};
+//! use ssn_devices::process::Process;
+//! use ssn_units::Seconds;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let process = Process::p018();
+//! let scenario = SsnScenario::builder(&process)
+//!     .drivers(8)
+//!     .rise_time(Seconds::from_nanos(0.5))
+//!     .build()?;
+//! let quick = lmodel::vn_max(&scenario);          // L-only estimate
+//! let (full, case) = lcmodel::vn_max(&scenario);  // LC Table-1 estimate
+//! assert!(quick.value() > 0.3 && quick.value() < 1.2);
+//! assert!((quick.value() - full.value()).abs() / quick.value() < 0.2);
+//! println!("Vmax = {full} ({case})");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baselines;
+pub mod bridge;
+pub mod design;
+pub mod error;
+pub mod lcmodel;
+pub mod lmodel;
+pub mod montecarlo;
+pub mod report;
+pub mod scenario;
+
+pub use error::SsnError;
+pub use lcmodel::{Damping, MaxSsnCase};
+pub use scenario::SsnScenario;

@@ -1,0 +1,269 @@
+//! The inductance-only SSN model (paper Section 3).
+//!
+//! With the parasitic inductance as the only device between the driver
+//! sources and the true ground, the noise obeys the first-order ODE
+//! (paper Eqn. 5)
+//!
+//! ```text
+//! sigma L N K  dVn/dt + Vn = L N K s
+//! ```
+//!
+//! whose solution with `Vn(t0) = 0` (conduction starts when the input ramp
+//! crosses `V_0` at `t0 = V_0 / s`) is paper Eqn. 6:
+//!
+//! ```text
+//! Vn(t) = L N K s [1 - exp(-(t - t0) / (sigma L N K))]
+//! ```
+//!
+//! All functions in this module take the scenario time axis of the input
+//! ramp: `t = 0` at ramp start, and the formulas are valid for
+//! `t in [t0, tr]` (the paper's validity window).
+
+use crate::scenario::SsnScenario;
+use ssn_units::{Amps, Seconds, Volts};
+use ssn_waveform::{Waveform, WaveformError};
+
+/// The model's exponential time constant `tau = sigma L N K`.
+pub fn time_constant(s: &SsnScenario) -> Seconds {
+    Seconds::new(
+        s.asdm().sigma()
+            * s.inductance().value()
+            * s.n_drivers() as f64
+            * s.asdm().k().value(),
+    )
+}
+
+/// The ground-bounce voltage at time `t` (paper Eqn. 6), zero before
+/// conduction starts and clamped at the ramp end `tr` (the formula's
+/// validity boundary).
+pub fn vn_at(s: &SsnScenario, t: Seconds) -> Volts {
+    let t0 = s.conduction_start().value();
+    let t = t.value().min(s.rise_time().value());
+    if t <= t0 {
+        return Volts::ZERO;
+    }
+    let tau = time_constant(s).value();
+    let v_inf = s.v_inf().value();
+    Volts::new(v_inf * (1.0 - (-(t - t0) / tau).exp()))
+}
+
+/// The maximum SSN voltage (paper Eqn. 7), reached when the input finishes
+/// rising:
+///
+/// ```text
+/// Vn_max = L N K s [1 - exp(-(Vdd - V0) / (s sigma L N K))]
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use ssn_core::{lmodel, scenario::SsnScenario};
+/// use ssn_devices::Asdm;
+/// use ssn_units::{Siemens, Volts};
+///
+/// # fn main() -> Result<(), ssn_core::SsnError> {
+/// let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+/// let s = SsnScenario::from_asdm(asdm, Volts::new(1.8)).drivers(8).build()?;
+/// let vmax = lmodel::vn_max(&s);
+/// assert!(vmax.value() > 0.0 && vmax.value() < 1.8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn vn_max(s: &SsnScenario) -> Volts {
+    let exponent =
+        -(s.vdd().value() - s.asdm().v0().value()) / (s.slew().value() * time_constant(s).value());
+    Volts::new(s.v_inf().value() * (1.0 - exponent.exp()))
+}
+
+/// The total current through the ground inductor at time `t`
+/// (paper Eqn. 8): `N K (s t - sigma Vn(t) - V0)` during conduction.
+pub fn inductor_current_at(s: &SsnScenario, t: Seconds) -> Amps {
+    let t0 = s.conduction_start().value();
+    let t = t.value().min(s.rise_time().value());
+    if t <= t0 {
+        return Amps::ZERO;
+    }
+    let vn = vn_at(s, Seconds::new(t)).value();
+    let drive = s.slew().value() * t - s.asdm().sigma() * vn - s.asdm().v0().value();
+    Amps::new(s.n_drivers() as f64 * s.asdm().k().value() * drive.max(0.0))
+}
+
+/// The SSN waveform over `[0, tr]` with `n` samples.
+///
+/// # Errors
+///
+/// Returns [`WaveformError`] when `n < 2`.
+pub fn vn_waveform(s: &SsnScenario, n: usize) -> Result<Waveform, WaveformError> {
+    Waveform::from_fn(0.0, s.rise_time().value(), n, |t| {
+        vn_at(s, Seconds::new(t)).value()
+    })
+}
+
+/// The inductor-current waveform over `[0, tr]` with `n` samples.
+///
+/// # Errors
+///
+/// Returns [`WaveformError`] when `n < 2`.
+pub fn current_waveform(s: &SsnScenario, n: usize) -> Result<Waveform, WaveformError> {
+    Waveform::from_fn(0.0, s.rise_time().value(), n, |t| {
+        inductor_current_at(s, Seconds::new(t)).value()
+    })
+}
+
+/// Rewrites the maximum-SSN formula in terms of the circuit-oriented figure
+/// `Z = N L s` (paper Eqn. 10): `Vn_max = K Z [1 - exp(-(Vdd - V0) / (sigma K Z))]`.
+///
+/// Numerically identical to [`vn_max`]; exposed to make the design-space
+/// argument of Section 3 executable (see [`crate::design`]).
+pub fn vn_max_from_z(s: &SsnScenario, z: f64) -> Volts {
+    let k = s.asdm().k().value();
+    let kz = k * z;
+    if kz <= 0.0 {
+        return Volts::ZERO;
+    }
+    let exponent = -(s.vdd().value() - s.asdm().v0().value()) / (s.asdm().sigma() * kz);
+    Volts::new(kz * (1.0 - exponent.exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssn_devices::Asdm;
+    use ssn_numeric::ode::{rkf45, Rkf45Options};
+    use ssn_units::Siemens;
+
+    fn scenario() -> SsnScenario {
+        let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+        SsnScenario::from_asdm(asdm, Volts::new(1.8))
+            .drivers(8)
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_before_conduction() {
+        let s = scenario();
+        assert_eq!(vn_at(&s, Seconds::ZERO), Volts::ZERO);
+        let just_before = s.conduction_start() * 0.99;
+        assert_eq!(vn_at(&s, just_before), Volts::ZERO);
+        assert_eq!(inductor_current_at(&s, just_before), Amps::ZERO);
+    }
+
+    #[test]
+    fn vmax_matches_closed_form_by_hand() {
+        let s = scenario();
+        // tau = 1.25 * 5e-9 * 8 * 7.5e-3 = 3.75e-10.
+        assert!((time_constant(&s).value() - 3.75e-10).abs() < 1e-22);
+        // V_inf = 1.08 V; exponent = (1.2) / (3.6e9 * 3.75e-10) = 0.888...
+        let expect = 1.08 * (1.0 - (-1.2f64 / (3.6e9 * 3.75e-10)).exp());
+        assert!((vn_max(&s).value() - expect).abs() < 1e-12);
+        // And the waveform's endpoint equals vn_max.
+        let end = vn_at(&s, s.rise_time());
+        assert!((end.value() - vn_max(&s).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waveform_is_monotone_nondecreasing() {
+        let s = scenario();
+        let w = vn_waveform(&s, 400).unwrap();
+        let mut prev = -1.0;
+        for &v in w.values() {
+            assert!(v >= prev - 1e-15);
+            prev = v;
+        }
+        assert!((w.peak().value - vn_max(&s).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_matches_numerical_ode() {
+        // Integrate sigma*L*N*K*Vn' + Vn = L*N*K*s from t0 with Vn(t0) = 0
+        // and compare pointwise — this validates the algebra of Eqn. 6.
+        let s = scenario();
+        let tau = time_constant(&s).value();
+        let v_inf = s.v_inf().value();
+        let t0 = s.conduction_start().value();
+        let tr = s.rise_time().value();
+        let traj = rkf45(
+            |_, y, dy| dy[0] = (v_inf - y[0]) / tau,
+            t0,
+            tr,
+            &[0.0],
+            Rkf45Options {
+                h_max: (tr - t0) / 500.0,
+                ..Rkf45Options::default()
+            },
+        )
+        .unwrap();
+        for &frac in &[0.25, 0.5, 0.75, 1.0] {
+            let t = t0 + (tr - t0) * frac;
+            let closed = vn_at(&s, Seconds::new(t)).value();
+            let numeric = traj.sample(0, t).unwrap();
+            // The residual is dominated by the linear resampling of the
+            // stored trajectory, not the integrator itself.
+            assert!(
+                (closed - numeric).abs() < 1e-6,
+                "mismatch at t = {t}: {closed} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn current_is_consistent_with_vn_derivative() {
+        // Vn = L d(I_total)/dt: check with a finite difference of Eqn. 8.
+        let s = scenario();
+        let l = s.inductance().value();
+        let tr = s.rise_time().value();
+        let h = 1e-14;
+        for &frac in &[0.5, 0.7, 0.9] {
+            let t = s.conduction_start().value() + s.conduction_window().value() * frac;
+            let _ = tr;
+            let di = inductor_current_at(&s, Seconds::new(t + h)).value()
+                - inductor_current_at(&s, Seconds::new(t - h)).value();
+            let didt = di / (2.0 * h);
+            let vn = vn_at(&s, Seconds::new(t)).value();
+            assert!(
+                (l * didt - vn).abs() / vn < 1e-4,
+                "L dI/dt = {} vs Vn = {vn}",
+                l * didt
+            );
+        }
+    }
+
+    #[test]
+    fn z_figure_equivalence() {
+        // Scaling N, L, or s by the same factor changes Vn_max identically
+        // (paper Section 3's design implication).
+        let s = scenario();
+        let base = vn_max(&s).value();
+        let double_n = vn_max(&s.with_drivers(16).unwrap()).value();
+        let double_l = vn_max(
+            &s.with_package(s.inductance() * 2.0, s.capacitance())
+                .unwrap(),
+        )
+        .value();
+        // Doubling slew = halving rise time.
+        let double_s = vn_max(&s.with_rise_time(s.rise_time() / 2.0).unwrap()).value();
+        assert!((double_n - double_l).abs() < 1e-12);
+        assert!((double_n - double_s).abs() < 1e-12);
+        assert!(double_n > base);
+        // And vn_max_from_z reproduces vn_max at the scenario's own Z.
+        assert!((vn_max_from_z(&s, s.z_figure()).value() - base).abs() < 1e-12);
+        assert_eq!(vn_max_from_z(&s, 0.0), Volts::ZERO);
+    }
+
+    #[test]
+    fn current_waveform_starts_and_grows() {
+        let s = scenario();
+        let w = current_waveform(&s, 300).unwrap();
+        assert_eq!(w.sample(0.0), 0.0);
+        assert!(w.peak().value > 10e-3); // tens of mA for 8 drivers
+        // Current must be non-decreasing during the ramp (gate keeps
+        // rising faster than the source bounces in this configuration).
+        let mut prev = -1.0;
+        for &v in w.values() {
+            assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+}

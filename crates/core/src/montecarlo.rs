@@ -1,0 +1,276 @@
+//! Monte Carlo SSN analysis under process and package variation.
+//!
+//! The paper's formulas are deterministic; a pad-ring designer additionally
+//! needs to know how much margin to hold against die-to-die variation of
+//! the fitted device (`K`, `sigma`, `V_0`) and of the package parasitics
+//! (`L`, `C`). This module samples those parameters from independent
+//! Gaussians and pushes each sample through the full Table-1 model.
+
+use crate::error::SsnError;
+use crate::lcmodel;
+use crate::scenario::SsnScenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssn_devices::Asdm;
+use ssn_units::{Farads, Henrys, Siemens, Volts};
+
+/// Standard deviations of the varied parameters. Fractional sigmas apply
+/// multiplicatively (`x * (1 + sigma * z)`), absolute sigmas additively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSpec {
+    /// Fractional sigma of the ASDM transconductance `K`.
+    pub k_frac: f64,
+    /// Absolute sigma of the ASDM source-sensitivity `sigma`.
+    pub sigma_abs: f64,
+    /// Absolute sigma of the displacement voltage `V_0` (volts).
+    pub v0_abs: f64,
+    /// Fractional sigma of the package inductance.
+    pub l_frac: f64,
+    /// Fractional sigma of the package capacitance.
+    pub c_frac: f64,
+}
+
+impl VariationSpec {
+    /// A representative corner: 8% on `K`, 0.03 on `sigma`, 20 mV on
+    /// `V_0`, 10% on `L`, 15% on `C`.
+    pub fn typical() -> Self {
+        Self {
+            k_frac: 0.08,
+            sigma_abs: 0.03,
+            v0_abs: 0.02,
+            l_frac: 0.10,
+            c_frac: 0.15,
+        }
+    }
+
+    /// No variation at all (degenerate, for testing).
+    pub fn frozen() -> Self {
+        Self {
+            k_frac: 0.0,
+            sigma_abs: 0.0,
+            v0_abs: 0.0,
+            l_frac: 0.0,
+            c_frac: 0.0,
+        }
+    }
+}
+
+/// The sampled distribution of the maximum SSN voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McResult {
+    samples: Vec<f64>,
+}
+
+impl McResult {
+    /// Number of Monte Carlo samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were drawn (cannot happen via
+    /// [`run_monte_carlo`]).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw sorted samples (volts).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sample mean (volts).
+    pub fn mean(&self) -> Volts {
+        Volts::new(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Sample standard deviation (volts).
+    pub fn std_dev(&self) -> Volts {
+        let m = self.mean().value();
+        let var = self
+            .samples
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
+            / (self.samples.len() as f64 - 1.0).max(1.0);
+        Volts::new(var.sqrt())
+    }
+
+    /// The `q`-quantile (0..=1) by linear interpolation of the sorted
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Volts {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let w = pos - lo as f64;
+        Volts::new(self.samples[lo] * (1.0 - w) + self.samples[hi] * w)
+    }
+
+    /// Fraction of samples whose maximum SSN stays within `budget`.
+    pub fn yield_within(&self, budget: Volts) -> f64 {
+        let ok = self
+            .samples
+            .iter()
+            .filter(|&&v| v <= budget.value())
+            .count();
+        ok as f64 / self.samples.len() as f64
+    }
+}
+
+/// Standard normal via Box–Muller (avoids an extra distribution crate).
+fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Runs `n_samples` Monte Carlo evaluations of the Table-1 maximum-SSN
+/// model around `nominal`, with reproducible seeding.
+///
+/// Out-of-domain draws (non-positive `K`/`L`, `sigma < 1`, `V_0` outside
+/// `(0, V_dd)`) are clamped to the domain edge rather than redrawn, so the
+/// sample count is exact and tails remain honest.
+///
+/// # Errors
+///
+/// Returns [`SsnError::InvalidScenario`] when `n_samples == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_core::montecarlo::{run_monte_carlo, VariationSpec};
+/// use ssn_core::scenario::SsnScenario;
+/// use ssn_devices::Asdm;
+/// use ssn_units::{Siemens, Volts};
+///
+/// # fn main() -> Result<(), ssn_core::SsnError> {
+/// let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+/// let nominal = SsnScenario::from_asdm(asdm, Volts::new(1.8)).build()?;
+/// let mc = run_monte_carlo(&nominal, &VariationSpec::typical(), 500, 42)?;
+/// assert!(mc.quantile(0.95) > mc.quantile(0.05));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_monte_carlo(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    n_samples: usize,
+    seed: u64,
+) -> Result<McResult, SsnError> {
+    if n_samples == 0 {
+        return Err(SsnError::scenario("need at least one Monte Carlo sample"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a0 = nominal.asdm();
+    let vdd = nominal.vdd().value();
+    let mut samples = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let k = (a0.k().value() * (1.0 + spec.k_frac * normal(&mut rng))).max(1e-6);
+        let sigma = (a0.sigma() + spec.sigma_abs * normal(&mut rng)).max(1.0);
+        let v0 = (a0.v0().value() + spec.v0_abs * normal(&mut rng)).clamp(1e-3, vdd * 0.95);
+        let l = (nominal.inductance().value() * (1.0 + spec.l_frac * normal(&mut rng)))
+            .max(1e-12);
+        let c = (nominal.capacitance().value() * (1.0 + spec.c_frac * normal(&mut rng)))
+            .max(0.0);
+        let asdm = Asdm::new(Siemens::new(k), sigma, Volts::new(v0));
+        let s = SsnScenario::from_asdm(asdm, nominal.vdd())
+            .drivers(nominal.n_drivers())
+            .inductance(Henrys::new(l))
+            .capacitance(Farads::new(c))
+            .rise_time(nominal.rise_time())
+            .rail(nominal.rail())
+            .build()?;
+        samples.push(lcmodel::vn_max(&s).0.value());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite noise values"));
+    Ok(McResult { samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssn_units::Seconds;
+
+    fn nominal() -> SsnScenario {
+        let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+        SsnScenario::from_asdm(asdm, Volts::new(1.8))
+            .drivers(8)
+            .inductance(Henrys::from_nanos(5.0))
+            .capacitance(Farads::from_picos(1.0))
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reproducible_with_seed() {
+        let s = nominal();
+        let a = run_monte_carlo(&s, &VariationSpec::typical(), 200, 42).unwrap();
+        let b = run_monte_carlo(&s, &VariationSpec::typical(), 200, 42).unwrap();
+        assert_eq!(a, b);
+        let c = run_monte_carlo(&s, &VariationSpec::typical(), 200, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn frozen_variation_is_a_delta() {
+        let s = nominal();
+        let r = run_monte_carlo(&s, &VariationSpec::frozen(), 50, 1).unwrap();
+        let nominal_v = lcmodel::vn_max(&s).0.value();
+        assert!(r.std_dev().value() < 1e-15);
+        assert!((r.mean().value() - nominal_v).abs() < 1e-12);
+        assert_eq!(r.len(), 50);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn mean_near_nominal_and_quantiles_ordered() {
+        let s = nominal();
+        let r = run_monte_carlo(&s, &VariationSpec::typical(), 2000, 7).unwrap();
+        let nominal_v = lcmodel::vn_max(&s).0.value();
+        assert!(
+            (r.mean().value() - nominal_v).abs() / nominal_v < 0.05,
+            "mean {} vs nominal {nominal_v}",
+            r.mean()
+        );
+        let (q05, q50, q95) = (r.quantile(0.05), r.quantile(0.5), r.quantile(0.95));
+        assert!(q05 < q50 && q50 < q95);
+        // ~N(0,1) quantile sanity: the 95th is about 1.6 sigma out.
+        let z = (q95.value() - r.mean().value()) / r.std_dev().value();
+        assert!(z > 1.2 && z < 2.2, "z(q95) = {z}");
+    }
+
+    #[test]
+    fn yield_is_monotone_in_budget() {
+        let s = nominal();
+        let r = run_monte_carlo(&s, &VariationSpec::typical(), 500, 3).unwrap();
+        let y_tight = r.yield_within(r.quantile(0.25));
+        let y_loose = r.yield_within(r.quantile(0.9));
+        assert!(y_tight < y_loose);
+        assert!(r.yield_within(Volts::new(10.0)) == 1.0);
+        assert!(r.yield_within(Volts::ZERO) == 0.0);
+        // Quantile/yield duality.
+        assert!((r.yield_within(r.quantile(0.5)) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        assert!(run_monte_carlo(&nominal(), &VariationSpec::typical(), 0, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_domain_checked() {
+        let r = run_monte_carlo(&nominal(), &VariationSpec::frozen(), 10, 1).unwrap();
+        let _ = r.quantile(1.5);
+    }
+}

@@ -1,0 +1,453 @@
+//! The SSN scenario: a bank of identical output drivers behind one package
+//! ground path.
+
+use crate::error::SsnError;
+use ssn_devices::fit::{fit_asdm, sample_ssn_region, SsnRegionSpec};
+use ssn_devices::process::Process;
+use ssn_devices::Asdm;
+use ssn_units::{Farads, Henrys, Seconds, SlewRate, Volts};
+
+/// Which supply rail the noise is computed on.
+///
+/// The paper analyzes the ground rail and notes the power rail "can be
+/// analyzed similarly" — the equations are identical by symmetry (swap the
+/// pull-down NFET bank for the pull-up PFET bank and measure the droop
+/// below `V_dd` instead of the bounce above ground).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rail {
+    /// Ground bounce from the simultaneously switching pull-down bank.
+    #[default]
+    Ground,
+    /// Supply droop from the simultaneously switching pull-up bank.
+    Power,
+}
+
+impl std::fmt::Display for Rail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Ground => write!(f, "ground"),
+            Self::Power => write!(f, "power"),
+        }
+    }
+}
+
+/// A fully specified SSN estimation problem.
+///
+/// Build one with [`SsnScenario::builder`] (fits the ASDM from the process's
+/// golden device) or [`SsnScenario::from_asdm`] (uses explicit model
+/// parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsnScenario {
+    asdm: Asdm,
+    n_drivers: usize,
+    inductance: Henrys,
+    capacitance: Farads,
+    vdd: Volts,
+    rise_time: Seconds,
+    rail: Rail,
+}
+
+/// Builder for [`SsnScenario`]; see [`SsnScenario::builder`].
+#[derive(Debug, Clone)]
+pub struct SsnScenarioBuilder {
+    asdm: Asdm,
+    n_drivers: usize,
+    inductance: Henrys,
+    capacitance: Farads,
+    vdd: Volts,
+    rise_time: Seconds,
+    rail: Rail,
+}
+
+impl SsnScenarioBuilder {
+    /// Number of simultaneously switching drivers `N`.
+    pub fn drivers(mut self, n: usize) -> Self {
+        self.n_drivers = n;
+        self
+    }
+
+    /// Ground-path inductance `L`.
+    pub fn inductance(mut self, l: Henrys) -> Self {
+        self.inductance = l;
+        self
+    }
+
+    /// Ground-path parasitic capacitance `C` (0 = the L-only idealization).
+    pub fn capacitance(mut self, c: Farads) -> Self {
+        self.capacitance = c;
+        self
+    }
+
+    /// Input rise time `t_r` (the ramp spans `0 -> V_dd`).
+    pub fn rise_time(mut self, tr: Seconds) -> Self {
+        self.rise_time = tr;
+        self
+    }
+
+    /// Overrides the fitted ASDM.
+    pub fn asdm(mut self, asdm: Asdm) -> Self {
+        self.asdm = asdm;
+        self
+    }
+
+    /// Selects the rail under analysis.
+    pub fn rail(mut self, rail: Rail) -> Self {
+        self.rail = rail;
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsnError::InvalidScenario`] when `N == 0`, any quantity is
+    /// non-positive where positivity is required, or `V_0 >= V_dd` (the
+    /// drivers would never conduct during the ramp).
+    pub fn build(self) -> Result<SsnScenario, SsnError> {
+        if self.n_drivers == 0 {
+            return Err(SsnError::scenario("need at least one driver"));
+        }
+        if !(self.inductance.value() > 0.0) {
+            return Err(SsnError::scenario("inductance must be positive"));
+        }
+        if self.capacitance.value() < 0.0 {
+            return Err(SsnError::scenario("capacitance must be non-negative"));
+        }
+        if !(self.rise_time.value() > 0.0) {
+            return Err(SsnError::scenario("rise time must be positive"));
+        }
+        if !(self.vdd.value() > 0.0) {
+            return Err(SsnError::scenario("vdd must be positive"));
+        }
+        if self.asdm.v0() >= self.vdd {
+            return Err(SsnError::scenario(format!(
+                "V0 ({}) must be below Vdd ({})",
+                self.asdm.v0(),
+                self.vdd
+            )));
+        }
+        Ok(SsnScenario {
+            asdm: self.asdm,
+            n_drivers: self.n_drivers,
+            inductance: self.inductance,
+            capacitance: self.capacitance,
+            vdd: self.vdd,
+            rise_time: self.rise_time,
+            rail: self.rail,
+        })
+    }
+}
+
+/// Aggregates a heterogeneous bank of `(asdm, count)` members into one
+/// effective single-driver ASDM.
+///
+/// The total current of a mixed bank is linear in `(V_g, V_s)` while every
+/// member conducts, so the aggregation is *exact* in that region:
+///
+/// ```text
+/// K_eff     = sum(n_i K_i)
+/// sigma_eff = sum(n_i K_i sigma_i) / K_eff     (current-weighted)
+/// V0_eff    = sum(n_i K_i V0_i)    / K_eff
+/// ```
+///
+/// The only approximation is a single effective turn-on time when the
+/// members' `V0` differ. Use the result with
+/// [`SsnScenario::from_asdm`]`.drivers(1)`.
+///
+/// # Errors
+///
+/// Returns [`SsnError::InvalidScenario`] when the bank is empty or has no
+/// devices.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_core::scenario::aggregate_asdm;
+/// use ssn_devices::Asdm;
+/// use ssn_units::{Siemens, Volts};
+///
+/// # fn main() -> Result<(), ssn_core::SsnError> {
+/// let narrow = Asdm::new(Siemens::from_millis(5.0), 1.2, Volts::new(0.6));
+/// let wide = Asdm::new(Siemens::from_millis(10.0), 1.2, Volts::new(0.6));
+/// let bank = aggregate_asdm(&[(narrow, 4), (wide, 2)])?;
+/// assert!((bank.k().value() - 40e-3).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn aggregate_asdm(members: &[(Asdm, usize)]) -> Result<Asdm, SsnError> {
+    let total_k: f64 = members
+        .iter()
+        .map(|(a, n)| a.k().value() * *n as f64)
+        .sum();
+    if members.is_empty() || total_k <= 0.0 {
+        return Err(SsnError::scenario("mixed bank must contain devices"));
+    }
+    let sigma = members
+        .iter()
+        .map(|(a, n)| a.k().value() * *n as f64 * a.sigma())
+        .sum::<f64>()
+        / total_k;
+    let v0 = members
+        .iter()
+        .map(|(a, n)| a.k().value() * *n as f64 * a.v0().value())
+        .sum::<f64>()
+        / total_k;
+    Ok(Asdm::new(
+        ssn_units::Siemens::new(total_k),
+        sigma.max(1.0),
+        Volts::new(v0),
+    ))
+}
+
+impl SsnScenario {
+    /// Starts a builder seeded from `process`: the ASDM is fitted to the
+    /// process's golden output driver over the paper's SSN region, and the
+    /// package parasitics default to the process package (PGA: 5 nH, 1 pF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden device of a library process cannot be fitted —
+    /// that would be a defect in the library itself, not a user error.
+    pub fn builder(process: &Process) -> SsnScenarioBuilder {
+        let samples = sample_ssn_region(
+            &process.output_driver(),
+            &SsnRegionSpec::for_process(process),
+        );
+        let asdm = fit_asdm(&samples).expect("library process must be fittable");
+        let pkg = process.package();
+        SsnScenarioBuilder {
+            asdm,
+            n_drivers: 8,
+            inductance: pkg.inductance,
+            capacitance: pkg.capacitance,
+            vdd: process.vdd(),
+            rise_time: Seconds::from_nanos(0.5),
+            rail: Rail::Ground,
+        }
+    }
+
+    /// Starts a builder from explicit ASDM parameters (no fitting).
+    pub fn from_asdm(asdm: Asdm, vdd: Volts) -> SsnScenarioBuilder {
+        SsnScenarioBuilder {
+            asdm,
+            n_drivers: 8,
+            inductance: Henrys::from_nanos(5.0),
+            capacitance: Farads::ZERO,
+            vdd,
+            rise_time: Seconds::from_nanos(0.5),
+            rail: Rail::Ground,
+        }
+    }
+
+    /// The fitted device model.
+    pub fn asdm(&self) -> &Asdm {
+        &self.asdm
+    }
+
+    /// Number of simultaneously switching drivers.
+    pub fn n_drivers(&self) -> usize {
+        self.n_drivers
+    }
+
+    /// Ground-path inductance.
+    pub fn inductance(&self) -> Henrys {
+        self.inductance
+    }
+
+    /// Ground-path capacitance.
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// Supply voltage.
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+
+    /// Input rise time.
+    pub fn rise_time(&self) -> Seconds {
+        self.rise_time
+    }
+
+    /// The rail under analysis.
+    pub fn rail(&self) -> Rail {
+        self.rail
+    }
+
+    /// The input slew rate `s = V_dd / t_r`.
+    pub fn slew(&self) -> SlewRate {
+        self.vdd / self.rise_time
+    }
+
+    /// The conduction-start time `t_0 = V_0 / s`: the moment the ramping
+    /// input crosses the ASDM displacement voltage.
+    pub fn conduction_start(&self) -> Seconds {
+        self.asdm.v0() / self.slew()
+    }
+
+    /// The conduction window `t_r - t_0` over which the SSN formulas apply.
+    pub fn conduction_window(&self) -> Seconds {
+        self.rise_time - self.conduction_start()
+    }
+
+    /// The asymptotic noise level `V_inf = L N K s` every damping case
+    /// relaxes towards.
+    pub fn v_inf(&self) -> Volts {
+        Volts::new(
+            self.inductance.value()
+                * self.n_drivers as f64
+                * self.asdm.k().value()
+                * self.slew().value(),
+        )
+    }
+
+    /// The paper's circuit-oriented figure `Z = N * L * s` (Eqn. 9): the
+    /// only lever circuit design has over SSN for a fixed process.
+    pub fn z_figure(&self) -> f64 {
+        self.n_drivers as f64 * self.inductance.value() * self.slew().value()
+    }
+
+    /// Returns a copy with a different driver count (cheap sweep helper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsnError::InvalidScenario`] when `n == 0`.
+    pub fn with_drivers(&self, n: usize) -> Result<Self, SsnError> {
+        if n == 0 {
+            return Err(SsnError::scenario("need at least one driver"));
+        }
+        let mut s = self.clone();
+        s.n_drivers = n;
+        Ok(s)
+    }
+
+    /// Returns a copy with different package parasitics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsnError::InvalidScenario`] for non-positive `L` or
+    /// negative `C`.
+    pub fn with_package(&self, l: Henrys, c: Farads) -> Result<Self, SsnError> {
+        if !(l.value() > 0.0) {
+            return Err(SsnError::scenario("inductance must be positive"));
+        }
+        if c.value() < 0.0 {
+            return Err(SsnError::scenario("capacitance must be non-negative"));
+        }
+        let mut s = self.clone();
+        s.inductance = l;
+        s.capacitance = c;
+        Ok(s)
+    }
+
+    /// Returns a copy with a different rise time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsnError::InvalidScenario`] for a non-positive rise time.
+    pub fn with_rise_time(&self, tr: Seconds) -> Result<Self, SsnError> {
+        if !(tr.value() > 0.0) {
+            return Err(SsnError::scenario("rise time must be positive"));
+        }
+        let mut s = self.clone();
+        s.rise_time = tr;
+        Ok(s)
+    }
+}
+
+impl std::fmt::Display for SsnScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SSN[{} rail, N = {}, L = {}, C = {}, tr = {}, Vdd = {}, {}]",
+            self.rail,
+            self.n_drivers,
+            self.inductance,
+            self.capacitance,
+            self.rise_time,
+            self.vdd,
+            self.asdm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssn_units::Siemens;
+
+    fn asdm() -> Asdm {
+        Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6))
+    }
+
+    #[test]
+    fn builder_from_process_fits_asdm() {
+        let p = Process::p018();
+        let s = SsnScenario::builder(&p).drivers(8).build().unwrap();
+        assert_eq!(s.n_drivers(), 8);
+        assert!(s.asdm().sigma() >= 1.0);
+        assert_eq!(s.inductance(), Henrys::from_nanos(5.0));
+        assert_eq!(s.capacitance(), Farads::from_picos(1.0));
+        assert_eq!(s.vdd(), Volts::new(1.8));
+        assert_eq!(s.rail(), Rail::Ground);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = SsnScenario::from_asdm(asdm(), Volts::new(1.8))
+            .drivers(8)
+            .inductance(Henrys::from_nanos(5.0))
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap();
+        assert!((s.slew().value() - 3.6e9).abs() < 1.0);
+        // t0 = 0.6 / 3.6e9.
+        assert!((s.conduction_start().value() - 0.6 / 3.6e9).abs() < 1e-20);
+        assert!(
+            (s.conduction_window().value() - (0.5e-9 - 0.6 / 3.6e9)).abs() < 1e-20
+        );
+        // V_inf = L N K s = 5e-9 * 8 * 7.5e-3 * 3.6e9.
+        assert!((s.v_inf().value() - 1.08).abs() < 1e-9);
+        // Z = 8 * 5e-9 * 3.6e9 = 144.
+        assert!((s.z_figure() - 144.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let b = || SsnScenario::from_asdm(asdm(), Volts::new(1.8));
+        assert!(b().drivers(0).build().is_err());
+        assert!(b().inductance(Henrys::ZERO).build().is_err());
+        assert!(b().rise_time(Seconds::ZERO).build().is_err());
+        assert!(b().capacitance(Farads::new(-1e-12)).build().is_err());
+        // V0 above Vdd: never conducts.
+        let hot = Asdm::new(Siemens::from_millis(1.0), 1.1, Volts::new(2.0));
+        assert!(SsnScenario::from_asdm(hot, Volts::new(1.8)).build().is_err());
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let s = SsnScenario::from_asdm(asdm(), Volts::new(1.8)).build().unwrap();
+        let s2 = s.with_drivers(16).unwrap();
+        assert_eq!(s2.n_drivers(), 16);
+        assert!((s2.z_figure() - 2.0 * s.z_figure()).abs() < 1e-9);
+        assert!(s.with_drivers(0).is_err());
+        let s3 = s
+            .with_package(Henrys::from_nanos(2.5), Farads::from_picos(2.0))
+            .unwrap();
+        assert_eq!(s3.capacitance(), Farads::from_picos(2.0));
+        assert!(s.with_package(Henrys::ZERO, Farads::ZERO).is_err());
+        let s4 = s.with_rise_time(Seconds::from_nanos(1.0)).unwrap();
+        assert!((s4.z_figure() - 0.5 * s.z_figure()).abs() < 1e-9);
+        assert!(s.with_rise_time(Seconds::ZERO).is_err());
+    }
+
+    #[test]
+    fn display_mentions_the_knobs() {
+        let s = SsnScenario::from_asdm(asdm(), Volts::new(1.8)).build().unwrap();
+        let text = s.to_string();
+        assert!(text.contains("N = 8"));
+        assert!(text.contains("5 nH"));
+        assert!(text.contains("ground"));
+        assert_eq!(Rail::Power.to_string(), "power");
+    }
+}

@@ -1,0 +1,419 @@
+//! The Sakurai–Newton alpha-power law MOSFET model.
+//!
+//! This is the suite's *golden* short-channel device: it plays the role the
+//! BSIM3 (HSPICE Level 49) TSMC deck plays in the paper. The alpha-power law
+//! captures velocity saturation through the exponent `alpha` (2 for long
+//! channel, approaching 1 for short channel) and is the model the paper's
+//! prior-work baselines (refs 6-8 in the paper) are built on.
+
+use crate::model::{DrainCurrent, MosModel};
+
+/// Sakurai–Newton alpha-power law parameters.
+///
+/// Construct with [`AlphaPower::builder`]. All values are in SI units.
+///
+/// The drain current in saturation is `I_d = B (V_gs - V_th)^alpha` with the
+/// saturation drain voltage `V_dsat = K_d (V_gs - V_th)^(alpha/2)`; the
+/// triode region blends quadratically as in the original paper
+/// (Sakurai & Newton, JSSC 1990). Body effect enters through
+/// `V_th = V_th0 + gamma (sqrt(phi + V_sb) - sqrt(phi))` and channel-length
+/// modulation through `(1 + lambda (V_ds - V_dsat))` in saturation.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_devices::{AlphaPower, MosModel};
+///
+/// let nfet = AlphaPower::builder()
+///     .vth0(0.43)
+///     .alpha(1.24)
+///     .drive(6.1e-3)
+///     .vdsat_coeff(0.66)
+///     .build();
+/// let on = nfet.ids(1.8, 1.8, 0.0);
+/// assert!(on.id > 5e-3);
+/// let off = nfet.ids(0.2, 1.8, 0.0);
+/// assert_eq!(off.id, 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlphaPower {
+    vth0: f64,
+    gamma: f64,
+    phi: f64,
+    alpha: f64,
+    /// Drive strength `B` in `A / V^alpha` for the built device width.
+    b: f64,
+    /// Saturation-voltage coefficient `K_d` in `V^(1 - alpha/2)`.
+    kd: f64,
+    lambda: f64,
+    name: String,
+}
+
+/// Builder for [`AlphaPower`]; see the type-level docs for the parameter
+/// meanings.
+#[derive(Debug, Clone)]
+pub struct AlphaPowerBuilder {
+    vth0: f64,
+    gamma: f64,
+    phi: f64,
+    alpha: f64,
+    b: f64,
+    kd: f64,
+    lambda: f64,
+    name: String,
+}
+
+impl Default for AlphaPowerBuilder {
+    fn default() -> Self {
+        Self {
+            vth0: 0.43,
+            gamma: 0.3,
+            phi: 0.8,
+            alpha: 1.24,
+            b: 6.1e-3,
+            kd: 0.66,
+            lambda: 0.05,
+            name: "alpha-power".to_owned(),
+        }
+    }
+}
+
+impl AlphaPowerBuilder {
+    /// Zero-bias threshold voltage `V_th0` (V).
+    pub fn vth0(mut self, v: f64) -> Self {
+        self.vth0 = v;
+        self
+    }
+
+    /// Body-effect coefficient `gamma` (V^0.5).
+    pub fn gamma(mut self, g: f64) -> Self {
+        self.gamma = g;
+        self
+    }
+
+    /// Surface potential `2 phi_F` (V).
+    pub fn phi(mut self, p: f64) -> Self {
+        self.phi = p;
+        self
+    }
+
+    /// Velocity-saturation exponent `alpha` (1 = fully velocity saturated,
+    /// 2 = long-channel square law).
+    pub fn alpha(mut self, a: f64) -> Self {
+        self.alpha = a;
+        self
+    }
+
+    /// Drive strength `B` (A / V^alpha).
+    pub fn drive(mut self, b: f64) -> Self {
+        self.b = b;
+        self
+    }
+
+    /// Saturation-voltage coefficient `K_d` (V^(1 - alpha/2)).
+    pub fn vdsat_coeff(mut self, kd: f64) -> Self {
+        self.kd = kd;
+        self
+    }
+
+    /// Channel-length modulation `lambda` (1/V).
+    pub fn lambda(mut self, l: f64) -> Self {
+        self.lambda = l;
+        self
+    }
+
+    /// Diagnostic name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-finite, `alpha` is outside `(0.5, 3]`,
+    /// or `B`, `K_d`, `phi` are non-positive — these would make the model
+    /// meaningless rather than merely inaccurate.
+    pub fn build(self) -> AlphaPower {
+        assert!(
+            self.alpha > 0.5 && self.alpha <= 3.0,
+            "alpha {} outside (0.5, 3]",
+            self.alpha
+        );
+        assert!(self.b > 0.0, "drive B must be positive");
+        assert!(self.kd > 0.0, "K_d must be positive");
+        assert!(self.phi > 0.0, "phi must be positive");
+        assert!(self.gamma >= 0.0, "gamma must be non-negative");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        for v in [self.vth0, self.gamma, self.phi, self.alpha, self.b, self.kd, self.lambda] {
+            assert!(v.is_finite(), "non-finite alpha-power parameter");
+        }
+        AlphaPower {
+            vth0: self.vth0,
+            gamma: self.gamma,
+            phi: self.phi,
+            alpha: self.alpha,
+            b: self.b,
+            kd: self.kd,
+            lambda: self.lambda,
+            name: self.name,
+        }
+    }
+}
+
+impl AlphaPower {
+    /// Starts a builder with representative 0.18 um NFET defaults.
+    pub fn builder() -> AlphaPowerBuilder {
+        AlphaPowerBuilder::default()
+    }
+
+    /// The zero-bias threshold voltage (V).
+    pub fn vth0(&self) -> f64 {
+        self.vth0
+    }
+
+    /// The velocity-saturation exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The drive strength `B` (A / V^alpha).
+    pub fn drive(&self) -> f64 {
+        self.b
+    }
+
+    /// The body-effect coefficient (V^0.5).
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The surface potential `2 phi_F` (V).
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// The saturation-voltage coefficient `K_d`.
+    pub fn vdsat_coeff(&self) -> f64 {
+        self.kd
+    }
+
+    /// The channel-length modulation `lambda` (1/V).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Bias-dependent threshold voltage at body-source reverse bias
+    /// `v_sb = -v_bs`.
+    pub fn vth(&self, vbs: f64) -> f64 {
+        let vsb_eff = (self.phi - vbs).max(1e-9);
+        self.vth0 + self.gamma * (vsb_eff.sqrt() - self.phi.sqrt())
+    }
+
+    /// Returns a copy scaled to `factor` times the original device width
+    /// (drive scales linearly; voltages are width-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "width factor must be positive"
+        );
+        let mut m = self.clone();
+        m.b *= factor;
+        m
+    }
+}
+
+impl MosModel for AlphaPower {
+    fn ids(&self, vgs: f64, vds: f64, vbs: f64) -> DrainCurrent {
+        let clamped = self.phi - vbs <= 1e-9;
+        let sqrt_term = (self.phi - vbs).max(1e-9).sqrt();
+        let vth = self.vth0 + self.gamma * (sqrt_term - self.phi.sqrt());
+        let vgt = vgs - vth;
+        if vgt <= 0.0 {
+            return DrainCurrent::OFF;
+        }
+        // d(vgt)/d(vbs): the body raises vgt when vbs rises (vsb falls).
+        // Zero once the unphysical forward-bias clamp engages.
+        let dvgt_dvbs = if clamped {
+            0.0
+        } else {
+            self.gamma / (2.0 * sqrt_term)
+        };
+
+        let isat = self.b * vgt.powf(self.alpha);
+        let vdsat = self.kd * vgt.powf(0.5 * self.alpha);
+        let (id, gm_vgt, gds);
+        if vds >= vdsat {
+            // Saturation with channel-length modulation.
+            let clm = 1.0 + self.lambda * (vds - vdsat);
+            id = isat * clm;
+            gds = isat * self.lambda;
+            // d/dvgt of [isat * (1 + lambda (vds - vdsat))]:
+            let disat = self.alpha * isat / vgt;
+            let dvdsat = 0.5 * self.alpha * vdsat / vgt;
+            gm_vgt = disat * clm - isat * self.lambda * dvdsat;
+        } else {
+            // Triode: I = isat (2 - u) u with u = vds / vdsat.
+            let u = vds / vdsat;
+            id = isat * (2.0 - u) * u;
+            gds = isat * (2.0 - 2.0 * u) / vdsat;
+            // Closed form (see derivation in the module tests):
+            // d/dvgt [isat (2-u) u] = alpha * isat * u / vgt.
+            gm_vgt = self.alpha * isat * u / vgt;
+        }
+        DrainCurrent {
+            id,
+            gm: gm_vgt,
+            gds,
+            gmbs: gm_vgt * dvgt_dvbs,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn model_card_params(&self) -> Option<String> {
+        Some(format!(
+            "vth0={:e} gamma={:e} phi={:e} alpha={:e} b={:e} kd={:e} lambda={:e}",
+            self.vth0, self.gamma, self.phi, self.alpha, self.b, self.kd, self.lambda
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::derivative_check;
+
+    fn nfet() -> AlphaPower {
+        AlphaPower::builder().build()
+    }
+
+    #[test]
+    fn cutoff_below_threshold() {
+        let m = nfet();
+        assert_eq!(m.ids(0.3, 1.8, 0.0), DrainCurrent::OFF);
+        assert_eq!(m.ids(m.vth0(), 1.8, 0.0), DrainCurrent::OFF);
+    }
+
+    #[test]
+    fn saturation_current_magnitude() {
+        let m = nfet();
+        // Designed so the full-on 0.18 um output driver carries ~9 mA
+        // (paper Fig. 1 peak current).
+        let id = m.ids(1.8, 1.8, 0.0).id;
+        assert!(id > 8e-3 && id < 11e-3, "id = {id}");
+    }
+
+    #[test]
+    fn triode_to_saturation_is_continuous() {
+        let m = nfet();
+        let vgt: f64 = 1.0;
+        let vgs = vgt + m.vth0();
+        let vdsat = 0.66 * vgt.powf(0.62);
+        let below = m.ids(vgs, vdsat - 1e-9, 0.0);
+        let above = m.ids(vgs, vdsat + 1e-9, 0.0);
+        assert!((below.id - above.id).abs() < 1e-9);
+        // The model is C0 at the boundary; the gm jump is the (small)
+        // channel-length-modulation term that only exists in saturation.
+        assert!((below.gm - above.gm).abs() < 2e-4);
+        // gds continuous too: triode end slope = lambda-limited sat slope?
+        // Triode gds -> 0 at vdsat; sat gds = isat * lambda (small).
+        assert!(below.gds.abs() < 1e-6 + above.gds.abs() + 1e-3);
+    }
+
+    #[test]
+    fn monotone_in_vgs_and_vds() {
+        let m = nfet();
+        let mut prev = 0.0;
+        for i in 0..=36 {
+            let vgs = 1.8 * f64::from(i) / 36.0;
+            let id = m.ids(vgs, 1.8, 0.0).id;
+            assert!(id >= prev - 1e-15, "non-monotone in vgs at {vgs}");
+            prev = id;
+        }
+        let mut prev = 0.0;
+        for i in 0..=36 {
+            let vds = 1.8 * f64::from(i) / 36.0;
+            let id = m.ids(1.8, vds, 0.0).id;
+            assert!(id >= prev - 1e-15, "non-monotone in vds at {vds}");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let m = nfet();
+        // Reverse body bias (vbs < 0) raises vth, reducing current.
+        let id0 = m.ids(1.2, 1.8, 0.0).id;
+        let id1 = m.ids(1.2, 1.8, -0.5).id;
+        assert!(id1 < id0);
+        assert!(m.vth(-0.5) > m.vth(0.0));
+        // The SSN configuration (source bounces up, bulk grounded) is
+        // exactly vbs < 0 at fixed vgs.
+    }
+
+    #[test]
+    fn analytic_derivatives_match_finite_difference() {
+        let m = nfet();
+        for &(vgs, vds, vbs) in &[
+            (1.8, 1.8, 0.0),
+            (1.0, 1.8, -0.3),
+            (1.8, 0.2, 0.0),   // deep triode
+            (0.9, 0.25, -0.1), // triode, moderate gate
+            (0.6, 1.8, -0.6),  // near threshold
+        ] {
+            let err = derivative_check(&m, vgs, vds, vbs);
+            assert!(err < 1e-4, "derivative mismatch {err} at ({vgs},{vds},{vbs})");
+        }
+    }
+
+    #[test]
+    fn width_scaling_scales_current_only() {
+        let m = nfet();
+        let m2 = m.scaled(2.0);
+        let a = m.ids(1.8, 1.8, 0.0);
+        let b = m2.ids(1.8, 1.8, 0.0);
+        assert!((b.id - 2.0 * a.id).abs() < 1e-12);
+        assert!((b.gm - 2.0 * a.gm).abs() < 1e-9);
+        assert_eq!(m2.vth(0.0), m.vth(0.0));
+        assert!((m2.drive() - 2.0 * m.drive()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slightly_negative_vds_is_finite_and_continuous() {
+        let m = nfet();
+        let a = m.ids(1.8, -1e-6, 0.0);
+        let b = m.ids(1.8, 1e-6, 0.0);
+        assert!(a.id.is_finite());
+        assert!(a.id < 0.0); // reverse conduction, linearized
+        assert!((a.id + b.id).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn builder_rejects_bad_alpha() {
+        let _ = AlphaPower::builder().alpha(5.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "width factor")]
+    fn scaled_rejects_non_positive() {
+        let _ = nfet().scaled(0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = AlphaPower::builder().name("golden018").build();
+        assert_eq!(m.name(), "golden018");
+        assert_eq!(m.vth0(), 0.43);
+        assert_eq!(m.alpha(), 1.24);
+        assert_eq!(m.gamma(), 0.3);
+        assert!((m.drive() - 6.1e-3).abs() < 1e-12);
+    }
+}

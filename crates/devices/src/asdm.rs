@@ -1,0 +1,222 @@
+//! The paper's **application-specific device model** (ASDM).
+//!
+//! In the SSN operating region — drain held near `V_dd` by the large output
+//! load, gate ramping, source riding on the bouncing ground node, bulk tied
+//! to the true ground — the drain current of the pull-down NFET is
+//! accurately *linear* in both controlling voltages (paper Fig. 1):
+//!
+//! ```text
+//! I_d = K * (V_g - sigma * V_s - V_0),   clamped at zero
+//! ```
+//!
+//! where `V_g`, `V_s` are the absolute gate and source node voltages,
+//! `K` is a fitted transconductance, `sigma > 1` captures the extra source
+//! sensitivity (source degeneration *plus* body effect), and `V_0` is a
+//! fitted displacement voltage that is **not** the threshold voltage
+//! (0.61 V vs. ~0.43 V for the paper's 0.18 um process).
+
+use crate::model::{DrainCurrent, MosModel};
+use serde::{Deserialize, Serialize};
+use ssn_units::{Siemens, Volts};
+
+/// The ASDM linear current law.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_devices::Asdm;
+/// use ssn_units::{Siemens, Volts};
+///
+/// let asdm = Asdm::new(Siemens::from_millis(7.5), 1.3, Volts::new(0.61));
+/// // Full-on driver, quiet ground:
+/// let id = asdm.drain_current(Volts::new(1.8), Volts::ZERO);
+/// assert!((id.value() - 7.5e-3 * (1.8 - 0.61)).abs() < 1e-12);
+/// // Below the displacement voltage the device is off:
+/// assert_eq!(asdm.drain_current(Volts::new(0.5), Volts::ZERO).value(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Asdm {
+    k: Siemens,
+    sigma: f64,
+    v0: Volts,
+}
+
+impl Asdm {
+    /// Creates an ASDM from its three fitted parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive, `sigma < 1`, or any value is
+    /// non-finite. (The paper proves `sigma >= 1` for physical devices; a
+    /// smaller value indicates a broken fit.)
+    pub fn new(k: Siemens, sigma: f64, v0: Volts) -> Self {
+        assert!(k.is_finite() && k.value() > 0.0, "K must be positive");
+        assert!(
+            sigma.is_finite() && sigma >= 1.0,
+            "sigma must be >= 1 (got {sigma})"
+        );
+        assert!(v0.is_finite(), "V_0 must be finite");
+        Self { k, sigma, v0 }
+    }
+
+    /// The fitted transconductance `K`.
+    pub fn k(&self) -> Siemens {
+        self.k
+    }
+
+    /// The source-sensitivity factor `sigma` (> 1 in real processes).
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The displacement voltage `V_0`.
+    pub fn v0(&self) -> Volts {
+        self.v0
+    }
+
+    /// Drain current at absolute gate voltage `vg` and absolute source
+    /// voltage `vs` (paper Eqn. 3), clamped at zero below cutoff.
+    pub fn drain_current(&self, vg: Volts, vs: Volts) -> ssn_units::Amps {
+        let drive = vg.value() - self.sigma * vs.value() - self.v0.value();
+        self.k * Volts::new(drive.max(0.0))
+    }
+
+    /// The gate voltage at which the device starts conducting for a given
+    /// source voltage: `V_g = sigma * V_s + V_0`.
+    pub fn turn_on_gate_voltage(&self, vs: Volts) -> Volts {
+        Volts::new(self.sigma * vs.value() + self.v0.value())
+    }
+}
+
+impl std::fmt::Display for Asdm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ASDM {{ K = {}, sigma = {:.4}, V0 = {} }}",
+            self.k, self.sigma, self.v0
+        )
+    }
+}
+
+impl MosModel for Asdm {
+    /// Source-referenced evaluation for simulator drop-in.
+    ///
+    /// With the bulk at the true ground, `v_s = -v_bs`, so the ASDM law
+    /// `K (v_g - sigma v_s - V_0)` becomes
+    /// `K (v_gs + (sigma - 1) v_bs - V_0)`. The model is saturation-only by
+    /// construction (`gds = 0`); it is meaningful exactly in the SSN region
+    /// it was fitted for.
+    fn ids(&self, vgs: f64, _vds: f64, vbs: f64) -> DrainCurrent {
+        let k = self.k.value();
+        let drive = vgs + (self.sigma - 1.0) * vbs - self.v0.value();
+        if drive <= 0.0 {
+            return DrainCurrent::OFF;
+        }
+        DrainCurrent {
+            id: k * drive,
+            gm: k,
+            gds: 0.0,
+            gmbs: k * (self.sigma - 1.0),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "asdm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::derivative_check;
+    use ssn_units::Amps;
+
+    fn paper_asdm() -> Asdm {
+        Asdm::new(Siemens::from_millis(7.5), 1.3, Volts::new(0.61))
+    }
+
+    #[test]
+    fn linear_above_cutoff() {
+        let m = paper_asdm();
+        let i1 = m.drain_current(Volts::new(1.0), Volts::ZERO);
+        let i2 = m.drain_current(Volts::new(1.4), Volts::ZERO);
+        let i3 = m.drain_current(Volts::new(1.8), Volts::ZERO);
+        // Equal gate steps -> equal current steps.
+        assert!(((i2 - i1) - (i3 - i2)).abs() < Amps::new(1e-12));
+    }
+
+    #[test]
+    fn source_sensitivity_is_sigma_times_gate() {
+        let m = paper_asdm();
+        let base = m.drain_current(Volts::new(1.8), Volts::new(0.2));
+        let dg = m.drain_current(Volts::new(1.9), Volts::new(0.2)) - base;
+        let ds = base - m.drain_current(Volts::new(1.8), Volts::new(0.3));
+        // dI/dVs = sigma * dI/dVg.
+        assert!((ds.value() / dg.value() - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_at_zero() {
+        let m = paper_asdm();
+        assert_eq!(m.drain_current(Volts::new(0.6), Volts::ZERO), Amps::ZERO);
+        assert_eq!(
+            m.drain_current(Volts::new(1.0), Volts::new(1.0)),
+            Amps::ZERO
+        );
+    }
+
+    #[test]
+    fn turn_on_voltage() {
+        let m = paper_asdm();
+        let von = m.turn_on_gate_voltage(Volts::new(0.3));
+        assert!((von.value() - (1.3 * 0.3 + 0.61)).abs() < 1e-12);
+        // Exactly zero current at the turn-on point.
+        assert_eq!(m.drain_current(von, Volts::new(0.3)), Amps::ZERO);
+    }
+
+    #[test]
+    fn mos_model_form_matches_node_voltage_form() {
+        let m = paper_asdm();
+        // Node voltages: vg = 1.5, vs = 0.25, bulk = 0, drain = 1.8.
+        let (vg, vs) = (1.5, 0.25);
+        let node_form = m.drain_current(Volts::new(vg), Volts::new(vs));
+        let source_ref = m.ids(vg - vs, 1.8 - vs, -vs);
+        assert!((node_form.value() - source_ref.id).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mos_model_derivatives() {
+        let m = paper_asdm();
+        assert!(derivative_check(&m, 1.2, 1.8, -0.1) < 1e-6);
+        assert_eq!(m.ids(1.2, 1.8, -0.1).gds, 0.0);
+        assert!((m.ids(1.2, 1.8, -0.1).gmbs - 7.5e-3 * 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_parameters() {
+        let s = paper_asdm().to_string();
+        assert!(s.contains("sigma = 1.3"), "{s}");
+        assert!(s.contains("7.5 mS"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be >= 1")]
+    fn rejects_sub_unity_sigma() {
+        let _ = Asdm::new(Siemens::from_millis(1.0), 0.9, Volts::new(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be positive")]
+    fn rejects_non_positive_k() {
+        let _ = Asdm::new(Siemens::ZERO, 1.2, Volts::new(0.5));
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let m = paper_asdm();
+        assert_eq!(m.k(), Siemens::from_millis(7.5));
+        assert_eq!(m.sigma(), 1.3);
+        assert_eq!(m.v0(), Volts::new(0.61));
+        assert_eq!(MosModel::name(&m), "asdm");
+    }
+}

@@ -1,0 +1,163 @@
+//! A pn-junction diode model.
+//!
+//! I/O pad rings clamp their internal rails with ESD diodes; the same
+//! diodes clip large ground bounces. The model is the standard exponential
+//! law with a C1 linear extension above a clamp exponent so Newton
+//! iterations cannot overflow:
+//!
+//! ```text
+//! I(V) = Is * (exp(V / (n Vt)) - 1)
+//! ```
+
+/// Thermal voltage at 300 K (V).
+pub const VT_300K: f64 = 0.025_852;
+
+/// Exponent beyond which the exponential is linearly extended (keeps
+/// Newton iterates finite without voltage limiting).
+const X_CLAMP: f64 = 40.0;
+
+/// A pn-junction diode.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_devices::Diode;
+///
+/// let d = Diode::new(1e-14, 1.0);
+/// let (i, _g) = d.iv(0.65);
+/// assert!(i > 1e-4 && i < 1e-2); // a silicon diode near its knee
+/// let (ir, _) = d.iv(-1.0);
+/// assert!(ir < 0.0 && ir > -2e-14); // reverse saturation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diode {
+    is: f64,
+    n: f64,
+    vt: f64,
+}
+
+impl Diode {
+    /// Creates a diode with saturation current `is` (A) and ideality
+    /// factor `n`, at 300 K.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `is <= 0` or `n <= 0` or either is non-finite.
+    pub fn new(is: f64, n: f64) -> Self {
+        assert!(is.is_finite() && is > 0.0, "Is must be positive");
+        assert!(n.is_finite() && n > 0.0, "n must be positive");
+        Self {
+            is,
+            n,
+            vt: VT_300K,
+        }
+    }
+
+    /// The saturation current (A).
+    pub fn saturation_current(&self) -> f64 {
+        self.is
+    }
+
+    /// The ideality factor.
+    pub fn ideality(&self) -> f64 {
+        self.n
+    }
+
+    /// Evaluates `(current, conductance)` at junction voltage `v`
+    /// (anode minus cathode).
+    ///
+    /// The current law is C1: exponential up to the internal clamp
+    /// exponent, linear beyond it.
+    pub fn iv(&self, v: f64) -> (f64, f64) {
+        let nvt = self.n * self.vt;
+        let x = v / nvt;
+        if x <= X_CLAMP {
+            let e = x.exp();
+            (self.is * (e - 1.0), self.is * e / nvt)
+        } else {
+            // Linear extension with matched value and slope at x = clamp.
+            let e = X_CLAMP.exp();
+            let g = self.is * e / nvt;
+            let i_at = self.is * (e - 1.0);
+            (i_at + g * (v - X_CLAMP * nvt), g)
+        }
+    }
+
+    /// The forward voltage at which the diode carries `i` amperes
+    /// (inverse of the exponential law; `i` must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not positive.
+    pub fn forward_voltage(&self, i: f64) -> f64 {
+        assert!(i > 0.0, "current must be positive");
+        self.n * self.vt * (i / self.is + 1.0).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_region_matches_law() {
+        let d = Diode::new(1e-14, 1.0);
+        for v in [0.3, 0.5, 0.65, 0.7] {
+            let (i, g) = d.iv(v);
+            let exact = 1e-14 * ((v / VT_300K).exp() - 1.0);
+            assert!((i - exact).abs() / exact < 1e-12);
+            // Conductance = dI/dV.
+            let h = 1e-7;
+            let fd = (d.iv(v + h).0 - d.iv(v - h).0) / (2.0 * h);
+            assert!((g - fd).abs() / fd < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reverse_region_saturates() {
+        let d = Diode::new(1e-14, 1.0);
+        let (i, g) = d.iv(-5.0);
+        assert!((i + 1e-14).abs() < 1e-20);
+        assert!((0.0..1e-12).contains(&g));
+    }
+
+    #[test]
+    fn clamp_extension_is_c1() {
+        let d = Diode::new(1e-14, 1.0);
+        let v_clamp = 40.0 * VT_300K;
+        let below = d.iv(v_clamp - 1e-9);
+        let above = d.iv(v_clamp + 1e-9);
+        assert!((below.0 - above.0).abs() / below.0 < 1e-6);
+        assert!((below.1 - above.1).abs() / below.1 < 1e-6);
+        // Far beyond the clamp: finite, linear growth.
+        let (i, g) = d.iv(100.0);
+        assert!(i.is_finite() && g.is_finite());
+        assert!(i > 0.0);
+    }
+
+    #[test]
+    fn forward_voltage_inverts_iv() {
+        let d = Diode::new(1e-14, 1.05);
+        for i in [1e-6, 1e-3, 10e-3] {
+            let v = d.forward_voltage(i);
+            let (back, _) = d.iv(v);
+            assert!((back - i).abs() / i < 1e-9, "{back} vs {i}");
+        }
+        // A silicon-ish knee near 0.6-0.8 V at mA currents.
+        let v = d.forward_voltage(1e-3);
+        assert!(v > 0.5 && v < 0.8, "knee at {v}");
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let d = Diode::new(2e-14, 1.1);
+        assert_eq!(d.saturation_current(), 2e-14);
+        assert_eq!(d.ideality(), 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Is must be positive")]
+    fn rejects_bad_is() {
+        let _ = Diode::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The Shichman–Hodges (SPICE Level-1) square-law model.
+//!
+//! Kept for two reasons: it is the device the classic Senthinathan–Prince
+//! SSN baseline assumes, and it gives the test-suite an independent,
+//! textbook-verifiable model to exercise the simulator with.
+
+use crate::model::{DrainCurrent, MosModel};
+
+/// SPICE Level-1 (square-law) MOSFET parameters.
+///
+/// `I_d = kp/2 (V_gt)^2 (1 + lambda V_ds)` in saturation,
+/// `I_d = kp (V_gt - V_ds/2) V_ds (1 + lambda V_ds)` in triode, with body
+/// effect `V_th = V_th0 + gamma (sqrt(phi + V_sb) - sqrt(phi))`.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_devices::{Level1, MosModel};
+///
+/// let m = Level1::new(8e-3, 0.43);
+/// assert!(m.ids(1.8, 1.8, 0.0).id > 0.0);
+/// assert_eq!(m.ids(0.2, 1.8, 0.0).id, 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level1 {
+    kp: f64,
+    vth0: f64,
+    gamma: f64,
+    phi: f64,
+    lambda: f64,
+    name: String,
+}
+
+impl Level1 {
+    /// Creates a square-law device with transconductance parameter `kp`
+    /// (A/V^2, already including W/L) and threshold `vth0` (V); body effect
+    /// and channel-length modulation default to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kp` is not positive and finite.
+    pub fn new(kp: f64, vth0: f64) -> Self {
+        assert!(kp.is_finite() && kp > 0.0, "kp must be positive");
+        Self {
+            kp,
+            vth0,
+            gamma: 0.0,
+            phi: 0.7,
+            lambda: 0.0,
+            name: "level1".to_owned(),
+        }
+    }
+
+    /// Adds body effect (`gamma` in V^0.5, `phi` in V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma < 0` or `phi <= 0`.
+    pub fn with_body_effect(mut self, gamma: f64, phi: f64) -> Self {
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        assert!(phi > 0.0, "phi must be positive");
+        self.gamma = gamma;
+        self.phi = phi;
+        self
+    }
+
+    /// Adds channel-length modulation (`lambda` in 1/V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 0`.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        self.lambda = lambda;
+        self
+    }
+
+    /// The transconductance parameter `kp` (A/V^2).
+    pub fn kp(&self) -> f64 {
+        self.kp
+    }
+
+    /// The zero-bias threshold voltage (V).
+    pub fn vth0(&self) -> f64 {
+        self.vth0
+    }
+}
+
+impl MosModel for Level1 {
+    fn ids(&self, vgs: f64, vds: f64, vbs: f64) -> DrainCurrent {
+        let clamped = self.phi - vbs <= 1e-9;
+        let sqrt_term = (self.phi - vbs).max(1e-9).sqrt();
+        let vth = self.vth0 + self.gamma * (sqrt_term - self.phi.sqrt());
+        let vgt = vgs - vth;
+        if vgt <= 0.0 {
+            return DrainCurrent::OFF;
+        }
+        let dvgt_dvbs = if clamped {
+            0.0
+        } else {
+            self.gamma / (2.0 * sqrt_term)
+        };
+        let clm = 1.0 + self.lambda * vds;
+        let (id, gm_vgt, gds);
+        if vds >= vgt {
+            // Saturation.
+            let isat = 0.5 * self.kp * vgt * vgt;
+            id = isat * clm;
+            gm_vgt = self.kp * vgt * clm;
+            gds = isat * self.lambda;
+        } else {
+            // Triode.
+            let core = self.kp * (vgt - 0.5 * vds) * vds;
+            id = core * clm;
+            gm_vgt = self.kp * vds * clm;
+            gds = self.kp * (vgt - vds) * clm + core * self.lambda;
+        }
+        DrainCurrent {
+            id,
+            gm: gm_vgt,
+            gds,
+            gmbs: gm_vgt * dvgt_dvbs,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn model_card_params(&self) -> Option<String> {
+        Some(format!(
+            "kp={:e} vth0={:e} gamma={:e} phi={:e} lambda={:e}",
+            self.kp, self.vth0, self.gamma, self.phi, self.lambda
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::derivative_check;
+
+    #[test]
+    fn textbook_saturation_value() {
+        // kp = 2 mA/V^2, vth = 0.5, vgs = 1.5 => id = 1e-3 * 1.0 = 1 mA.
+        let m = Level1::new(2e-3, 0.5);
+        let id = m.ids(1.5, 1.8, 0.0).id;
+        assert!((id - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_triode_value() {
+        // id = kp (vgt - vds/2) vds = 2e-3 (1 - 0.25) * 0.5 = 0.75 mA.
+        let m = Level1::new(2e-3, 0.5);
+        let id = m.ids(1.5, 0.5, 0.0).id;
+        assert!((id - 0.75e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_boundary_continuous() {
+        let m = Level1::new(2e-3, 0.5).with_lambda(0.02);
+        let a = m.ids(1.5, 1.0 - 1e-9, 0.0);
+        let b = m.ids(1.5, 1.0 + 1e-9, 0.0);
+        assert!((a.id - b.id).abs() < 1e-9);
+        assert!((a.gm - b.gm).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivatives_match_fd() {
+        let m = Level1::new(2e-3, 0.5)
+            .with_body_effect(0.4, 0.7)
+            .with_lambda(0.03);
+        for &(vgs, vds, vbs) in &[(1.5, 1.8, 0.0), (1.5, 0.3, -0.2), (0.8, 1.0, -0.5)] {
+            assert!(derivative_check(&m, vgs, vds, vbs) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cutoff() {
+        let m = Level1::new(2e-3, 0.5);
+        assert_eq!(m.ids(0.4, 1.0, 0.0), DrainCurrent::OFF);
+    }
+
+    #[test]
+    fn body_effect_direction() {
+        let m = Level1::new(2e-3, 0.5).with_body_effect(0.4, 0.7);
+        assert!(m.ids(1.0, 1.8, -0.5).id < m.ids(1.0, 1.8, 0.0).id);
+    }
+
+    #[test]
+    fn accessors_and_name() {
+        let m = Level1::new(2e-3, 0.5);
+        assert_eq!(m.kp(), 2e-3);
+        assert_eq!(m.vth0(), 0.5);
+        assert_eq!(m.name(), "level1");
+    }
+
+    #[test]
+    #[should_panic(expected = "kp must be positive")]
+    fn rejects_bad_kp() {
+        let _ = Level1::new(0.0, 0.5);
+    }
+}

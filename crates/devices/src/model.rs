@@ -1,0 +1,178 @@
+//! The common MOSFET evaluation interface.
+//!
+//! All voltages handed to a [`MosModel`] are **source-referenced and
+//! polarity-normalized**: for a PMOS device the caller (the simulator's
+//! device stamp) negates terminal voltages and the resulting current, so
+//! every model only ever sees the NMOS convention with `vds >= 0` expected.
+//! Values are plain `f64` in SI units (volts, amperes, siemens) because
+//! model evaluation sits in the Newton inner loop.
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl std::fmt::Display for MosPolarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Nmos => write!(f, "nmos"),
+            Self::Pmos => write!(f, "pmos"),
+        }
+    }
+}
+
+/// A drain-current evaluation: the current and its partial derivatives with
+/// respect to the three controlling voltages.
+///
+/// The derivatives are exactly what an MNA Newton iteration needs to stamp
+/// the linearized device:
+///
+/// * `gm   = dI_d / dV_gs`
+/// * `gds  = dI_d / dV_ds`
+/// * `gmbs = dI_d / dV_bs`
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DrainCurrent {
+    /// Drain current in amperes.
+    pub id: f64,
+    /// Transconductance in siemens.
+    pub gm: f64,
+    /// Output conductance in siemens.
+    pub gds: f64,
+    /// Body transconductance in siemens.
+    pub gmbs: f64,
+}
+
+impl DrainCurrent {
+    /// A zero (cutoff) evaluation.
+    pub const OFF: Self = Self {
+        id: 0.0,
+        gm: 0.0,
+        gds: 0.0,
+        gmbs: 0.0,
+    };
+}
+
+/// A MOSFET compact model: maps source-referenced terminal voltages to a
+/// drain current with analytic derivatives.
+///
+/// Implementors must be deterministic and side-effect free; the simulator
+/// may evaluate them any number of times per timestep.
+pub trait MosModel: Send + Sync + std::fmt::Debug {
+    /// Evaluates the drain current at `(v_gs, v_ds, v_bs)`.
+    ///
+    /// `v_ds` is expected to be non-negative (the caller normalizes drain /
+    /// source ordering); models should still return something finite and
+    /// continuous for slightly negative `v_ds` so Newton steps that
+    /// momentarily cross zero do not explode.
+    fn ids(&self, vgs: f64, vds: f64, vbs: f64) -> DrainCurrent;
+
+    /// A short human-readable model name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// The SPICE `.model` parameter string for this model, when the model
+    /// is expressible as one (used by the netlist writer). The default is
+    /// `None`: not expressible.
+    fn model_card_params(&self) -> Option<String> {
+        None
+    }
+}
+
+impl<M: MosModel + ?Sized> MosModel for &M {
+    fn ids(&self, vgs: f64, vds: f64, vbs: f64) -> DrainCurrent {
+        (**self).ids(vgs, vds, vbs)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn model_card_params(&self) -> Option<String> {
+        (**self).model_card_params()
+    }
+}
+
+impl<M: MosModel + ?Sized> MosModel for std::sync::Arc<M> {
+    fn ids(&self, vgs: f64, vds: f64, vbs: f64) -> DrainCurrent {
+        (**self).ids(vgs, vds, vbs)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn model_card_params(&self) -> Option<String> {
+        (**self).model_card_params()
+    }
+}
+
+/// Checks a model's analytic derivatives against central finite differences
+/// at one bias point. Returns the worst absolute conductance discrepancy.
+///
+/// Exposed (rather than test-private) so downstream crates can sanity-check
+/// custom models in their own tests.
+pub fn derivative_check<M: MosModel + ?Sized>(model: &M, vgs: f64, vds: f64, vbs: f64) -> f64 {
+    let h = 1e-7;
+    let eval = model.ids(vgs, vds, vbs);
+    let fd_gm = (model.ids(vgs + h, vds, vbs).id - model.ids(vgs - h, vds, vbs).id) / (2.0 * h);
+    let fd_gds = (model.ids(vgs, vds + h, vbs).id - model.ids(vgs, vds - h, vbs).id) / (2.0 * h);
+    let fd_gmbs = (model.ids(vgs, vds, vbs + h).id - model.ids(vgs, vds, vbs - h).id) / (2.0 * h);
+    (eval.gm - fd_gm)
+        .abs()
+        .max((eval.gds - fd_gds).abs())
+        .max((eval.gmbs - fd_gmbs).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Linear;
+
+    impl MosModel for Linear {
+        fn ids(&self, vgs: f64, vds: f64, vbs: f64) -> DrainCurrent {
+            DrainCurrent {
+                id: 2.0 * vgs + 0.5 * vds + 0.1 * vbs,
+                gm: 2.0,
+                gds: 0.5,
+                gmbs: 0.1,
+            }
+        }
+
+        fn name(&self) -> &str {
+            "linear-test"
+        }
+    }
+
+    #[test]
+    fn polarity_display() {
+        assert_eq!(MosPolarity::Nmos.to_string(), "nmos");
+        assert_eq!(MosPolarity::Pmos.to_string(), "pmos");
+    }
+
+    #[test]
+    fn off_constant_is_zero() {
+        assert_eq!(DrainCurrent::OFF.id, 0.0);
+        assert_eq!(DrainCurrent::OFF.gm, 0.0);
+    }
+
+    #[test]
+    fn derivative_check_passes_for_exact_model() {
+        assert!(derivative_check(&Linear, 1.0, 0.5, 0.0) < 1e-6);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let m = Linear;
+        let r: &dyn MosModel = &m;
+        assert_eq!(r.name(), "linear-test");
+        assert_eq!(r.ids(1.0, 0.0, 0.0).id, 2.0);
+        let arc = std::sync::Arc::new(Linear);
+        assert_eq!(arc.ids(1.0, 0.0, 0.0).id, 2.0);
+        assert_eq!(arc.name(), "linear-test");
+    }
+}

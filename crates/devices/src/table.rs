@@ -1,0 +1,216 @@
+//! A sampled (table) MOSFET model.
+//!
+//! `TableModel` is the other face of "application-specific" modeling: where
+//! the ASDM compresses the SSN region into three numbers, the table model
+//! memorizes a sampled I–V grid verbatim and interpolates bilinearly. It is
+//! used in the ablation benches as a bridge between the golden analytic
+//! device and fitted compact models.
+
+use crate::model::{DrainCurrent, MosModel};
+use ssn_numeric::NumericError;
+
+/// A bilinear-interpolated I–V table over a `(v_gs, v_ds)` grid, captured at
+/// a fixed `v_bs`.
+///
+/// Body sensitivity is not tabulated (`gmbs = 0`); the table is only valid
+/// near the `v_bs` it was sampled at — which is precisely the ASDM
+/// philosophy of modeling one operating region well.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_devices::{AlphaPower, TableModel, MosModel};
+///
+/// # fn main() -> Result<(), ssn_numeric::NumericError> {
+/// let golden = AlphaPower::builder().build();
+/// let vgs: Vec<f64> = (0..=18).map(|i| f64::from(i) * 0.1).collect();
+/// let vds: Vec<f64> = (0..=18).map(|i| f64::from(i) * 0.1).collect();
+/// let table = TableModel::sample(&golden, &vgs, &vds, 0.0)?;
+/// let a = golden.ids(1.5, 1.8, 0.0).id;
+/// let b = table.ids(1.5, 1.8, 0.0).id;
+/// assert!((a - b).abs() / a < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableModel {
+    vgs_grid: Vec<f64>,
+    vds_grid: Vec<f64>,
+    /// Row-major `[i_vgs][i_vds]` current samples.
+    id: Vec<f64>,
+    vbs: f64,
+    name: String,
+}
+
+impl TableModel {
+    /// Samples `model` on the cartesian grid `vgs_grid x vds_grid` at body
+    /// bias `vbs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] when either grid has fewer
+    /// than two points or is not strictly increasing.
+    pub fn sample<M: MosModel + ?Sized>(
+        model: &M,
+        vgs_grid: &[f64],
+        vds_grid: &[f64],
+        vbs: f64,
+    ) -> Result<Self, NumericError> {
+        validate_grid(vgs_grid, "vgs")?;
+        validate_grid(vds_grid, "vds")?;
+        let mut id = Vec::with_capacity(vgs_grid.len() * vds_grid.len());
+        for &vgs in vgs_grid {
+            for &vds in vds_grid {
+                id.push(model.ids(vgs, vds, vbs).id);
+            }
+        }
+        Ok(Self {
+            vgs_grid: vgs_grid.to_vec(),
+            vds_grid: vds_grid.to_vec(),
+            id,
+            vbs,
+            name: format!("table({})", model.name()),
+        })
+    }
+
+    /// The body bias the table was captured at.
+    pub fn sampled_vbs(&self) -> f64 {
+        self.vbs
+    }
+
+    /// Grid dimensions as `(n_vgs, n_vds)`.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.vgs_grid.len(), self.vds_grid.len())
+    }
+
+    fn sample_at(&self, i: usize, j: usize) -> f64 {
+        self.id[i * self.vds_grid.len() + j]
+    }
+}
+
+fn validate_grid(grid: &[f64], name: &str) -> Result<(), NumericError> {
+    if grid.len() < 2 {
+        return Err(NumericError::argument(format!(
+            "table model: {name} grid needs at least two points"
+        )));
+    }
+    if grid.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(NumericError::argument(format!(
+            "table model: {name} grid must be strictly increasing"
+        )));
+    }
+    Ok(())
+}
+
+/// Locates the cell index for `x` in `grid`, clamping outside the range.
+fn cell(grid: &[f64], x: f64) -> usize {
+    match grid.binary_search_by(|v| v.partial_cmp(&x).expect("NaN in table grid")) {
+        Ok(i) => i.min(grid.len() - 2),
+        Err(0) => 0,
+        Err(i) => (i - 1).min(grid.len() - 2),
+    }
+}
+
+impl MosModel for TableModel {
+    fn ids(&self, vgs: f64, vds: f64, _vbs: f64) -> DrainCurrent {
+        let i = cell(&self.vgs_grid, vgs);
+        let j = cell(&self.vds_grid, vds);
+        let (x0, x1) = (self.vgs_grid[i], self.vgs_grid[i + 1]);
+        let (y0, y1) = (self.vds_grid[j], self.vds_grid[j + 1]);
+        let dx = x1 - x0;
+        let dy = y1 - y0;
+        let u = ((vgs - x0) / dx).clamp(0.0, 1.0);
+        let w = ((vds - y0) / dy).clamp(0.0, 1.0);
+        let q00 = self.sample_at(i, j);
+        let q10 = self.sample_at(i + 1, j);
+        let q01 = self.sample_at(i, j + 1);
+        let q11 = self.sample_at(i + 1, j + 1);
+        let id = (1.0 - u) * (1.0 - w) * q00 + u * (1.0 - w) * q10 + (1.0 - u) * w * q01
+            + u * w * q11;
+        let gm = ((1.0 - w) * (q10 - q00) + w * (q11 - q01)) / dx;
+        let gds = ((1.0 - u) * (q01 - q00) + u * (q11 - q10)) / dy;
+        DrainCurrent {
+            id,
+            gm,
+            gds,
+            gmbs: 0.0,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha_power::AlphaPower;
+
+    fn dense_table() -> (AlphaPower, TableModel) {
+        let golden = AlphaPower::builder().build();
+        let vgs: Vec<f64> = (0..=36).map(|i| f64::from(i) * 0.05).collect();
+        let vds: Vec<f64> = (0..=36).map(|i| f64::from(i) * 0.05).collect();
+        let t = TableModel::sample(&golden, &vgs, &vds, 0.0).unwrap();
+        (golden, t)
+    }
+
+    #[test]
+    fn reproduces_grid_points_exactly() {
+        let (golden, t) = dense_table();
+        for &vgs in &[0.5, 1.0, 1.5] {
+            for &vds in &[0.5, 1.0, 1.8] {
+                let a = golden.ids(vgs, vds, 0.0).id;
+                let b = t.ids(vgs, vds, 0.0).id;
+                assert!((a - b).abs() < 1e-12, "mismatch at grid point");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolates_between_grid_points() {
+        let (golden, t) = dense_table();
+        let a = golden.ids(1.23, 1.41, 0.0).id;
+        let b = t.ids(1.23, 1.41, 0.0).id;
+        assert!((a - b).abs() / a.max(1e-12) < 0.02, "a = {a}, b = {b}");
+    }
+
+    #[test]
+    fn clamps_outside_the_grid() {
+        let (_, t) = dense_table();
+        let inside = t.ids(1.8, 1.8, 0.0).id;
+        let outside = t.ids(2.5, 2.5, 0.0).id;
+        // Clamped interpolation extrapolates with the edge cell gradient,
+        // staying finite and close to the corner value direction.
+        assert!(outside.is_finite());
+        assert!(outside >= inside);
+    }
+
+    #[test]
+    fn derivatives_consistent_with_interpolant() {
+        let (_, t) = dense_table();
+        let h = 1e-6;
+        let at = t.ids(1.23, 1.41, 0.0);
+        let fd_gm = (t.ids(1.23 + h, 1.41, 0.0).id - t.ids(1.23 - h, 1.41, 0.0).id) / (2.0 * h);
+        let fd_gds = (t.ids(1.23, 1.41 + h, 0.0).id - t.ids(1.23, 1.41 - h, 0.0).id) / (2.0 * h);
+        assert!((at.gm - fd_gm).abs() < 1e-6);
+        assert!((at.gds - fd_gds).abs() < 1e-6);
+        assert_eq!(at.gmbs, 0.0);
+    }
+
+    #[test]
+    fn validates_grids() {
+        let golden = AlphaPower::builder().build();
+        assert!(TableModel::sample(&golden, &[0.0], &[0.0, 1.0], 0.0).is_err());
+        assert!(TableModel::sample(&golden, &[0.0, 1.0], &[1.0, 0.0], 0.0).is_err());
+        assert!(TableModel::sample(&golden, &[0.0, 0.0], &[0.0, 1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn metadata() {
+        let (_, t) = dense_table();
+        assert_eq!(t.grid_shape(), (37, 37));
+        assert_eq!(t.sampled_vbs(), 0.0);
+        assert!(t.name().starts_with("table("));
+    }
+}

@@ -1,0 +1,150 @@
+//! First-order temperature scaling of the device models.
+//!
+//! SSN worsens at low temperature (carriers speed up, drive strength
+//! rises); margins close at high temperature elsewhere, so a pad-ring
+//! designer checks both corners. The standard first-order laws are
+//!
+//! ```text
+//! V_th(T) = V_th(T0) - k_vth * (T - T0)          k_vth ~ 1-2 mV/K
+//! B(T)    = B(T0) * (T / T0)^(-m)                m ~ 1.3-1.5 (mobility)
+//! ```
+//!
+//! applied to the alpha-power golden device; the fitted ASDM then inherits
+//! the shift through re-fitting, exactly as it inherits everything else.
+
+use crate::alpha_power::AlphaPower;
+use crate::process::Process;
+use ssn_units::Kelvin;
+
+/// Nominal reference temperature (300 K).
+pub const T_NOMINAL: Kelvin = Kelvin::new(300.0);
+
+/// Temperature coefficients for the first-order device scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalCoefficients {
+    /// Threshold shift per kelvin (V/K, positive value *reduces* `V_th` as
+    /// `T` rises).
+    pub vth_per_kelvin: f64,
+    /// Mobility exponent `m` in `B ~ (T/T0)^(-m)`.
+    pub mobility_exponent: f64,
+}
+
+impl Default for ThermalCoefficients {
+    fn default() -> Self {
+        Self {
+            vth_per_kelvin: 1.5e-3,
+            mobility_exponent: 1.4,
+        }
+    }
+}
+
+impl ThermalCoefficients {
+    /// Scales an alpha-power device from [`T_NOMINAL`] to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a positive, finite absolute temperature.
+    pub fn apply(&self, device: &AlphaPower, t: Kelvin) -> AlphaPower {
+        assert!(
+            t.is_finite() && t.value() > 0.0,
+            "temperature must be positive kelvin"
+        );
+        let dt = t.value() - T_NOMINAL.value();
+        let drive_scale = (t.value() / T_NOMINAL.value()).powf(-self.mobility_exponent);
+        let vth_new = device.vth0() - self.vth_per_kelvin * dt;
+        AlphaPower::builder()
+            .vth0(vth_new)
+            .gamma(device.gamma())
+            .phi(device.phi())
+            .alpha(device.alpha())
+            .drive(device.drive() * drive_scale)
+            .vdsat_coeff(device.vdsat_coeff())
+            .lambda(device.lambda())
+            .name(format!("{}@{}K", device.name_str(), t.value().round()))
+            .build()
+    }
+}
+
+impl AlphaPower {
+    /// The device's diagnostic name (helper for [`ThermalCoefficients`]).
+    pub fn name_str(&self) -> &str {
+        use crate::model::MosModel as _;
+        self.name()
+    }
+
+    /// This device scaled to absolute temperature `t` with default
+    /// coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a positive, finite absolute temperature.
+    pub fn at_temperature(&self, t: Kelvin) -> Self {
+        ThermalCoefficients::default().apply(self, t)
+    }
+}
+
+impl Process {
+    /// The process's output driver scaled to temperature `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a positive, finite absolute temperature.
+    pub fn output_driver_at(&self, t: Kelvin) -> AlphaPower {
+        self.output_driver().at_temperature(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MosModel;
+
+    #[test]
+    fn nominal_temperature_is_identity_like() {
+        let d = AlphaPower::builder().build();
+        let same = d.at_temperature(T_NOMINAL);
+        assert!((same.vth0() - d.vth0()).abs() < 1e-12);
+        assert!((same.drive() - d.drive()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_devices_are_stronger() {
+        let d = AlphaPower::builder().build();
+        let cold = d.at_temperature(Kelvin::new(233.0)); // -40 C
+        let hot = d.at_temperature(Kelvin::new(398.0)); // 125 C
+        let i_cold = cold.ids(1.8, 1.8, 0.0).id;
+        let i_nom = d.ids(1.8, 1.8, 0.0).id;
+        let i_hot = hot.ids(1.8, 1.8, 0.0).id;
+        assert!(i_cold > i_nom, "{i_cold} vs {i_nom}");
+        assert!(i_hot < i_nom, "{i_hot} vs {i_nom}");
+        // Threshold falls with temperature.
+        assert!(hot.vth0() < d.vth0());
+        assert!(cold.vth0() > d.vth0());
+    }
+
+    #[test]
+    fn mobility_exponent_controls_drive_scaling() {
+        let d = AlphaPower::builder().build();
+        let coeffs = ThermalCoefficients {
+            vth_per_kelvin: 0.0,
+            mobility_exponent: 1.0,
+        };
+        let hot = coeffs.apply(&d, Kelvin::new(600.0));
+        assert!((hot.drive() / d.drive() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_driver_at_temperature() {
+        let p = Process::p018();
+        let cold = p.output_driver_at(Kelvin::new(233.0));
+        let nominal = p.output_driver();
+        assert!(cold.ids(1.8, 1.8, 0.0).id > nominal.ids(1.8, 1.8, 0.0).id);
+        assert!(cold.name_str().contains("233"));
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn rejects_nonphysical_temperature() {
+        let _ = AlphaPower::builder().build().at_temperature(Kelvin::ZERO);
+    }
+}

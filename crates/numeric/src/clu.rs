@@ -1,0 +1,261 @@
+//! Complex dense matrices and LU factorization — the frequency-domain
+//! counterpart of [`crate::matrix`] / [`crate::lu`], used by AC analysis.
+
+use crate::complex::Complex;
+use crate::NumericError;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(Complex::ZERO);
+    }
+
+    /// Adds `value` to entry `(i, j)` — the complex MNA stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, value: Complex) {
+        self[(i, j)] += value;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] on a length mismatch.
+    pub fn matvec(&self, x: &[Complex]) -> Result<Vec<Complex>, NumericError> {
+        if x.len() != self.cols {
+            return Err(NumericError::shape(format!(
+                "complex matvec: vector has length {}, expected {}",
+                x.len(),
+                self.cols
+            )));
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * x[j])
+                    .sum::<Complex>()
+            })
+            .collect())
+    }
+}
+
+impl Index<(usize, usize)> for ComplexMatrix {
+    type Output = Complex;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for ComplexMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solves the complex system `A x = b` with partially pivoted LU.
+///
+/// # Errors
+///
+/// * [`NumericError::ShapeMismatch`] when `a` is not square or `b` has the
+///   wrong length.
+/// * [`NumericError::SingularMatrix`] when a pivot underflows.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_numeric::clu::{solve_complex, ComplexMatrix};
+/// use ssn_numeric::complex::Complex;
+///
+/// # fn main() -> Result<(), ssn_numeric::NumericError> {
+/// let mut a = ComplexMatrix::zeros(2, 2);
+/// a.add(0, 0, Complex::new(2.0, 0.0));
+/// a.add(0, 1, Complex::I);
+/// a.add(1, 0, -Complex::I);
+/// a.add(1, 1, Complex::ONE);
+/// let x = solve_complex(&a, &[Complex::ONE, Complex::ZERO])?;
+/// let r = a.matvec(&x)?;
+/// assert!((r[0] - Complex::ONE).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_complex(a: &ComplexMatrix, b: &[Complex]) -> Result<Vec<Complex>, NumericError> {
+    if a.rows() != a.cols() {
+        return Err(NumericError::shape(format!(
+            "complex LU requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    if b.len() != n {
+        return Err(NumericError::shape(format!(
+            "complex solve: rhs has length {}, expected {n}",
+            b.len()
+        )));
+    }
+    let mut lu = a.clone();
+    let mut x = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        let mut p = k;
+        let mut pmax = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax < 1e-300 {
+            return Err(NumericError::SingularMatrix { column: k });
+        }
+        if p != k {
+            perm.swap(p, k);
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            if m != Complex::ZERO {
+                for j in (k + 1)..n {
+                    let delta = m * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+    }
+    // Permute, forward substitute, back substitute.
+    let permuted: Vec<Complex> = perm.iter().map(|&p| x[p]).collect();
+    x.copy_from_slice(&permuted);
+    for i in 1..n {
+        let mut sum = x[i];
+        for j in 0..i {
+            sum -= lu[(i, j)] * x[j];
+        }
+        x[i] = sum;
+    }
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in (i + 1)..n {
+            sum -= lu[(i, j)] * x[j];
+        }
+        x[i] = sum / lu[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_complex_2x2() {
+        // (1+i) x + 2 y = 3 ; x - i y = 1 - i  => solve and verify.
+        let mut a = ComplexMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex::new(1.0, 1.0);
+        a[(0, 1)] = Complex::real(2.0);
+        a[(1, 0)] = Complex::ONE;
+        a[(1, 1)] = -Complex::I;
+        let b = [Complex::real(3.0), Complex::new(1.0, -1.0)];
+        let x = solve_complex(&a, &b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((*ri - *bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_on_zero_leading_entry() {
+        let mut a = ComplexMatrix::zeros(2, 2);
+        a[(0, 1)] = Complex::ONE;
+        a[(1, 0)] = Complex::ONE;
+        let x = solve_complex(&a, &[Complex::real(5.0), Complex::real(7.0)]).unwrap();
+        assert!((x[0] - Complex::real(7.0)).abs() < 1e-12);
+        assert!((x[1] - Complex::real(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_and_shape_errors() {
+        let a = ComplexMatrix::zeros(2, 2);
+        assert!(matches!(
+            solve_complex(&a, &[Complex::ZERO, Complex::ZERO]),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+        let a = ComplexMatrix::zeros(2, 3);
+        assert!(solve_complex(&a, &[Complex::ZERO, Complex::ZERO]).is_err());
+        let a = ComplexMatrix::zeros(2, 2);
+        assert!(solve_complex(&a, &[Complex::ZERO]).is_err());
+    }
+
+    #[test]
+    fn impedance_divider_sanity() {
+        // Series R + 1/(jwC) at the corner frequency: |V_c| = |V| / sqrt(2).
+        let r = 1.0e3;
+        let c = 1.0e-9;
+        let w = 1.0 / (r * c);
+        let zc = Complex::new(0.0, -1.0 / (w * c));
+        // Node equation for the middle node: (V - Vc)/R = Vc / Zc.
+        let mut a = ComplexMatrix::zeros(1, 1);
+        a[(0, 0)] = Complex::real(1.0 / r) + zc.recip();
+        let b = [Complex::real(1.0 / r)]; // unit source through R
+        let x = solve_complex(&a, &b).unwrap();
+        assert!((x[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((x[0].arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_zero_and_accessors() {
+        let mut a = ComplexMatrix::zeros(2, 3);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 3);
+        a.add(1, 2, Complex::I);
+        assert_eq!(a[(1, 2)], Complex::I);
+        a.fill_zero();
+        assert_eq!(a[(1, 2)], Complex::ZERO);
+    }
+}

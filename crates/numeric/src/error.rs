@@ -1,0 +1,113 @@
+//! Error type shared by all numeric kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the numeric kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// A matrix or vector had an incompatible or invalid shape.
+    ShapeMismatch {
+        /// Human-readable description of the expectation that was violated.
+        context: String,
+    },
+    /// LU factorization hit a (numerically) zero pivot: the matrix is
+    /// singular to working precision.
+    SingularMatrix {
+        /// The elimination column at which the zero pivot appeared.
+        column: usize,
+    },
+    /// An iterative method exhausted its iteration budget without meeting
+    /// its tolerance.
+    ConvergenceFailed {
+        /// Which method failed (e.g. `"brent"`, `"levenberg-marquardt"`).
+        method: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual or error measure at the last iterate.
+        residual: f64,
+    },
+    /// A bracketing method was given an interval that does not bracket a
+    /// root.
+    InvalidBracket {
+        /// Function value at the left endpoint.
+        f_lo: f64,
+        /// Function value at the right endpoint.
+        f_hi: f64,
+    },
+    /// An argument was out of its documented domain.
+    InvalidArgument {
+        /// Human-readable description of the violation.
+        context: String,
+    },
+}
+
+impl NumericError {
+    /// Convenience constructor for [`NumericError::ShapeMismatch`].
+    pub fn shape(context: impl Into<String>) -> Self {
+        Self::ShapeMismatch {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`NumericError::InvalidArgument`].
+    pub fn argument(context: impl Into<String>) -> Self {
+        Self::InvalidArgument {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            Self::SingularMatrix { column } => {
+                write!(f, "matrix is singular at elimination column {column}")
+            }
+            Self::ConvergenceFailed {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Self::InvalidBracket { f_lo, f_hi } => write!(
+                f,
+                "interval does not bracket a root: f(lo) = {f_lo:.3e}, f(hi) = {f_hi:.3e}"
+            ),
+            Self::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumericError::SingularMatrix { column: 3 };
+        assert!(e.to_string().contains("column 3"));
+        let e = NumericError::ConvergenceFailed {
+            method: "brent",
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("brent"));
+        assert!(e.to_string().contains("100"));
+        let e = NumericError::shape("expected 3x3");
+        assert!(e.to_string().contains("expected 3x3"));
+        let e = NumericError::argument("n must be positive");
+        assert!(e.to_string().contains("n must be positive"));
+        let e = NumericError::InvalidBracket {
+            f_lo: 1.0,
+            f_hi: 2.0,
+        };
+        assert!(e.to_string().contains("bracket"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Interpolation on monotone grids.
+
+use crate::NumericError;
+
+/// Locates the interval index `i` such that `xs[i] <= x < xs[i + 1]`,
+/// clamping to the first/last interval outside the grid.
+fn interval(xs: &[f64], x: f64) -> usize {
+    match xs.binary_search_by(|v| v.partial_cmp(&x).expect("NaN in grid")) {
+        Ok(i) => i.min(xs.len() - 2),
+        Err(0) => 0,
+        Err(i) => (i - 1).min(xs.len() - 2),
+    }
+}
+
+fn validate_grid(xs: &[f64], ys: &[f64]) -> Result<(), NumericError> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::shape(format!(
+            "interp: {} abscissae vs {} ordinates",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(NumericError::argument("interp: need at least two points"));
+    }
+    if xs.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(NumericError::argument(
+            "interp: abscissae must be strictly increasing",
+        ));
+    }
+    Ok(())
+}
+
+/// Piecewise-linear interpolation of `(xs, ys)` at `x`, extrapolating
+/// linearly outside the grid.
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] / [`NumericError::InvalidArgument`]
+/// for mismatched lengths, fewer than two points, or non-increasing `xs`.
+pub fn linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, NumericError> {
+    validate_grid(xs, ys)?;
+    let i = interval(xs, x);
+    let t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+    Ok(ys[i] + t * (ys[i + 1] - ys[i]))
+}
+
+/// A monotone cubic (Fritsch–Carlson / PCHIP) interpolant.
+///
+/// Preserves the monotonicity of the data — important when interpolating
+/// I–V curves, which must not acquire spurious negative-resistance wiggles.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_numeric::interp::Pchip;
+///
+/// # fn main() -> Result<(), ssn_numeric::NumericError> {
+/// let p = Pchip::new(&[0.0, 1.0, 2.0], &[0.0, 1.0, 8.0])?;
+/// let y = p.eval(1.5);
+/// assert!(y > 1.0 && y < 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pchip {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Endpoint-adjusted derivative at each knot.
+    slopes: Vec<f64>,
+}
+
+impl Pchip {
+    /// Builds the interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Same grid validation as [`linear`].
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self, NumericError> {
+        validate_grid(xs, ys)?;
+        let n = xs.len();
+        let h: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let delta: Vec<f64> = (0..n - 1).map(|i| (ys[i + 1] - ys[i]) / h[i]).collect();
+
+        let mut slopes = vec![0.0; n];
+        for i in 1..n - 1 {
+            if delta[i - 1] * delta[i] > 0.0 {
+                let w1 = 2.0 * h[i] + h[i - 1];
+                let w2 = h[i] + 2.0 * h[i - 1];
+                slopes[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+            }
+        }
+        slopes[0] = edge_slope(h[0], h.get(1).copied().unwrap_or(h[0]), delta[0], *delta.get(1).unwrap_or(&delta[0]));
+        slopes[n - 1] = edge_slope(
+            h[n - 2],
+            if n >= 3 { h[n - 3] } else { h[n - 2] },
+            delta[n - 2],
+            if n >= 3 { delta[n - 3] } else { delta[n - 2] },
+        );
+
+        Ok(Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            slopes,
+        })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped cubic extrapolation outside
+    /// the grid).
+    pub fn eval(&self, x: f64) -> f64 {
+        let i = interval(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let (y0, y1) = (self.ys[i], self.ys[i + 1]);
+        let (m0, m1) = (self.slopes[i] * h, self.slopes[i + 1] * h);
+        // Cubic Hermite basis.
+        let t2 = t * t;
+        let t3 = t2 * t;
+        y0 * (2.0 * t3 - 3.0 * t2 + 1.0)
+            + m0 * (t3 - 2.0 * t2 + t)
+            + y1 * (-2.0 * t3 + 3.0 * t2)
+            + m1 * (t3 - t2)
+    }
+
+    /// Evaluates the derivative `dy/dx` at `x`.
+    pub fn eval_derivative(&self, x: f64) -> f64 {
+        let i = interval(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let (y0, y1) = (self.ys[i], self.ys[i + 1]);
+        let (m0, m1) = (self.slopes[i] * h, self.slopes[i + 1] * h);
+        let t2 = t * t;
+        let dy_dt = y0 * (6.0 * t2 - 6.0 * t)
+            + m0 * (3.0 * t2 - 4.0 * t + 1.0)
+            + y1 * (-6.0 * t2 + 6.0 * t)
+            + m1 * (3.0 * t2 - 2.0 * t);
+        dy_dt / h
+    }
+
+    /// The knot abscissae.
+    pub fn knots(&self) -> &[f64] {
+        &self.xs
+    }
+}
+
+/// One-sided three-point endpoint slope with the Fritsch–Carlson clamp.
+fn edge_slope(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
+    let m = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if m.signum() != d0.signum() {
+        0.0
+    } else if d0.signum() != d1.signum() && m.abs() > 3.0 * d0.abs() {
+        3.0 * d0
+    } else {
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolates_and_extrapolates() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 2.0, 4.0];
+        assert_eq!(linear(&xs, &ys, 0.5).unwrap(), 1.0);
+        assert_eq!(linear(&xs, &ys, 1.0).unwrap(), 2.0);
+        assert_eq!(linear(&xs, &ys, 3.0).unwrap(), 6.0);
+        assert_eq!(linear(&xs, &ys, -1.0).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn grid_validation() {
+        assert!(linear(&[0.0], &[0.0], 0.0).is_err());
+        assert!(linear(&[0.0, 1.0], &[0.0], 0.0).is_err());
+        assert!(linear(&[0.0, 0.0], &[0.0, 1.0], 0.0).is_err());
+        assert!(linear(&[1.0, 0.0], &[0.0, 1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn pchip_reproduces_knots() {
+        let xs = [0.0, 0.4, 1.0, 2.0];
+        let ys = [0.0, 1.0, 1.5, 1.6];
+        let p = Pchip::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((p.eval(*x) - y).abs() < 1e-12);
+        }
+        assert_eq!(p.knots(), &xs);
+    }
+
+    #[test]
+    fn pchip_preserves_monotonicity() {
+        // Saturating-current-like data.
+        let xs = [0.0, 0.2, 0.5, 1.0, 1.8];
+        let ys = [0.0, 0.1, 1.0, 4.0, 9.0];
+        let p = Pchip::new(&xs, &ys).unwrap();
+        let mut prev = p.eval(0.0);
+        for i in 1..=200 {
+            let x = 1.8 * f64::from(i) / 200.0;
+            let y = p.eval(x);
+            assert!(y >= prev - 1e-12, "non-monotone at x = {x}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn pchip_flat_data_stays_flat() {
+        let p = Pchip::new(&[0.0, 1.0, 2.0], &[3.0, 3.0, 3.0]).unwrap();
+        for x in [0.1, 0.9, 1.5] {
+            assert!((p.eval(x) - 3.0).abs() < 1e-12);
+            assert!(p.eval_derivative(x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pchip_derivative_matches_finite_difference() {
+        let xs: Vec<f64> = (0..10).map(|i| f64::from(i) * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x * 0.9).tanh()).collect();
+        let p = Pchip::new(&xs, &ys).unwrap();
+        for &x in &[0.5, 1.0, 2.0] {
+            let h = 1e-6;
+            let fd = (p.eval(x + h) - p.eval(x - h)) / (2.0 * h);
+            assert!((p.eval_derivative(x) - fd).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pchip_two_points_is_linear() {
+        let p = Pchip::new(&[0.0, 2.0], &[1.0, 5.0]).unwrap();
+        assert!((p.eval(1.0) - 3.0).abs() < 1e-12);
+        assert!((p.eval_derivative(0.5) - 2.0).abs() < 1e-12);
+    }
+}

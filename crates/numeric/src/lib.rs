@@ -1,0 +1,48 @@
+// The `!(a > b)` validation idiom below deliberately treats NaN as a
+// failure; the negated form is kept on purpose.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+//! Numeric kernels backing the SSN suite.
+//!
+//! Everything the circuit simulator and the model-fitting code need is
+//! implemented here from scratch:
+//!
+//! * [`matrix`] — dense row-major matrices,
+//! * [`lu`] — LU factorization with partial pivoting (the MNA solver),
+//! * [`roots`] — bracketing and derivative-based 1-D root finders,
+//! * [`optimize`] — linear least squares and Levenberg–Marquardt,
+//! * [`interp`] — linear and monotone-cubic interpolation,
+//! * [`ode`] — reference ODE integrators (RK4, adaptive RKF45) used to
+//!   cross-check both the closed-form SSN solutions and the simulator,
+//! * [`stats`] — error metrics and grid helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssn_numeric::{matrix::DenseMatrix, lu::LuFactor};
+//!
+//! # fn main() -> Result<(), ssn_numeric::NumericError> {
+//! let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuFactor::new(&a)?;
+//! let x = lu.solve(&[3.0, 5.0])?;
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod clu;
+pub mod complex;
+pub mod interp;
+pub mod lu;
+pub mod matrix;
+pub mod ode;
+pub mod optimize;
+pub mod quadrature;
+pub mod roots;
+pub mod stats;
+
+mod error;
+
+pub use error::NumericError;

@@ -1,0 +1,354 @@
+//! Reference ODE integrators.
+//!
+//! These are *not* the circuit simulator's integrator (that lives in
+//! `ssn-spice` and uses implicit companion models). They are explicit,
+//! high-accuracy integrators used to cross-check both the closed-form SSN
+//! solutions and the simulator on the linearized SSN equations.
+
+use crate::NumericError;
+
+/// A sampled ODE trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Sample times.
+    pub t: Vec<f64>,
+    /// State vectors, one per sample (row `i` corresponds to `t[i]`).
+    pub y: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// The final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty (cannot happen for trajectories
+    /// produced by this module).
+    pub fn last(&self) -> &[f64] {
+        self.y.last().expect("trajectory is never empty")
+    }
+
+    /// Linear interpolation of state component `k` at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] when `k` is out of range or
+    /// `t` is outside the integration window.
+    pub fn sample(&self, k: usize, t: f64) -> Result<f64, NumericError> {
+        if self.y.is_empty() || k >= self.y[0].len() {
+            return Err(NumericError::argument(format!(
+                "trajectory sample: component {k} out of range"
+            )));
+        }
+        let (t0, t1) = (self.t[0], *self.t.last().expect("non-empty"));
+        if t < t0 - 1e-15 || t > t1 + 1e-15 {
+            return Err(NumericError::argument(format!(
+                "trajectory sample: t = {t} outside [{t0}, {t1}]"
+            )));
+        }
+        let idx = match self
+            .t
+            .binary_search_by(|v| v.partial_cmp(&t).expect("NaN time"))
+        {
+            Ok(i) => return Ok(self.y[i][k]),
+            Err(0) => return Ok(self.y[0][k]),
+            Err(i) if i >= self.t.len() => return Ok(self.y[self.t.len() - 1][k]),
+            Err(i) => i,
+        };
+        let (ta, tb) = (self.t[idx - 1], self.t[idx]);
+        let w = (t - ta) / (tb - ta);
+        Ok(self.y[idx - 1][k] * (1.0 - w) + self.y[idx][k] * w)
+    }
+}
+
+/// Integrates `y' = f(t, y)` with classic fixed-step RK4.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] for a non-positive step count
+/// or a reversed time interval.
+pub fn rk4<F>(mut f: F, t0: f64, t1: f64, y0: &[f64], steps: usize) -> Result<Trajectory, NumericError>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    if steps == 0 {
+        return Err(NumericError::argument("rk4: steps must be positive"));
+    }
+    if t1 <= t0 {
+        return Err(NumericError::argument("rk4: t1 must exceed t0"));
+    }
+    let n = y0.len();
+    let h = (t1 - t0) / steps as f64;
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut traj = Trajectory {
+        t: Vec::with_capacity(steps + 1),
+        y: Vec::with_capacity(steps + 1),
+    };
+    traj.t.push(t);
+    traj.y.push(y.clone());
+
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    for _ in 0..steps {
+        f(t, &y, &mut k1);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k1[i];
+        }
+        f(t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k2[i];
+        }
+        f(t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = y[i] + h * k3[i];
+        }
+        f(t + h, &tmp, &mut k4);
+        for i in 0..n {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+        traj.t.push(t);
+        traj.y.push(y.clone());
+    }
+    Ok(traj)
+}
+
+/// Options for [`rkf45`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rkf45Options {
+    /// Relative tolerance per step.
+    pub rel_tol: f64,
+    /// Absolute tolerance per step.
+    pub abs_tol: f64,
+    /// Initial step size (0 → `(t1 - t0) / 100`).
+    pub h0: f64,
+    /// Minimum step size before giving up.
+    pub h_min: f64,
+    /// Maximum step size (0 → unbounded). A finite cap keeps the stored
+    /// trajectory dense enough for accurate linear resampling via
+    /// [`Trajectory::sample`].
+    pub h_max: f64,
+    /// Hard cap on accepted steps.
+    pub max_steps: usize,
+}
+
+impl Default for Rkf45Options {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-9,
+            abs_tol: 1e-12,
+            h0: 0.0,
+            h_min: 1e-18,
+            h_max: 0.0,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Fehlberg 4(5) adaptive integrator for `y' = f(t, y)`.
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidArgument`] for a reversed interval.
+/// * [`NumericError::ConvergenceFailed`] when the step size underflows
+///   `h_min` or the step budget is exhausted.
+pub fn rkf45<F>(
+    mut f: F,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    opts: Rkf45Options,
+) -> Result<Trajectory, NumericError>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    if t1 <= t0 {
+        return Err(NumericError::argument("rkf45: t1 must exceed t0"));
+    }
+    // Fehlberg tableau.
+    const A: [[f64; 5]; 5] = [
+        [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    ];
+    const C: [f64; 6] = [0.0, 0.25, 0.375, 12.0 / 13.0, 1.0, 0.5];
+    const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const B5: [f64; 6] = [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ];
+
+    let n = y0.len();
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut h = if opts.h0 > 0.0 { opts.h0 } else { (t1 - t0) / 100.0 };
+    if opts.h_max > 0.0 {
+        h = h.min(opts.h_max);
+    }
+    let mut traj = Trajectory {
+        t: vec![t],
+        y: vec![y.clone()],
+    };
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut tmp = vec![0.0; n];
+
+    let span = t1 - t0;
+    let mut steps = 0usize;
+    while t1 - t > span * 1e-12 {
+        if steps >= opts.max_steps {
+            return Err(NumericError::ConvergenceFailed {
+                method: "rkf45",
+                iterations: steps,
+                residual: t1 - t,
+            });
+        }
+        h = h.min(t1 - t);
+        // Stage evaluations.
+        f(t, &y, &mut k[0]);
+        for s in 1..6 {
+            for i in 0..n {
+                let mut acc = y[i];
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    acc += h * A[s - 1][j] * kj[i];
+                }
+                tmp[i] = acc;
+            }
+            let (head, tail) = k.split_at_mut(s);
+            let _ = head;
+            f(t + C[s] * h, &tmp, &mut tail[0]);
+        }
+        // 4th/5th order solutions and the error estimate.
+        let mut err = 0.0f64;
+        let mut y5 = vec![0.0; n];
+        for i in 0..n {
+            let mut s4 = y[i];
+            let mut s5 = y[i];
+            for (j, kj) in k.iter().enumerate() {
+                s4 += h * B4[j] * kj[i];
+                s5 += h * B5[j] * kj[i];
+            }
+            y5[i] = s5;
+            let scale = opts.abs_tol + opts.rel_tol * y[i].abs().max(s5.abs());
+            err = err.max(((s5 - s4) / scale).abs());
+        }
+        if err <= 1.0 {
+            t += h;
+            y = y5;
+            traj.t.push(t);
+            traj.y.push(y.clone());
+            steps += 1;
+        }
+        // Step adaptation with the usual safety factor.
+        let factor = if err > 0.0 {
+            (0.9 * err.powf(-0.2)).clamp(0.2, 5.0)
+        } else {
+            5.0
+        };
+        h *= factor;
+        if opts.h_max > 0.0 {
+            h = h.min(opts.h_max);
+        }
+        if h < opts.h_min {
+            return Err(NumericError::ConvergenceFailed {
+                method: "rkf45",
+                iterations: steps,
+                residual: h,
+            });
+        }
+    }
+    Ok(traj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_exponential_decay() {
+        let traj = rk4(|_, y, dy| dy[0] = -y[0], 0.0, 1.0, &[1.0], 100).unwrap();
+        let exact = (-1.0f64).exp();
+        assert!((traj.last()[0] - exact).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rk4_validates() {
+        assert!(rk4(|_, _, _| {}, 0.0, 1.0, &[1.0], 0).is_err());
+        assert!(rk4(|_, _, _| {}, 1.0, 0.0, &[1.0], 10).is_err());
+    }
+
+    #[test]
+    fn rkf45_harmonic_oscillator_energy() {
+        // y'' = -y as a system; total "energy" must stay ~constant.
+        let traj = rkf45(
+            |_, y, dy| {
+                dy[0] = y[1];
+                dy[1] = -y[0];
+            },
+            0.0,
+            20.0,
+            &[1.0, 0.0],
+            Rkf45Options::default(),
+        )
+        .unwrap();
+        let e0 = 1.0;
+        let yl = traj.last();
+        let e = yl[0] * yl[0] + yl[1] * yl[1];
+        assert!((e - e0).abs() < 1e-6, "energy drift {e}");
+        // Position should equal cos(20).
+        assert!((yl[0] - 20f64.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rkf45_matches_rk4_on_rlc_like_system() {
+        // Damped oscillator: the same ODE family as the SSN LC equation.
+        let f = |_: f64, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -2.0 * 0.4 * y[1] - y[0] + 1.0;
+        };
+        let a = rkf45(f, 0.0, 10.0, &[0.0, 0.0], Rkf45Options::default()).unwrap();
+        let b = rk4(f, 0.0, 10.0, &[0.0, 0.0], 20_000).unwrap();
+        assert!((a.last()[0] - b.last()[0]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn trajectory_sampling() {
+        let traj = rk4(|_, _, dy| dy[0] = 1.0, 0.0, 1.0, &[0.0], 10).unwrap();
+        // y(t) = t, linear interpolation is exact.
+        assert!((traj.sample(0, 0.55).unwrap() - 0.55).abs() < 1e-12);
+        assert!((traj.sample(0, 0.0).unwrap()).abs() < 1e-15);
+        assert!((traj.sample(0, 1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!(traj.sample(0, 2.0).is_err());
+        assert!(traj.sample(1, 0.5).is_err());
+    }
+
+    #[test]
+    fn rkf45_validates_interval() {
+        assert!(rkf45(|_, _, _| {}, 1.0, 0.0, &[0.0], Rkf45Options::default()).is_err());
+    }
+
+    #[test]
+    fn rkf45_step_budget_error() {
+        let opts = Rkf45Options {
+            max_steps: 2,
+            ..Rkf45Options::default()
+        };
+        let res = rkf45(
+            |_, y, dy| dy[0] = (10.0 * y[0]).sin() * 50.0 + 1.0,
+            0.0,
+            100.0,
+            &[0.0],
+            opts,
+        );
+        assert!(matches!(res, Err(NumericError::ConvergenceFailed { .. })));
+    }
+}

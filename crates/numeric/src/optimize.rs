@@ -1,0 +1,338 @@
+//! Least squares and 1-D minimization.
+
+use crate::lu;
+use crate::matrix::DenseMatrix;
+use crate::NumericError;
+
+/// Solves the linear least-squares problem `min ||A x - b||_2` via the
+/// normal equations `AᵀA x = Aᵀ b`.
+///
+/// Adequate for the small, well-conditioned design matrices produced by the
+/// ASDM fit (the ASDM current law is linear in its parameters).
+///
+/// # Errors
+///
+/// * [`NumericError::ShapeMismatch`] when `b.len() != a.rows()` or the
+///   system is underdetermined (`a.rows() < a.cols()`).
+/// * [`NumericError::SingularMatrix`] when `AᵀA` is singular (rank-deficient
+///   design).
+pub fn linear_least_squares(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+    if b.len() != a.rows() {
+        return Err(NumericError::shape(format!(
+            "least squares: rhs has length {}, expected {}",
+            b.len(),
+            a.rows()
+        )));
+    }
+    if a.rows() < a.cols() {
+        return Err(NumericError::shape(format!(
+            "least squares: underdetermined system ({} rows < {} cols)",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let at = a.transpose();
+    let ata = at.matmul(a)?;
+    let atb = at.matvec(b)?;
+    lu::solve(&ata, &atb)
+}
+
+/// Options for [`levenberg_marquardt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmOptions {
+    /// Maximum number of outer iterations.
+    pub max_iter: usize,
+    /// Stop when the relative reduction of the cost falls below this.
+    pub cost_tol: f64,
+    /// Stop when the step max-norm falls below this.
+    pub step_tol: f64,
+    /// Initial damping factor.
+    pub lambda0: f64,
+    /// Relative perturbation for the forward-difference Jacobian.
+    pub fd_rel_step: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: 100,
+            cost_tol: 1e-12,
+            step_tol: 1e-12,
+            lambda0: 1e-3,
+            fd_rel_step: 1e-6,
+        }
+    }
+}
+
+/// Result of a Levenberg–Marquardt fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmFit {
+    /// Best parameter vector found.
+    pub params: Vec<f64>,
+    /// Final cost `0.5 * ||r||^2`.
+    pub cost: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+}
+
+/// Minimizes `0.5 * ||r(p)||^2` with the Levenberg–Marquardt algorithm and a
+/// forward-difference Jacobian.
+///
+/// `residuals(p, out)` must fill `out` (length = residual count) with the
+/// residual vector at parameters `p`.
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidArgument`] when there are fewer residuals than
+///   parameters or the initial residual is non-finite.
+/// * [`NumericError::ConvergenceFailed`] when no acceptable step exists.
+///
+/// # Examples
+///
+/// Fitting `y = a * exp(b x)`:
+///
+/// ```
+/// use ssn_numeric::optimize::{levenberg_marquardt, LmOptions};
+///
+/// # fn main() -> Result<(), ssn_numeric::NumericError> {
+/// let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+/// let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * (-1.5 * x).exp()).collect();
+/// let fit = levenberg_marquardt(
+///     |p, out| {
+///         for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+///             out[i] = p[0] * (p[1] * x).exp() - y;
+///         }
+///     },
+///     &[1.0, -1.0],
+///     xs.len(),
+///     LmOptions::default(),
+/// )?;
+/// assert!((fit.params[0] - 2.0).abs() < 1e-6);
+/// assert!((fit.params[1] + 1.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levenberg_marquardt<F>(
+    mut residuals: F,
+    p0: &[f64],
+    n_residuals: usize,
+    opts: LmOptions,
+) -> Result<LmFit, NumericError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let n_params = p0.len();
+    if n_residuals < n_params {
+        return Err(NumericError::argument(format!(
+            "levenberg-marquardt: {n_residuals} residuals for {n_params} parameters"
+        )));
+    }
+    let mut p = p0.to_vec();
+    let mut r = vec![0.0; n_residuals];
+    residuals(&p, &mut r);
+    let mut cost = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
+    if !cost.is_finite() {
+        return Err(NumericError::argument(
+            "levenberg-marquardt: initial residual is not finite",
+        ));
+    }
+
+    let mut lambda = opts.lambda0;
+    let mut r_pert = vec![0.0; n_residuals];
+    let mut jac = DenseMatrix::zeros(n_residuals, n_params);
+
+    for iter in 0..opts.max_iter {
+        // Forward-difference Jacobian.
+        for j in 0..n_params {
+            let h = opts.fd_rel_step * p[j].abs().max(1e-8);
+            let saved = p[j];
+            p[j] = saved + h;
+            residuals(&p, &mut r_pert);
+            p[j] = saved;
+            for i in 0..n_residuals {
+                jac[(i, j)] = (r_pert[i] - r[i]) / h;
+            }
+        }
+        // Normal equations with damping: (JᵀJ + λ diag(JᵀJ)) δ = -Jᵀ r.
+        let jt = jac.transpose();
+        let jtj = jt.matmul(&jac)?;
+        let mut jtr = jt.matvec(&r)?;
+        for v in &mut jtr {
+            *v = -*v;
+        }
+
+        let mut accepted = false;
+        for _ in 0..20 {
+            let mut damped = jtj.clone();
+            for j in 0..n_params {
+                let d = jtj[(j, j)].max(1e-12);
+                damped[(j, j)] += lambda * d;
+            }
+            let Ok(step) = lu::solve(&damped, &jtr) else {
+                lambda *= 10.0;
+                continue;
+            };
+            let p_trial: Vec<f64> = p.iter().zip(&step).map(|(a, b)| a + b).collect();
+            residuals(&p_trial, &mut r_pert);
+            let cost_trial = 0.5 * r_pert.iter().map(|v| v * v).sum::<f64>();
+            if cost_trial.is_finite() && cost_trial < cost {
+                let step_norm = step.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+                let rel_drop = (cost - cost_trial) / cost.max(1e-300);
+                p = p_trial;
+                std::mem::swap(&mut r, &mut r_pert);
+                cost = cost_trial;
+                lambda = (lambda * 0.3).max(1e-12);
+                accepted = true;
+                if rel_drop < opts.cost_tol || step_norm < opts.step_tol {
+                    return Ok(LmFit {
+                        params: p,
+                        cost,
+                        iterations: iter + 1,
+                    });
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+        if !accepted {
+            // Damping saturated: current point is a (local) minimum.
+            return Ok(LmFit {
+                params: p,
+                cost,
+                iterations: iter + 1,
+            });
+        }
+    }
+    Ok(LmFit {
+        params: p,
+        cost,
+        iterations: opts.max_iter,
+    })
+}
+
+/// Minimizes a unimodal function on `[lo, hi]` by golden-section search.
+///
+/// Returns the abscissa of the minimum.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] when `lo >= hi`.
+pub fn golden_section<F>(mut f: F, lo: f64, hi: f64, x_tol: f64) -> Result<f64, NumericError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if lo >= hi {
+        return Err(NumericError::argument(format!(
+            "golden section: lo ({lo}) must be < hi ({hi})"
+        )));
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    while (b - a).abs() > x_tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        // y = 3x + 1 with two unknowns [slope, intercept].
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = DenseMatrix::from_rows(&refs).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 1.0).collect();
+        let p = linear_least_squares(&a, &b).unwrap();
+        assert!((p[0] - 3.0).abs() < 1e-10);
+        assert!((p[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn linear_fit_overdetermined_noise() {
+        // Least squares should average out symmetric noise.
+        let a = DenseMatrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0]]).unwrap();
+        let b = [2.0 - 0.1, 2.0 + 0.1, 2.0 - 0.2, 2.0 + 0.2];
+        let p = linear_least_squares(&a, &b).unwrap();
+        assert!((p[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_shape_errors() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(linear_least_squares(&a, &[1.0, 2.0]).is_err());
+        let a = DenseMatrix::identity(2);
+        assert!(linear_least_squares(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn lm_fits_exponential() {
+        let xs: Vec<f64> = (0..30).map(|i| f64::from(i) * 0.05).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.75 * (1.0 - (-4.0 * x).exp())).collect();
+        let fit = levenberg_marquardt(
+            |p, out| {
+                for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                    out[i] = p[0] * (1.0 - (p[1] * x).exp()) - y;
+                }
+            },
+            &[0.5, -1.0],
+            xs.len(),
+            LmOptions::default(),
+        )
+        .unwrap();
+        assert!((fit.params[0] - 0.75).abs() < 1e-6, "{:?}", fit);
+        assert!((fit.params[1] + 4.0).abs() < 1e-4, "{:?}", fit);
+        assert!(fit.cost < 1e-12);
+    }
+
+    #[test]
+    fn lm_exact_start_returns_immediately() {
+        let fit = levenberg_marquardt(
+            |p, out| {
+                out[0] = p[0] - 1.0;
+                out[1] = p[0] - 1.0;
+            },
+            &[1.0],
+            2,
+            LmOptions::default(),
+        )
+        .unwrap();
+        assert!(fit.cost < 1e-24);
+        assert!(fit.iterations <= 2);
+    }
+
+    #[test]
+    fn lm_rejects_underdetermined() {
+        assert!(levenberg_marquardt(|_, out| out[0] = 0.0, &[1.0, 2.0], 1, LmOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn golden_section_parabola() {
+        let x = golden_section(|x| (x - 1.3) * (x - 1.3), -5.0, 5.0, 1e-10).unwrap();
+        assert!((x - 1.3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn golden_section_validates() {
+        assert!(golden_section(|x| x, 1.0, 0.0, 1e-8).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Numerical quadrature.
+
+use crate::NumericError;
+
+/// Trapezoidal integration of sampled data `(xs, ys)`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] for mismatched lengths or fewer
+/// than two samples.
+pub fn trapezoid_samples(xs: &[f64], ys: &[f64]) -> Result<f64, NumericError> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return Err(NumericError::shape(format!(
+            "trapezoid: {} abscissae vs {} ordinates",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    Ok(xs
+        .windows(2)
+        .zip(ys.windows(2))
+        .map(|(x, y)| 0.5 * (y[0] + y[1]) * (x[1] - x[0]))
+        .sum())
+}
+
+/// Composite Simpson integration of `f` over `[a, b]` with `n` panels
+/// (rounded up to even).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] when `b <= a` or `n == 0`.
+pub fn simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> Result<f64, NumericError> {
+    if !(b > a) {
+        return Err(NumericError::argument("simpson: b must exceed a"));
+    }
+    if n == 0 {
+        return Err(NumericError::argument("simpson: n must be positive"));
+    }
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for k in 1..n {
+        let w = if k % 2 == 1 { 4.0 } else { 2.0 };
+        sum += w * f(a + h * k as f64);
+    }
+    Ok(sum * h / 3.0)
+}
+
+/// Adaptive Simpson integration to absolute tolerance `tol`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] for a reversed interval or
+/// non-positive tolerance.
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<f64, NumericError> {
+    if !(b > a) {
+        return Err(NumericError::argument("adaptive simpson: b must exceed a"));
+    }
+    if !(tol > 0.0) {
+        return Err(NumericError::argument(
+            "adaptive simpson: tolerance must be positive",
+        ));
+    }
+    fn simpson_third(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
+        h / 6.0 * (fa + 4.0 * fm + fb)
+    }
+    // Explicit stack to avoid recursion-depth issues on nasty integrands.
+    struct Seg {
+        a: f64,
+        b: f64,
+        fa: f64,
+        fm: f64,
+        fb: f64,
+        whole: f64,
+        tol: f64,
+        depth: u32,
+    }
+    // Seed with a fixed initial subdivision so narrow features between the
+    // first three sample points cannot be silently accepted as zero.
+    const SEED_SEGMENTS: usize = 16;
+    let mut stack = Vec::with_capacity(SEED_SEGMENTS);
+    let h = (b - a) / SEED_SEGMENTS as f64;
+    for k in 0..SEED_SEGMENTS {
+        let sa = a + h * k as f64;
+        let sb = if k == SEED_SEGMENTS - 1 { b } else { sa + h };
+        let sm = 0.5 * (sa + sb);
+        let (fa, fm, fb) = (f(sa), f(sm), f(sb));
+        let whole = simpson_third(fa, fm, fb, sb - sa);
+        stack.push(Seg {
+            a: sa,
+            b: sb,
+            fa,
+            fm,
+            fb,
+            whole,
+            tol: tol / SEED_SEGMENTS as f64,
+            depth: 0,
+        });
+    }
+    let mut total = 0.0;
+    while let Some(seg) = stack.pop() {
+        let m = 0.5 * (seg.a + seg.b);
+        let lm = 0.5 * (seg.a + m);
+        let rm = 0.5 * (m + seg.b);
+        let (flm, frm) = (f(lm), f(rm));
+        let left = simpson_third(seg.fa, flm, seg.fm, m - seg.a);
+        let right = simpson_third(seg.fm, frm, seg.fb, seg.b - m);
+        let delta = left + right - seg.whole;
+        if delta.abs() <= 15.0 * seg.tol || seg.depth >= 50 {
+            total += left + right + delta / 15.0;
+        } else {
+            stack.push(Seg {
+                a: seg.a,
+                b: m,
+                fa: seg.fa,
+                fm: flm,
+                fb: seg.fm,
+                whole: left,
+                tol: seg.tol / 2.0,
+                depth: seg.depth + 1,
+            });
+            stack.push(Seg {
+                a: m,
+                b: seg.b,
+                fa: seg.fm,
+                fm: frm,
+                fb: seg.fb,
+                whole: right,
+                tol: seg.tol / 2.0,
+                depth: seg.depth + 1,
+            });
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        let xs = [0.0, 0.4, 1.0];
+        let ys = [0.0, 0.8, 2.0]; // y = 2x
+        assert!((trapezoid_samples(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!(trapezoid_samples(&xs, &ys[..2]).is_err());
+        assert!(trapezoid_samples(&[0.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn simpson_cubic_exact() {
+        // Simpson is exact for cubics.
+        let v = simpson(|x| x * x * x - x, 0.0, 2.0, 2).unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+        assert!(simpson(|x| x, 1.0, 0.0, 4).is_err());
+        assert!(simpson(|x| x, 0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn simpson_rounds_odd_panel_counts() {
+        let v = simpson(|x| x * x, 0.0, 1.0, 3).unwrap();
+        assert!((v - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_simpson_oscillatory() {
+        let v = adaptive_simpson(|x| (10.0 * x).sin(), 0.0, std::f64::consts::PI, 1e-10).unwrap();
+        let exact = (1.0 - (10.0 * std::f64::consts::PI).cos()) / 10.0;
+        assert!((v - exact).abs() < 1e-8, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn adaptive_simpson_sharp_peak() {
+        // Narrow Gaussian: integral ~ sqrt(pi) * 0.01.
+        let v = adaptive_simpson(
+            |x: f64| (-((x - 0.37) / 0.01).powi(2)).exp(),
+            0.0,
+            1.0,
+            1e-10,
+        )
+        .unwrap();
+        let exact = std::f64::consts::PI.sqrt() * 0.01;
+        assert!((v - exact).abs() < 1e-7, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn adaptive_simpson_validates() {
+        assert!(adaptive_simpson(|x| x, 1.0, 0.0, 1e-9).is_err());
+        assert!(adaptive_simpson(|x| x, 0.0, 1.0, 0.0).is_err());
+    }
+}

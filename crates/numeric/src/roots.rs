@@ -1,0 +1,331 @@
+//! One-dimensional root finding.
+
+use crate::NumericError;
+
+/// Options shared by the root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the abscissa.
+    pub x_tol: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        Self {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Robust but linear-rate; used as the fallback of last resort.
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidBracket`] when `f(lo)` and `f(hi)` have the same
+///   sign.
+/// * [`NumericError::ConvergenceFailed`] when the budget is exhausted.
+pub fn bisect<F>(mut f: F, lo: f64, hi: f64, opts: RootOptions) -> Result<f64, NumericError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut a, mut b) = (lo, hi);
+    let (mut fa, fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..opts.max_iter {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < opts.x_tol {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Err(NumericError::ConvergenceFailed {
+        method: "bisect",
+        iterations: opts.max_iter,
+        residual: (b - a).abs(),
+    })
+}
+
+/// Finds a root of `f` in `[lo, hi]` with Brent's method (inverse quadratic
+/// interpolation + secant + bisection safeguard).
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidBracket`] when the interval does not bracket a
+///   sign change.
+/// * [`NumericError::ConvergenceFailed`] when the budget is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_numeric::roots::{brent, RootOptions};
+///
+/// # fn main() -> Result<(), ssn_numeric::NumericError> {
+/// let x = brent(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default())?;
+/// assert!((x - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brent<F>(mut f: F, lo: f64, hi: f64, opts: RootOptions) -> Result<f64, NumericError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut a, mut b) = (lo, hi);
+    let (mut fa, mut fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..opts.max_iter {
+        if fb.abs() < opts.f_tol || (b - a).abs() < opts.x_tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo_bound = (3.0 * a + b) / 4.0;
+        let (mn, mx) = if lo_bound < b { (lo_bound, b) } else { (b, lo_bound) };
+        let cond1 = !(s > mn && s < mx);
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= d.abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < opts.x_tol;
+        let cond5 = !mflag && d.abs() < opts.x_tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericError::ConvergenceFailed {
+        method: "brent",
+        iterations: opts.max_iter,
+        residual: fb.abs(),
+    })
+}
+
+/// Damped Newton's method with an optional bracket safeguard.
+///
+/// `fdf` evaluates `(f(x), f'(x))`. Steps that leave `[lo, hi]` are replaced
+/// by a bisection step towards the violated bound.
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidArgument`] when `lo >= hi` or `x0` lies outside
+///   the bracket.
+/// * [`NumericError::ConvergenceFailed`] when the budget is exhausted.
+pub fn newton_bracketed<F>(
+    mut fdf: F,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    opts: RootOptions,
+) -> Result<f64, NumericError>
+where
+    F: FnMut(f64) -> (f64, f64),
+{
+    if lo >= hi {
+        return Err(NumericError::argument(format!(
+            "newton bracket: lo ({lo}) must be < hi ({hi})"
+        )));
+    }
+    if x0 < lo || x0 > hi {
+        return Err(NumericError::argument(format!(
+            "newton start {x0} outside bracket [{lo}, {hi}]"
+        )));
+    }
+    let mut x = x0;
+    for _ in 0..opts.max_iter {
+        let (fx, dfx) = fdf(x);
+        if fx.abs() < opts.f_tol {
+            return Ok(x);
+        }
+        let step = if dfx != 0.0 { fx / dfx } else { f64::INFINITY };
+        let mut x_new = x - step;
+        if !x_new.is_finite() || x_new <= lo || x_new >= hi {
+            // Fall back to a bisection-like step towards the bound the
+            // Newton step overshot.
+            x_new = if step.is_sign_negative() {
+                0.5 * (x + hi)
+            } else {
+                0.5 * (x + lo)
+            };
+        }
+        if (x_new - x).abs() < opts.x_tol {
+            return Ok(x_new);
+        }
+        x = x_new;
+    }
+    let (fx, _) = fdf(x);
+    Err(NumericError::ConvergenceFailed {
+        method: "newton",
+        iterations: opts.max_iter,
+        residual: fx.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let x = bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default()).unwrap();
+        assert!((x - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(
+            bisect(|x| x, 0.0, 1.0, RootOptions::default()).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            bisect(|x| x - 1.0, 0.0, 1.0, RootOptions::default()).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default()),
+            Err(NumericError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // x = cos(x) near 0.739085.
+        let x = brent(|x| x - x.cos(), 0.0, 1.0, RootOptions::default()).unwrap();
+        assert!((x - 0.7390851332151607).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_matches_bisect_on_polynomial() {
+        let f = |x: f64| (x - 0.3) * (x + 2.0) * (x - 5.0);
+        let b1 = brent(f, 0.0, 1.0, RootOptions::default()).unwrap();
+        let b2 = bisect(f, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert!((b1 - 0.3).abs() < 1e-9);
+        assert!((b2 - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_steep_exponential() {
+        // The kind of equation the SSN case-3b boundary produces.
+        let f = |x: f64| 1.0 - (-8.0 * x).exp() * (1.0 + 3.0 * x) - 0.4;
+        let x = brent(f, 0.0, 2.0, RootOptions::default()).unwrap();
+        assert!(f(x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_quadratic() {
+        let x = newton_bracketed(
+            |x| (x * x - 2.0, 2.0 * x),
+            1.0,
+            0.0,
+            2.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        assert!((x - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_recovers_from_flat_derivative() {
+        // f has near-zero slope at the start; the bisection fallback should
+        // still drive it home.
+        let x = newton_bracketed(
+            |x: f64| (x.powi(3) - 1e-3, 3.0 * x * x),
+            1e-9,
+            0.0,
+            1.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        assert!((x - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn newton_validates_arguments() {
+        assert!(newton_bracketed(|x| (x, 1.0), 0.5, 1.0, 0.0, RootOptions::default()).is_err());
+        assert!(newton_bracketed(|x| (x, 1.0), 5.0, 0.0, 1.0, RootOptions::default()).is_err());
+    }
+
+    #[test]
+    fn convergence_failure_reports_method() {
+        let err = bisect(
+            |x| x - 1.0 / 3.0,
+            -1.0,
+            1.0,
+            RootOptions {
+                x_tol: 0.0,
+                f_tol: 0.0,
+                max_iter: 3,
+            },
+        )
+        .unwrap_err();
+        match err {
+            NumericError::ConvergenceFailed { method, .. } => assert_eq!(method, "bisect"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Error metrics and grid helpers.
+
+use crate::NumericError;
+
+/// Relative error `|measured - reference| / |reference|`.
+///
+/// When `reference` is (numerically) zero the absolute error is returned
+/// instead, which keeps sweep tables finite near zero crossings.
+pub fn relative_error(measured: f64, reference: f64) -> f64 {
+    let denom = reference.abs();
+    if denom < 1e-300 {
+        (measured - reference).abs()
+    } else {
+        (measured - reference).abs() / denom
+    }
+}
+
+/// Maximum absolute pairwise difference between two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] for unequal lengths or empty
+/// inputs.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> Result<f64, NumericError> {
+    if a.len() != b.len() || a.is_empty() {
+        return Err(NumericError::shape(format!(
+            "max_abs_diff: lengths {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Root-mean-square difference between two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] for unequal lengths or empty
+/// inputs.
+pub fn rmse(a: &[f64], b: &[f64]) -> Result<f64, NumericError> {
+    if a.len() != b.len() || a.is_empty() {
+        return Err(NumericError::shape(format!(
+            "rmse: lengths {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    Ok((ss / a.len() as f64).sqrt())
+}
+
+/// `n` evenly spaced points covering `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            if i == n - 1 {
+                hi
+            } else {
+                lo + step * i as f64
+            }
+        })
+        .collect()
+}
+
+/// `n` logarithmically spaced points covering `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or either bound is non-positive.
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "logspace needs at least two points");
+    assert!(lo > 0.0 && hi > 0.0, "logspace bounds must be positive");
+    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+}
+
+/// Arithmetic mean of a non-empty slice.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64, NumericError> {
+    if xs.is_empty() {
+        return Err(NumericError::argument("mean of empty slice"));
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic() {
+        assert!((relative_error(1.03, 1.0) - 0.03).abs() < 1e-12);
+        assert!((relative_error(0.97, 1.0) - 0.03).abs() < 1e-12);
+        // Zero reference falls back to absolute error.
+        assert!((relative_error(0.02, 0.0) - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 2.0];
+        assert!((max_abs_diff(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let expect = ((0.25 + 1.0) / 3.0f64).sqrt();
+        assert!((rmse(&a, &b).unwrap() - expect).abs() < 1e-12);
+        assert!(max_abs_diff(&a, &b[..2]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn linspace_endpoints_exact() {
+        let g = linspace(0.0, 1.8, 10);
+        assert_eq!(g.len(), 10);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[9], 1.8);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn logspace_spans_decades() {
+        let g = logspace(1e-15, 1e-9, 7);
+        assert_eq!(g.len(), 7);
+        assert!((g[0] - 1e-15).abs() < 1e-27);
+        assert!((g[6] - 1e-9).abs() < 1e-21);
+        let ratio = g[1] / g[0];
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linspace_rejects_degenerate() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+    }
+}

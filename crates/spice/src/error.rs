@@ -1,0 +1,145 @@
+//! Simulator error type.
+
+use ssn_numeric::NumericError;
+use ssn_waveform::WaveformError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by circuit construction or analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// A node name was referenced that is structurally invalid (empty).
+    InvalidNode {
+        /// The offending name.
+        name: String,
+    },
+    /// An element name was reused or is empty.
+    InvalidElement {
+        /// Human-readable description.
+        context: String,
+    },
+    /// A probe referenced a node or element that does not exist in the
+    /// analyzed circuit.
+    UnknownProbe {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A component value was out of its physical domain (e.g. negative
+    /// capacitance).
+    InvalidValue {
+        /// Human-readable description.
+        context: String,
+    },
+    /// The Newton iteration failed to converge.
+    NewtonDiverged {
+        /// Simulation time at which convergence was lost (`None` for DC).
+        time: Option<f64>,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// The adaptive timestep controller hit its minimum step.
+    TimestepUnderflow {
+        /// Simulation time at which the step collapsed.
+        time: f64,
+        /// The rejected step size.
+        dt: f64,
+    },
+    /// A SPICE deck could not be parsed.
+    Parse {
+        /// 1-based line number in the deck.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A deck file (or one of its `.include`s) could not be read.
+    DeckIo {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error text.
+        message: String,
+    },
+    /// A numeric kernel failed (singular MNA matrix, etc.).
+    Numeric(NumericError),
+    /// A probe waveform could not be constructed.
+    Waveform(WaveformError),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidNode { name } => write!(f, "invalid node name {name:?}"),
+            Self::InvalidElement { context } => write!(f, "invalid element: {context}"),
+            Self::UnknownProbe { name } => write!(f, "unknown probe target {name:?}"),
+            Self::InvalidValue { context } => write!(f, "invalid component value: {context}"),
+            Self::NewtonDiverged { time, iterations } => match time {
+                Some(t) => write!(
+                    f,
+                    "newton iteration diverged at t = {t:.4e} after {iterations} iterations"
+                ),
+                None => write!(f, "dc newton iteration diverged after {iterations} iterations"),
+            },
+            Self::TimestepUnderflow { time, dt } => {
+                write!(f, "timestep underflow at t = {time:.4e} (dt = {dt:.3e})")
+            }
+            Self::Parse { line, message } => write!(f, "deck parse error, line {line}: {message}"),
+            Self::DeckIo { path, message } => {
+                write!(f, "cannot read deck file {path:?}: {message}")
+            }
+            Self::Numeric(e) => write!(f, "numeric failure: {e}"),
+            Self::Waveform(e) => write!(f, "waveform failure: {e}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Numeric(e) => Some(e),
+            Self::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for SpiceError {
+    fn from(e: NumericError) -> Self {
+        Self::Numeric(e)
+    }
+}
+
+impl From<WaveformError> for SpiceError {
+    fn from(e: WaveformError) -> Self {
+        Self::Waveform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SpiceError::InvalidNode { name: "".into() }
+            .to_string()
+            .contains("invalid node"));
+        assert!(SpiceError::NewtonDiverged {
+            time: Some(1e-9),
+            iterations: 50
+        }
+        .to_string()
+        .contains("1.0000e-9"));
+        assert!(SpiceError::NewtonDiverged {
+            time: None,
+            iterations: 50
+        }
+        .to_string()
+        .contains("dc"));
+        assert!(SpiceError::TimestepUnderflow { time: 0.0, dt: 1e-20 }
+            .to_string()
+            .contains("underflow"));
+        let n: SpiceError = NumericError::argument("x").into();
+        assert!(n.to_string().contains("numeric failure"));
+        assert!(Error::source(&n).is_some());
+    }
+}

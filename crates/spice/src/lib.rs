@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! A mini SPICE-class circuit simulator.
+//!
+//! `ssn-spice` is the suite's stand-in for HSPICE: a nonlinear
+//! modified-nodal-analysis (MNA) simulator with
+//!
+//! * R, L, C, independent V/I sources (DC, pulse, PWL, sine), VCCS, and
+//!   MOSFETs driven by any [`ssn_devices::MosModel`],
+//! * Newton–Raphson per timestep with voltage-step limiting,
+//! * DC operating point via gmin stepping,
+//! * transient analysis with backward-Euler or trapezoidal companion
+//!   models, source-breakpoint alignment and predictor-based adaptive
+//!   timestep control,
+//! * probes returning [`ssn_waveform::Waveform`]s.
+//!
+//! It is sized for the paper's workloads (tens of nodes, nanosecond
+//! windows), not for general-purpose EDA — but within that envelope it is a
+//! real simulator, validated against analytic RC/RLC responses and the
+//! reference integrators in [`ssn_numeric::ode`].
+//!
+//! # Examples
+//!
+//! An RC low-pass step response:
+//!
+//! ```
+//! use ssn_spice::{Circuit, SourceWave, TranOptions};
+//!
+//! # fn main() -> Result<(), ssn_spice::SpiceError> {
+//! let mut c = Circuit::new();
+//! c.vsource("vin", "in", "0", SourceWave::Dc(1.0))?;
+//! c.resistor("r1", "in", "out", 1e3)?;
+//! c.capacitor("c1", "out", "0", 1e-9)?;
+//! let result = ssn_spice::transient(&c, TranOptions::to(5e-6))?;
+//! let out = result.voltage("out")?;
+//! // Settles to 1 V through the 1 us time constant.
+//! assert!((out.sample(5e-6) - 1.0).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ac;
+mod dc;
+mod error;
+mod netlist;
+pub mod parser;
+mod solution;
+mod source;
+mod stamp;
+mod tran;
+pub mod writer;
+
+pub use ac::{ac_analysis, AcOptions, AcResult};
+pub use dc::{dc_operating_point, DcOptions};
+pub use error::SpiceError;
+pub use netlist::{Circuit, ElementKind, NodeId, GROUND};
+pub use solution::{DcSolution, TranResult};
+pub use source::SourceWave;
+pub use tran::{transient, IntegrationMethod, TranOptions};

@@ -1,0 +1,256 @@
+//! Independent source waveforms.
+
+/// The time-dependent value of an independent voltage or current source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWave {
+    /// A constant value.
+    Dc(f64),
+    /// A SPICE-style pulse train.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time (0 becomes an effectively instant 1 fs ramp).
+        rise: f64,
+        /// Fall time (same convention as `rise`).
+        fall: f64,
+        /// Time spent at `v1`.
+        width: f64,
+        /// Repetition period (`0` = single pulse).
+        period: f64,
+    },
+    /// Piecewise-linear points `(time, value)`; must be sorted by time.
+    /// Holds the first value before the first point and the last value
+    /// after the last point.
+    Pwl(Vec<(f64, f64)>),
+    /// A sine `offset + ampl * sin(2 pi freq (t - delay) + phase)`, zero
+    /// before `delay`... starting from `offset` at `t = delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency in Hz.
+        freq: f64,
+        /// Start delay.
+        delay: f64,
+    },
+}
+
+impl SourceWave {
+    /// A single rising ramp from `v0` to `v1` starting at `delay` with rise
+    /// time `rise` — the canonical SSN driver input.
+    pub fn ramp(v0: f64, v1: f64, delay: f64, rise: f64) -> Self {
+        Self::Pwl(vec![(delay, v0), (delay + rise.max(1e-15), v1)])
+    }
+
+    /// The source value at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Self::Dc(v) => *v,
+            Self::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let rise = rise.max(1e-15);
+                let fall = fall.max(1e-15);
+                let cycle = rise + *width + fall;
+                let local = if *period > 0.0 {
+                    (t - delay) % period
+                } else {
+                    t - delay
+                };
+                if local < rise {
+                    v0 + (v1 - v0) * local / rise
+                } else if local < rise + width {
+                    *v1
+                } else if local < cycle {
+                    v1 + (v0 - v1) * (local - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Self::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+            Self::Sine {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// Times in `[0, t_stop]` at which the waveform has slope corners; the
+    /// transient engine aligns timesteps to these.
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        match self {
+            Self::Dc(_) => {}
+            Self::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let rise = rise.max(1e-15);
+                let fall = fall.max(1e-15);
+                let cycle = rise + *width + fall;
+                let mut start = *delay;
+                loop {
+                    for c in [start, start + rise, start + rise + width, start + cycle] {
+                        if c <= t_stop {
+                            out.push(c);
+                        }
+                    }
+                    if *period > 0.0 && start + period <= t_stop {
+                        start += period;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Self::Pwl(points) => {
+                out.extend(points.iter().map(|(t, _)| *t).filter(|t| *t <= t_stop));
+            }
+            Self::Sine { delay, .. } => {
+                if *delay <= t_stop {
+                    out.push(*delay);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let s = SourceWave::Dc(1.8);
+        assert_eq!(s.value_at(0.0), 1.8);
+        assert_eq!(s.value_at(1.0), 1.8);
+        assert!(s.breakpoints(1.0).is_empty());
+    }
+
+    #[test]
+    fn ramp_interpolates() {
+        let s = SourceWave::ramp(0.0, 1.8, 1e-9, 0.5e-9);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert!((s.value_at(1.25e-9) - 0.9).abs() < 1e-12);
+        assert_eq!(s.value_at(2e-9), 1.8);
+        assert_eq!(s.breakpoints(3e-9).len(), 2);
+    }
+
+    #[test]
+    fn pulse_single_shot() {
+        let s = SourceWave::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 0.0,
+        };
+        assert_eq!(s.value_at(0.5), 0.0);
+        assert!((s.value_at(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value_at(3.0), 1.0);
+        assert!((s.value_at(4.5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value_at(6.0), 0.0);
+    }
+
+    #[test]
+    fn pulse_periodic_repeats() {
+        let s = SourceWave::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.3,
+            period: 1.0,
+        };
+        assert!((s.value_at(0.2) - 1.0).abs() < 1e-12);
+        assert!((s.value_at(1.2) - 1.0).abs() < 1e-12);
+        assert!((s.value_at(2.7)).abs() < 1e-12);
+        let bps = s.breakpoints(2.5);
+        assert!(bps.len() >= 8);
+    }
+
+    #[test]
+    fn pwl_holds_ends() {
+        let s = SourceWave::Pwl(vec![(1.0, 0.0), (2.0, 1.0), (3.0, -1.0)]);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert!((s.value_at(1.5) - 0.5).abs() < 1e-12);
+        assert!((s.value_at(2.5) - 0.0).abs() < 1e-12);
+        assert_eq!(s.value_at(10.0), -1.0);
+        assert_eq!(s.breakpoints(10.0).len(), 3);
+        assert_eq!(SourceWave::Pwl(vec![]).value_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn sine_starts_at_delay() {
+        let s = SourceWave::Sine {
+            offset: 0.5,
+            ampl: 1.0,
+            freq: 1.0,
+            delay: 1.0,
+        };
+        assert_eq!(s.value_at(0.0), 0.5);
+        assert!((s.value_at(1.25) - 1.5).abs() < 1e-12);
+        assert_eq!(s.breakpoints(2.0), vec![1.0]);
+    }
+
+    #[test]
+    fn zero_rise_pulse_does_not_divide_by_zero() {
+        let s = SourceWave::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1.0,
+            period: 0.0,
+        };
+        assert!(s.value_at(0.5).is_finite());
+        assert_eq!(s.value_at(0.5), 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Typed physical quantities for circuit-level analysis.
+//!
+//! Every quantity in the SSN suite — node voltages, bond-wire inductances,
+//! input slew rates — is carried in a dedicated newtype ([`Volts`],
+//! [`Henrys`], [`SlewRate`], ...) instead of a bare `f64`, so the compiler
+//! rejects, e.g., passing a capacitance where an inductance is expected.
+//!
+//! The types are thin `f64` wrappers: `Copy`, zero-cost, and fully usable in
+//! arithmetic. Physically meaningful cross-type operations are provided as
+//! operator overloads (`Volts / Ohms = Amps`, `Farads * Volts = Coulombs`,
+//! `Volts / Seconds = SlewRate`, ...).
+//!
+//! # Examples
+//!
+//! ```
+//! use ssn_units::{Volts, Seconds, SlewRate, Henrys};
+//!
+//! let vdd = Volts::new(1.8);
+//! let tr = Seconds::from_nanos(0.5);
+//! let slew: SlewRate = vdd / tr;
+//! assert!((slew.value() - 3.6e9).abs() < 1.0);
+//!
+//! // Engineering-notation display:
+//! assert_eq!(Henrys::from_nanos(5.0).to_string(), "5 nH");
+//! ```
+
+mod ops;
+mod parse;
+mod prefix;
+mod quantity;
+
+pub use parse::ParseQuantityError;
+pub use prefix::{format_eng, EngFormat};
+pub use quantity::{
+    Amps, Coulombs, Farads, Henrys, Hertz, Joules, Kelvin, Meters, Ohms, Seconds, Siemens,
+    SlewRate, Unitless, Volts, Watts,
+};

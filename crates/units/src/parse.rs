@@ -1,0 +1,163 @@
+//! Parsing of SPICE-style quantity strings like `"5n"`, `"1.8"`, `"2.2 pF"`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a quantity string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+}
+
+impl ParseQuantityError {
+    pub(crate) fn new(input: &str) -> Self {
+        Self {
+            input: input.to_owned(),
+        }
+    }
+
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid quantity syntax: {:?}", self.input)
+    }
+}
+
+impl Error for ParseQuantityError {}
+
+fn prefix_scale(prefix: &str) -> Option<f64> {
+    Some(match prefix {
+        "T" => 1e12,
+        "G" => 1e9,
+        // SPICE-style "MEG" and SI uppercase "M" are both mega; only the
+        // lowercase "m" is milli (case-sensitive SI, unlike classic SPICE,
+        // so that Display output round-trips).
+        "MEG" | "Meg" | "meg" | "M" => 1e6,
+        "k" | "K" => 1e3,
+        "" => 1.0,
+        "m" => 1e-3,
+        "u" | "U" => 1e-6,
+        "n" | "N" => 1e-9,
+        "p" | "P" => 1e-12,
+        "f" => 1e-15,
+        "a" => 1e-18,
+        _ => return None,
+    })
+}
+
+/// Parses a quantity string into a base-SI `f64`.
+///
+/// Accepted forms (whitespace between number and suffix optional):
+/// * plain numbers: `"1.8"`, `"-3e-9"`,
+/// * SI/SPICE prefixes: `"5n"`, `"2.2p"`, `"1MEG"` (SPICE mega), `"3k"`,
+/// * with the unit symbol appended: `"5 nH"`, `"1.8V"`.
+///
+/// # Errors
+///
+/// Returns [`ParseQuantityError`] when the string is empty, the numeric part
+/// is invalid, or the suffix is not a known prefix/unit combination.
+pub(crate) fn parse_quantity(s: &str, symbol: &str) -> Result<f64, ParseQuantityError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(ParseQuantityError::new(s));
+    }
+    // Split into the longest numeric head and the remaining suffix.
+    let split = s
+        .char_indices()
+        .find(|&(i, c)| {
+            !(c.is_ascii_digit()
+                || c == '.'
+                || c == '+'
+                || c == '-'
+                || ((c == 'e' || c == 'E') && is_exponent(s, i)))
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    let (num, suffix) = s.split_at(split);
+    let value: f64 = num.parse().map_err(|_| ParseQuantityError::new(s))?;
+
+    let mut suffix = suffix.trim();
+    // Strip the unit symbol if present (case-sensitive, to keep "m" vs "M"
+    // prefix semantics intact for the prefix part).
+    if !symbol.is_empty() {
+        if let Some(stripped) = suffix.strip_suffix(symbol) {
+            suffix = stripped.trim_end();
+        }
+    }
+    let scale = prefix_scale(suffix).ok_or_else(|| ParseQuantityError::new(s))?;
+    Ok(value * scale)
+}
+
+/// True when the `e`/`E` at byte `i` begins a float exponent (digit or signed
+/// digit follows), as opposed to a unit suffix.
+fn is_exponent(s: &str, i: usize) -> bool {
+    let rest = &s[i + 1..];
+    let mut chars = rest.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_digit() => true,
+        Some('+') | Some('-') => chars.next().is_some_and(|c| c.is_ascii_digit()),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Farads, Henrys, Ohms, Seconds, Volts};
+
+    #[test]
+    fn parses_plain_numbers() {
+        assert_eq!("1.8".parse::<Volts>().unwrap(), Volts::new(1.8));
+        assert_eq!("-3e-9".parse::<Seconds>().unwrap(), Seconds::new(-3e-9));
+        assert_eq!("2E+3".parse::<Ohms>().unwrap(), Ohms::new(2000.0));
+    }
+
+    #[test]
+    fn parses_si_prefixes() {
+        assert_eq!("5n".parse::<Henrys>().unwrap(), Henrys::from_nanos(5.0));
+        assert_eq!("2.2p".parse::<Farads>().unwrap(), Farads::from_picos(2.2));
+        assert_eq!("3k".parse::<Ohms>().unwrap(), Ohms::from_kilos(3.0));
+        assert_eq!("1MEG".parse::<Ohms>().unwrap(), Ohms::from_megas(1.0));
+        assert_eq!("10m".parse::<Ohms>().unwrap(), Ohms::from_millis(10.0));
+    }
+
+    #[test]
+    fn parses_with_unit_symbol() {
+        assert_eq!("5 nH".parse::<Henrys>().unwrap(), Henrys::from_nanos(5.0));
+        assert_eq!("1.8V".parse::<Volts>().unwrap(), Volts::new(1.8));
+        assert_eq!("1 pF".parse::<Farads>().unwrap(), Farads::from_picos(1.0));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for v in [5e-9, 1.8, -0.61, 2.5e3, 9e-3] {
+            let q = Volts::new(v);
+            let back: Volts = q.to_string().parse().unwrap();
+            assert!(
+                (back.value() - v).abs() <= v.abs() * 1e-4,
+                "{v} -> {} -> {}",
+                q,
+                back.value()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<Volts>().is_err());
+        assert!("abc".parse::<Volts>().is_err());
+        assert!("1.2xF".parse::<Farads>().is_err());
+        assert!("--3".parse::<Volts>().is_err());
+    }
+
+    #[test]
+    fn error_reports_input() {
+        let err = "1.2x".parse::<Volts>().unwrap_err();
+        assert!(err.input().contains("1.2x"));
+        assert!(err.to_string().contains("invalid quantity"));
+    }
+}

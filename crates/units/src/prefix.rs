@@ -1,0 +1,145 @@
+//! Engineering-notation formatting with SI prefixes.
+
+/// An SI prefix table entry: threshold exponent and symbol.
+const PREFIXES: &[(i32, &str)] = &[
+    (12, "T"),
+    (9, "G"),
+    (6, "M"),
+    (3, "k"),
+    (0, ""),
+    (-3, "m"),
+    (-6, "u"),
+    (-9, "n"),
+    (-12, "p"),
+    (-15, "f"),
+    (-18, "a"),
+];
+
+/// A value decomposed into an engineering-notation mantissa and SI prefix.
+///
+/// Produced by [`EngFormat::decompose`]; mostly useful when a caller wants to
+/// control formatting precision itself rather than use [`format_eng`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngFormat {
+    /// Mantissa scaled so that `1 <= |mantissa| < 1000` (when in prefix range).
+    pub mantissa: f64,
+    /// SI prefix symbol, e.g. `"n"`.
+    pub prefix: &'static str,
+}
+
+impl EngFormat {
+    /// Decomposes `value` into an engineering mantissa and SI prefix.
+    ///
+    /// Values of exactly zero map to mantissa `0.0` with no prefix. Values
+    /// outside the femto–tera range fall back to the bare value with no
+    /// prefix.
+    ///
+    /// ```
+    /// use ssn_units::EngFormat;
+    /// let e = EngFormat::decompose(5.0e-9);
+    /// assert_eq!(e.prefix, "n");
+    /// assert!((e.mantissa - 5.0).abs() < 1e-12);
+    /// ```
+    pub fn decompose(value: f64) -> Self {
+        if value == 0.0 || !value.is_finite() {
+            return Self {
+                mantissa: value,
+                prefix: "",
+            };
+        }
+        let exp = value.abs().log10().floor() as i32;
+        for &(p, sym) in PREFIXES {
+            if exp >= p && exp < p + 3 {
+                return Self {
+                    mantissa: value / 10f64.powi(p),
+                    prefix: sym,
+                };
+            }
+        }
+        Self {
+            mantissa: value,
+            prefix: "",
+        }
+    }
+}
+
+/// Formats `value` with an SI prefix and unit symbol, e.g. `format_eng(5e-9,
+/// "H")` returns `"5 nH"`.
+///
+/// Up to four significant digits are kept; trailing zeros are trimmed.
+///
+/// ```
+/// use ssn_units::format_eng;
+/// assert_eq!(format_eng(5.0e-9, "H"), "5 nH");
+/// assert_eq!(format_eng(1.8, "V"), "1.8 V");
+/// assert_eq!(format_eng(0.0, "A"), "0 A");
+/// ```
+pub fn format_eng(value: f64, symbol: &str) -> String {
+    let eng = EngFormat::decompose(value);
+    let mut mantissa = format!("{:.4}", eng.mantissa);
+    if mantissa.contains('.') {
+        while mantissa.ends_with('0') {
+            mantissa.pop();
+        }
+        if mantissa.ends_with('.') {
+            mantissa.pop();
+        }
+    }
+    if symbol.is_empty() && eng.prefix.is_empty() {
+        mantissa
+    } else {
+        format!("{mantissa} {}{symbol}", eng.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_spans_prefix_table() {
+        assert_eq!(EngFormat::decompose(1.0e12).prefix, "T");
+        assert_eq!(EngFormat::decompose(2.5e9).prefix, "G");
+        assert_eq!(EngFormat::decompose(3.0e6).prefix, "M");
+        assert_eq!(EngFormat::decompose(4.7e3).prefix, "k");
+        assert_eq!(EngFormat::decompose(1.8).prefix, "");
+        assert_eq!(EngFormat::decompose(9.0e-3).prefix, "m");
+        assert_eq!(EngFormat::decompose(1.0e-6).prefix, "u");
+        assert_eq!(EngFormat::decompose(5.0e-9).prefix, "n");
+        assert_eq!(EngFormat::decompose(1.0e-12).prefix, "p");
+        assert_eq!(EngFormat::decompose(2.0e-15).prefix, "f");
+        assert_eq!(EngFormat::decompose(5.0e-18).prefix, "a");
+    }
+
+    #[test]
+    fn decompose_handles_negative_values() {
+        let e = EngFormat::decompose(-3.3e-9);
+        assert_eq!(e.prefix, "n");
+        assert!((e.mantissa + 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decompose_out_of_range_is_bare() {
+        let e = EngFormat::decompose(1.0e20);
+        assert_eq!(e.prefix, "");
+        assert_eq!(e.mantissa, 1.0e20);
+    }
+
+    #[test]
+    fn format_trims_trailing_zeros() {
+        assert_eq!(format_eng(1.5e-9, "s"), "1.5 ns");
+        assert_eq!(format_eng(1.0, "V"), "1 V");
+        assert_eq!(format_eng(1.2345678e-9, "F"), "1.2346 nF");
+    }
+
+    #[test]
+    fn format_without_symbol() {
+        assert_eq!(format_eng(1.3, ""), "1.3");
+        assert_eq!(format_eng(1.3e-3, ""), "1.3 m");
+    }
+
+    #[test]
+    fn format_zero() {
+        assert_eq!(format_eng(0.0, "A"), "0 A");
+    }
+}

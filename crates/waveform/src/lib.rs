@@ -1,0 +1,35 @@
+// The `!(a > b)` validation idiom below deliberately treats NaN as a
+// failure; the negated form is kept on purpose.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+//! Time-series waveforms for circuit simulation and model validation.
+//!
+//! A [`Waveform`] is a sampled signal on a strictly increasing time grid.
+//! The crate provides the analysis the SSN experiments need — peak
+//! detection with parabolic refinement, level crossings, error metrics
+//! against a reference trace — plus CSV export and a small ASCII plotter
+//! used by the figure-regeneration harnesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssn_waveform::Waveform;
+//!
+//! # fn main() -> Result<(), ssn_waveform::WaveformError> {
+//! // A noisy bump peaking near t = 0.5.
+//! let w = Waveform::from_fn(0.0, 1.0, 201, |t| (-((t - 0.5) / 0.1).powi(2)).exp())?;
+//! let peak = w.peak();
+//! assert!((peak.time - 0.5).abs() < 1e-3);
+//! assert!((peak.value - 1.0).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+mod csv;
+mod plot;
+mod wave;
+
+pub use csv::CsvTable;
+pub use plot::AsciiPlot;
+pub use wave::{Peak, Waveform, WaveformError};

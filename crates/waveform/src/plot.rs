@@ -1,0 +1,187 @@
+//! A small ASCII plotter for terminal harness output.
+
+use crate::wave::Waveform;
+use std::fmt;
+
+/// Per-trace glyphs, cycled when more traces than glyphs are added.
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
+
+/// An ASCII chart of one or more waveforms on a shared canvas.
+///
+/// Used by the figure-regeneration binaries so the "shape" claims of the
+/// paper (who wins, where the crossover falls) are visible directly in the
+/// terminal, next to the numeric tables.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_waveform::{AsciiPlot, Waveform};
+///
+/// # fn main() -> Result<(), ssn_waveform::WaveformError> {
+/// let w = Waveform::from_fn(0.0, 1.0, 50, |t| t * t)?;
+/// let plot = AsciiPlot::new(40, 10).with_trace("t^2", &w);
+/// let s = plot.to_string();
+/// assert!(s.contains('*'));
+/// assert!(s.contains("t^2"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    traces: Vec<(String, Waveform)>,
+    y_label: String,
+    x_label: String,
+}
+
+impl AsciiPlot {
+    /// Creates an empty canvas of `width x height` characters (minimums of
+    /// 16 x 4 are enforced by clamping).
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width: width.max(16),
+            height: height.max(4),
+            traces: Vec::new(),
+            y_label: String::new(),
+            x_label: String::new(),
+        }
+    }
+
+    /// Adds a labelled trace (builder style).
+    pub fn with_trace(mut self, label: impl Into<String>, w: &Waveform) -> Self {
+        self.traces.push((label.into(), w.clone()));
+        self
+    }
+
+    /// Sets the axis labels (builder style).
+    pub fn with_labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Number of traces currently on the canvas.
+    pub fn n_traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut t_lo = f64::INFINITY;
+        let mut t_hi = f64::NEG_INFINITY;
+        let mut v_lo = f64::INFINITY;
+        let mut v_hi = f64::NEG_INFINITY;
+        for (_, w) in &self.traces {
+            let (a, b) = w.window();
+            t_lo = t_lo.min(a);
+            t_hi = t_hi.max(b);
+            for &v in w.values() {
+                v_lo = v_lo.min(v);
+                v_hi = v_hi.max(v);
+            }
+        }
+        if v_hi - v_lo < 1e-300 {
+            v_hi = v_lo + 1.0;
+        }
+        (t_lo, t_hi, v_lo, v_hi)
+    }
+}
+
+impl fmt::Display for AsciiPlot {
+    // Rasterization is clearest with explicit row/column index loops.
+    #[allow(clippy::needless_range_loop)]
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.traces.is_empty() {
+            return writeln!(f, "(empty plot)");
+        }
+        let (t_lo, t_hi, v_lo, v_hi) = self.bounds();
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+
+        for (k, (_, w)) in self.traces.iter().enumerate() {
+            let glyph = GLYPHS[k % GLYPHS.len()];
+            for col in 0..self.width {
+                let t = t_lo + (t_hi - t_lo) * col as f64 / (self.width - 1) as f64;
+                let v = w.sample(t);
+                let frac = (v - v_lo) / (v_hi - v_lo);
+                let row = ((1.0 - frac) * (self.height - 1) as f64).round();
+                let row = (row as usize).min(self.height - 1);
+                canvas[row][col] = glyph;
+            }
+        }
+
+        if !self.y_label.is_empty() {
+            writeln!(f, "{}", self.y_label)?;
+        }
+        for (i, row) in canvas.iter().enumerate() {
+            let v = v_hi - (v_hi - v_lo) * i as f64 / (self.height - 1) as f64;
+            let line: String = row.iter().collect();
+            writeln!(f, "{v:>11.3e} |{line}")?;
+        }
+        writeln!(f, "{:>11} +{}", "", "-".repeat(self.width))?;
+        writeln!(
+            f,
+            "{:>12}{:<.3e}{}{:>.3e}  {}",
+            "",
+            t_lo,
+            " ".repeat(self.width.saturating_sub(20)),
+            t_hi,
+            self.x_label
+        )?;
+        // Legend.
+        for (k, (label, _)) in self.traces.iter().enumerate() {
+            writeln!(f, "{:>13} {} = {}", "", GLYPHS[k % GLYPHS.len()], label)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::from_fn(0.0, 1.0, 30, |t| t).unwrap()
+    }
+
+    #[test]
+    fn renders_glyphs_and_legend() {
+        let p = AsciiPlot::new(30, 8)
+            .with_trace("up", &ramp())
+            .with_trace("down", &ramp().map(|v| 1.0 - v))
+            .with_labels("time", "volts");
+        let s = p.to_string();
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+        assert!(s.contains("up"));
+        assert!(s.contains("down"));
+        assert!(s.contains("volts"));
+        assert_eq!(p.n_traces(), 2);
+    }
+
+    #[test]
+    fn ramp_goes_corner_to_corner() {
+        let s = AsciiPlot::new(20, 5).with_trace("r", &ramp()).to_string();
+        let rows: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        assert_eq!(rows.len(), 5);
+        // Top row has the glyph at the right edge, bottom row at the left.
+        let top = rows[0].split('|').nth(1).unwrap();
+        let bottom = rows[4].split('|').nth(1).unwrap();
+        assert!(top.trim_end().ends_with('*'));
+        assert!(bottom.starts_with('*'));
+    }
+
+    #[test]
+    fn empty_plot_is_harmless() {
+        assert!(AsciiPlot::new(20, 5).to_string().contains("empty"));
+    }
+
+    #[test]
+    fn flat_trace_does_not_divide_by_zero() {
+        let flat = Waveform::from_fn(0.0, 1.0, 5, |_| 2.0).unwrap();
+        let s = AsciiPlot::new(20, 5).with_trace("flat", &flat).to_string();
+        assert!(s.contains('*'));
+    }
+}

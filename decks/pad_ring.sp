@@ -1,0 +1,27 @@
+eight-slice pad ring with ESD clamps (SSN demo)
+.include cells.inc
+
+* input: 0 -> 1.8 V in 0.5 ns after 50 ps
+Vin in 0 PWL(0 0 50p 0 550p 1.8)
+
+* PGA ground path
+Lg ng 0 5n IC=0
+Cg ng 0 1p IC=0
+
+* ESD clamp pair between internal and true ground
+Dup ng 0 esd
+Ddn 0 ng esd
+
+* the bank
+X0 in ng out0 slice
+X1 in ng out1 slice
+X2 in ng out2 slice
+X3 in ng out3 slice
+X4 in ng out4 slice
+X5 in ng out5 slice
+X6 in ng out6 slice
+X7 in ng out7 slice
+
+.ic V(ng)=0 V(in)=0
+.tran 1p 1.3n UIC
+.end

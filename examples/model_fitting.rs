@@ -1,0 +1,81 @@
+//! Application-specific device modeling (ASDM) fitting walkthrough.
+//!
+//! Reproduces the methodology of paper Section 2 / Fig. 1: sample the
+//! golden short-channel device over the SSN operating region, fit the
+//! three-parameter linear ASDM, and inspect where it is (and is not)
+//! accurate.
+//!
+//! Run with `cargo run --example model_fitting`.
+
+use ssn_lab::devices::fit::{
+    asdm_fit_report, fit_alpha_power, fit_asdm, sample_ssn_region, SsnRegionSpec,
+};
+use ssn_lab::devices::process::Process;
+use ssn_lab::devices::MosModel;
+use ssn_lab::units::Volts;
+use ssn_lab::waveform::{AsciiPlot, Waveform};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    for process in Process::all() {
+        let driver = process.output_driver();
+        let spec = SsnRegionSpec::for_process(&process);
+        let samples = sample_ssn_region(&driver, &spec);
+        let asdm = fit_asdm(&samples)?;
+        let report = asdm_fit_report(&asdm, &samples)?;
+
+        println!("== process {} (Vdd = {}) ==", process.name(), process.vdd());
+        println!("  golden device: alpha-power, Vth0 = {}, alpha = {:.2}",
+            process.vth0(), driver.alpha());
+        println!("  fitted {asdm}");
+        println!(
+            "  fit quality: rms = {:.3} mA, worst rel = {:.1}% over {} samples",
+            report.rms_error * 1e3,
+            report.max_rel_error * 100.0,
+            report.n_samples
+        );
+        println!(
+            "  note: V0 = {} > Vth0 = {} and sigma > 1, as the paper reports\n",
+            asdm.v0(),
+            process.vth0()
+        );
+    }
+
+    // Fig. 1 style: I-V curves of the golden 0.18 um device with the ASDM
+    // overlay, at several source voltages.
+    let process = Process::p018();
+    let driver = process.output_driver();
+    let samples = sample_ssn_region(&driver, &SsnRegionSpec::for_process(&process));
+    let asdm = fit_asdm(&samples)?;
+    let vdd = process.vdd().value();
+
+    let mut plot = AsciiPlot::new(64, 16).with_labels("V_G (V)", "I_D (A)");
+    for (i, vs) in [0.0, 0.4, 0.8].into_iter().enumerate() {
+        let golden = Waveform::from_fn(0.0, vdd, 100, |vg| {
+            driver.ids(vg - vs, vdd - vs, -vs).id
+        })?;
+        let linear = Waveform::from_fn(0.0, vdd, 100, |vg| {
+            asdm.drain_current(Volts::new(vg), Volts::new(vs)).value()
+        })?;
+        plot = plot
+            .with_trace(format!("golden Vs={vs}"), &golden)
+            .with_trace(format!("ASDM   Vs={vs}"), &linear);
+        let _ = i;
+    }
+    println!("{plot}");
+
+    // Contrast: what a general-purpose alpha-power fit recovers from the
+    // same grounded-source data.
+    let ap = fit_alpha_power(&samples, 0.4)?;
+    println!(
+        "general-purpose alpha-power refit: Vth = {:.3} V, alpha = {:.3}, B = {:.3} mA/V^a",
+        ap.vth0(),
+        ap.alpha(),
+        ap.drive() * 1e3
+    );
+    println!(
+        "the ASDM instead spends its three parameters on ONE region — which is\n\
+         why its SSN formulas need no further approximation (paper Section 2)."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! SSN-aware pad-ring design: size a driver bank against a noise budget.
+//!
+//! Exercises the design-space utilities of paper Section 3: the Z-figure,
+//! driver-count budgets, slew control, and switching-skew scheduling.
+//!
+//! Run with `cargo run --example pad_ring_design`.
+
+use ssn_lab::core::scenario::SsnScenario;
+use ssn_lab::core::{design, lcmodel};
+use ssn_lab::devices::process::{PackageParasitics, Process};
+use ssn_lab::units::{Seconds, Volts};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let process = Process::p018();
+    // A 32-bit output bus that would like to switch all at once.
+    let bus = SsnScenario::builder(&process)
+        .drivers(32)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+    let budget = Volts::new(0.45); // 25% of Vdd
+
+    let (unmitigated, case) = lcmodel::vn_max(&bus);
+    println!("32-bit bus, all switching:  Vn_max = {unmitigated} [{case}]");
+    println!("noise budget:               {budget}\n");
+
+    // Option A: limit how many drivers switch together.
+    let n_ok = design::max_simultaneous_drivers(&bus, budget)?;
+    println!("A. simultaneous switching limit: {n_ok} drivers");
+
+    // Option B: slow the output edges.
+    let tr = design::required_rise_time(&bus, budget)?;
+    println!("B. slew control: rise time >= {tr} keeps all 32 within budget");
+
+    // Option C: stagger the bus into groups.
+    let plan = design::stagger_plan(&bus, budget)?;
+    println!("C. skew schedule: {plan}");
+
+    // Option D: spend package resources — more ground pads.
+    println!("\nD. ground-pad scaling (L/n, C*n):");
+    println!("{:>6} {:>12} {:>12} {:>14} {:>24}", "pads", "L", "C", "Vn_max", "damping");
+    for pads in [1usize, 2, 4, 8] {
+        let pkg = PackageParasitics::pga().with_ground_pads(pads);
+        let s = bus.with_package(pkg.inductance, pkg.capacitance)?;
+        let (v, _) = lcmodel::vn_max(&s);
+        println!(
+            "{:>6} {:>12} {:>12} {:>14} {:>24}",
+            pads,
+            pkg.inductance.to_string(),
+            pkg.capacitance.to_string(),
+            v.to_string(),
+            lcmodel::classify(&s).to_string()
+        );
+    }
+
+    // The Z-figure makes the equivalences explicit.
+    println!(
+        "\nZ = N*L*s = {:.1} (halve any factor and Vn_max drops identically)",
+        bus.z_figure()
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: estimate the ground bounce of a pad ring and check the
+//! estimate against the transient simulator.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ssn_lab::core::bridge::{measure, DriverBankConfig};
+use ssn_lab::core::scenario::SsnScenario;
+use ssn_lab::core::{lcmodel, lmodel};
+use ssn_lab::devices::process::Process;
+use ssn_lab::units::Seconds;
+use ssn_lab::waveform::AsciiPlot;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Pick a process; the scenario builder fits the paper's ASDM to the
+    //    process's golden output driver automatically.
+    let process = Process::p018();
+    let scenario = SsnScenario::builder(&process)
+        .drivers(8)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+
+    println!("scenario: {scenario}");
+    println!(
+        "fitted ASDM: {} (V0 vs device Vth {} — note V0 > Vth, paper Section 2)",
+        scenario.asdm(),
+        process.vth0()
+    );
+
+    // 2. Closed-form estimates.
+    let l_only = lmodel::vn_max(&scenario);
+    let (lc, case) = lcmodel::vn_max(&scenario);
+    println!("\nL-only model (Eqn. 7):   Vn_max = {l_only}");
+    println!("LC model (Table 1):      Vn_max = {lc}   [{case}]");
+    println!("damping: {} ; critical capacitance C_m = {}",
+        lcmodel::classify(&scenario),
+        lcmodel::critical_capacitance(&scenario),
+    );
+
+    // 3. Validate against the nonlinear golden-device simulation (the
+    //    paper's HSPICE role).
+    let cfg = DriverBankConfig::from_scenario(&scenario, Arc::new(process.output_driver()));
+    let sim = measure(&cfg)?;
+    let rel = (lc.value() - sim.vn_max.value()).abs() / sim.vn_max.value() * 100.0;
+    println!("\nsimulated:               Vn_max = {} ", sim.vn_max);
+    println!("LC model vs simulation:  {rel:.2}% relative error");
+
+    // 4. Plot model vs simulation.
+    let model_wave = lcmodel::vn_waveform(&scenario, 200)?;
+    let plot = AsciiPlot::new(64, 14)
+        .with_trace("model Vn(t)", &model_wave)
+        .with_trace("simulated Vn(t)", &sim.ground_bounce)
+        .with_labels("time (s)", "ground bounce (V)");
+    println!("\n{plot}");
+    Ok(())
+}

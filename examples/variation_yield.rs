@@ -1,0 +1,60 @@
+//! Monte Carlo yield analysis of an SSN budget under process and package
+//! variation.
+//!
+//! Run with `cargo run --release --example variation_yield`.
+
+use ssn_lab::core::montecarlo::{run_monte_carlo, VariationSpec};
+use ssn_lab::core::scenario::SsnScenario;
+use ssn_lab::core::{design, lcmodel};
+use ssn_lab::devices::process::Process;
+use ssn_lab::units::{Seconds, Volts};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let process = Process::p018();
+    let scenario = SsnScenario::builder(&process)
+        .drivers(8)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+    let nominal = lcmodel::vn_max(&scenario).0;
+    println!("nominal Vn_max: {nominal}");
+
+    let spec = VariationSpec::typical();
+    let mc = run_monte_carlo(&scenario, &spec, 5000, 0xD1CE)?;
+    println!(
+        "5000-sample Monte Carlo: mean {} sd {} | q50 {} q95 {} q99 {}",
+        mc.mean(),
+        mc.std_dev(),
+        mc.quantile(0.50),
+        mc.quantile(0.95),
+        mc.quantile(0.99),
+    );
+
+    println!("\nyield vs. noise budget:");
+    println!("{:>10} {:>8}", "budget", "yield");
+    for frac in [0.9, 1.0, 1.05, 1.1, 1.2, 1.3] {
+        let budget = Volts::new(nominal.value() * frac);
+        println!(
+            "{:>10} {:>7.1}%",
+            budget.to_string(),
+            mc.yield_within(budget) * 100.0
+        );
+    }
+
+    // How a designer closes the loop: pick a budget, hold the q99 corner.
+    let budget = Volts::new(0.6);
+    let corner = mc.quantile(0.99);
+    println!(
+        "\nfor a hard {budget} budget: the 99th-percentile corner is {corner}, so"
+    );
+    if corner <= budget {
+        println!("the design passes with margin {}", budget - corner);
+    } else {
+        let n_ok = design::max_simultaneous_drivers(&scenario, Volts::new(budget.value() / (corner.value() / nominal.value())))?;
+        println!(
+            "derate the nominal target by the corner ratio: limit simultaneous\n\
+             switching to {n_ok} drivers (from 8) to pass at the q99 corner."
+        );
+    }
+    Ok(())
+}

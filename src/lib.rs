@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! # ssn-lab
+//!
+//! A reproduction of *Ding & Mazumder, "Accurate Estimating Simultaneous
+//! Switching Noises by Using Application Specific Device Modeling"
+//! (DATE 2002)* as a production-quality Rust workspace.
+//!
+//! This meta-crate re-exports the whole suite:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`units`] | `ssn-units` | typed physical quantities |
+//! | [`numeric`] | `ssn-numeric` | LU, root finding, least squares, ODE |
+//! | [`devices`] | `ssn-devices` | MOSFET models, ASDM, fitting, processes |
+//! | [`waveform`] | `ssn-waveform` | time series, peaks, metrics, plotting |
+//! | [`spice`] | `ssn-spice` | the MNA transient simulator |
+//! | [`core`] | `ssn-core` | the paper: SSN closed forms + baselines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ssn_lab::core::scenario::SsnScenario;
+//! use ssn_lab::core::lcmodel;
+//! use ssn_lab::devices::process::Process;
+//! use ssn_lab::units::Seconds;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = SsnScenario::builder(&Process::p018())
+//!     .drivers(8)
+//!     .rise_time(Seconds::from_nanos(0.5))
+//!     .build()?;
+//! let (vmax, case) = lcmodel::vn_max(&scenario);
+//! println!("ground bounce: {vmax} ({case})");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the `ssn-bench`
+//! crate for the binaries that regenerate every figure and table of the
+//! paper.
+
+pub use ssn_core as core;
+pub use ssn_devices as devices;
+pub use ssn_numeric as numeric;
+pub use ssn_spice as spice;
+pub use ssn_units as units;
+pub use ssn_waveform as waveform;
+
+/// The most commonly used items in one import.
+///
+/// ```
+/// use ssn_lab::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = SsnScenario::builder(&Process::p018()).drivers(8).build()?;
+/// let (vmax, _case) = lcmodel::vn_max(&scenario);
+/// assert!(vmax > Volts::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use ssn_core::bridge::{measure, DriverBankConfig};
+    pub use ssn_core::scenario::{Rail, SsnScenario};
+    pub use ssn_core::{design, lcmodel, lmodel, Damping, MaxSsnCase, SsnError};
+    pub use ssn_devices::process::{PackageParasitics, Process};
+    pub use ssn_devices::{AlphaPower, Asdm, Diode, MosModel, MosPolarity};
+    pub use ssn_spice::{
+        ac_analysis, dc_operating_point, transient, AcOptions, Circuit, DcOptions, SourceWave,
+        TranOptions,
+    };
+    pub use ssn_units::{Amps, Farads, Henrys, Hertz, Ohms, Seconds, Siemens, SlewRate, Volts};
+    pub use ssn_waveform::{AsciiPlot, CsvTable, Waveform};
+}

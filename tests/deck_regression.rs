@@ -1,0 +1,60 @@
+//! Golden-deck regression tests over the checked-in `decks/` fixtures.
+
+use ssn_lab::spice::parser::parse_deck_file;
+use ssn_lab::spice::transient;
+
+#[test]
+fn pad_ring_deck_parses_and_matches_api_built_bank() {
+    let deck = parse_deck_file("decks/pad_ring.sp").expect("fixture parses");
+    assert_eq!(deck.title, "eight-slice pad ring with ESD clamps (SSN demo)");
+    // 1 source + L + C + 2 diodes + 8 * (fet + load) = 21 elements.
+    assert_eq!(deck.circuit.element_count(), 21);
+    assert!(deck.circuit.find_element("M.X5.M1").is_some());
+    assert!(deck.circuit.find_element("Dup").is_some());
+
+    let tran = deck.tran.expect(".tran present");
+    let result = transient(&deck.circuit, tran.to_options()).expect("simulates");
+    let vn = result.voltage("ng").expect("probe");
+
+    // The deck's bank matches the API-built clamped bank from the core
+    // bridge (same process, same clamp).
+    use ssn_lab::core::bridge::{measure, DriverBankConfig};
+    use ssn_lab::devices::process::Process;
+    use ssn_lab::devices::Diode;
+    let api = measure(
+        &DriverBankConfig::from_process(&Process::p018(), 8)
+            .with_esd_clamp(Diode::new(1e-11, 1.0)),
+    )
+    .expect("simulates");
+    let deck_peak = vn.peak().value;
+    let api_peak = api.ground_bounce.peak().value;
+    assert!(
+        (deck_peak - api_peak).abs() / api_peak < 0.02,
+        "deck {deck_peak} vs api {api_peak}"
+    );
+    // And the clamp holds the bounce near one forward drop.
+    assert!(deck_peak < 0.65, "clamped bounce {deck_peak}");
+}
+
+#[test]
+fn cell_library_is_reusable_standalone() {
+    // A different top using the same .include library.
+    let dir = std::env::temp_dir().join("ssn_deck_regression");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let lib = std::fs::canonicalize("decks/cells.inc").expect("fixture exists");
+    let top = format!(
+        "two-slice mini ring\n.include \"{}\"\nVin in 0 PWL(0 0 50p 0 550p 1.8)\n\
+         Lg ng 0 5n IC=0\nX0 in ng out0 slice\nX1 in ng out1 slice\n\
+         .ic V(ng)=0 V(in)=0\n.tran 1p 1.3n UIC\n",
+        lib.display()
+    );
+    let path = dir.join("mini.sp");
+    std::fs::write(&path, top).expect("write");
+    let deck = parse_deck_file(&path).expect("parses");
+    assert_eq!(deck.circuit.element_count(), 6);
+    let result = transient(&deck.circuit, deck.tran.expect("tran").to_options())
+        .expect("simulates");
+    let peak = result.voltage("ng").expect("probe").peak().value;
+    assert!(peak > 0.1 && peak < 0.5, "two-slice bounce {peak}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration tests: process library -> ASDM fit -> closed-form
+//! SSN -> transient-simulation validation, spanning every crate.
+
+use ssn_lab::core::baselines::{senthinathan_prince, song, vemuru, BaselineInputs};
+use ssn_lab::core::bridge::{measure, DriverBankConfig};
+use ssn_lab::core::scenario::SsnScenario;
+use ssn_lab::core::{design, lcmodel, lmodel};
+use ssn_lab::devices::process::Process;
+use ssn_lab::units::{Farads, Seconds, Volts};
+use std::sync::Arc;
+
+fn p018_scenario(n: usize) -> SsnScenario {
+    SsnScenario::builder(&Process::p018())
+        .drivers(n)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()
+        .expect("valid scenario")
+}
+
+/// The paper's headline claim, end to end: the LC closed form tracks the
+/// nonlinear simulation across damping regions, and always better than (or
+/// comparable to) the L-only form — dramatically so when under-damped.
+#[test]
+fn lc_model_tracks_simulation_across_regions() {
+    let process = Process::p018();
+    let mut lc_errors = Vec::new();
+    for n in [1usize, 3, 6, 12] {
+        let s = p018_scenario(n);
+        let sim = measure(&DriverBankConfig::from_scenario(
+            &s,
+            Arc::new(process.output_driver()),
+        ))
+        .expect("simulation converges")
+        .vn_max
+        .value();
+        let lc = lcmodel::vn_max(&s).0.value();
+        let l_only = lmodel::vn_max(&s).value();
+        let e_lc = (lc - sim).abs() / sim;
+        let e_l = (l_only - sim).abs() / sim;
+        lc_errors.push(e_lc);
+        assert!(e_lc < 0.12, "N = {n}: LC error {e_lc}");
+        // Where the L-only model is materially wrong (deep under-damped
+        // region), the LC model must be the better estimate. Near the case
+        // boundary both are within a few percent and may tie.
+        if matches!(
+            lcmodel::classify(&s),
+            lcmodel::Damping::Underdamped { .. }
+        ) && e_l > 0.05
+        {
+            assert!(
+                e_lc < e_l,
+                "N = {n} (under-damped): LC ({e_lc:.3}) must beat L-only ({e_l:.3})"
+            );
+        }
+    }
+    // Average accuracy in the single-digit percent range.
+    let mean = lc_errors.iter().sum::<f64>() / lc_errors.len() as f64;
+    assert!(mean < 0.08, "mean LC error {mean}");
+}
+
+/// Fig. 3's ranking on the paper's main process: the ASDM formula beats
+/// the prior closed forms on mean error.
+#[test]
+fn asdm_formula_beats_prior_models_on_p018() {
+    let process = Process::p018();
+    let base = SsnScenario::builder(&process)
+        .capacitance(Farads::ZERO)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()
+        .expect("valid scenario");
+    let (mut e_this, mut e_vem, mut e_song, mut e_sp) = (0.0, 0.0, 0.0, 0.0);
+    let ns = [2usize, 6, 10, 14];
+    for &n in &ns {
+        let s = base.with_drivers(n).expect("valid");
+        let sim = measure(&DriverBankConfig::from_scenario(
+            &s,
+            Arc::new(process.output_driver()),
+        ))
+        .expect("simulation converges")
+        .vn_max
+        .value();
+        let inputs = BaselineInputs::from_process(&process, n, s.inductance(), s.rise_time());
+        e_this += (lmodel::vn_max(&s).value() - sim).abs() / sim;
+        e_vem += (vemuru(&inputs).value() - sim).abs() / sim;
+        e_song += (song(&inputs).value() - sim).abs() / sim;
+        e_sp += (senthinathan_prince(&inputs).value() - sim).abs() / sim;
+    }
+    assert!(
+        e_this < e_vem && e_this < e_song && e_this < e_sp,
+        "this work {e_this:.3} vs vemuru {e_vem:.3}, song {e_song:.3}, sp {e_sp:.3}"
+    );
+}
+
+/// The under-damped overshoot is real: the simulated bounce exceeds the
+/// asymptote `V_inf` for a small bank, and the case-3a formula captures it.
+#[test]
+fn underdamped_overshoot_is_simulated_and_predicted() {
+    let process = Process::p018();
+    let s = p018_scenario(1);
+    let sim = measure(&DriverBankConfig::from_scenario(
+        &s,
+        Arc::new(process.output_driver()),
+    ))
+    .expect("simulation converges");
+    let (v, case) = lcmodel::vn_max(&s);
+    assert_eq!(case, lcmodel::MaxSsnCase::UnderdampedFastInput);
+    assert!(v.value() > s.v_inf().value(), "formula shows overshoot");
+    assert!(
+        sim.vn_max.value() > s.v_inf().value() * 0.95,
+        "simulation rings: {} vs V_inf {}",
+        sim.vn_max,
+        s.v_inf()
+    );
+}
+
+/// Doubling ground pads halves L and doubles C (paper Section 4's package
+/// argument): noise falls, but the damping region shifts toward ringing.
+#[test]
+fn pad_doubling_trades_noise_for_ringing() {
+    let s1 = p018_scenario(6);
+    let s2 = s1
+        .with_package(s1.inductance() / 2.0, s1.capacitance() * 2.0)
+        .expect("valid package");
+    let (v1, _) = lcmodel::vn_max(&s1);
+    let (v2, _) = lcmodel::vn_max(&s2);
+    assert!(v2 < v1, "more pads must reduce noise: {v1} -> {v2}");
+    assert!(matches!(
+        lcmodel::classify(&s1),
+        lcmodel::Damping::Overdamped { .. }
+    ));
+    assert!(matches!(
+        lcmodel::classify(&s2),
+        lcmodel::Damping::Underdamped { .. }
+    ));
+}
+
+/// The design helpers produce budgets the full model actually honours,
+/// checked against the simulator.
+#[test]
+fn design_budget_is_honoured_by_simulation() {
+    let process = Process::p018();
+    let template = p018_scenario(32);
+    let budget = Volts::new(0.5);
+    let n = design::max_simultaneous_drivers(&template, budget).expect("solvable");
+    assert!(n >= 1);
+    let s = template.with_drivers(n).expect("valid");
+    let sim = measure(&DriverBankConfig::from_scenario(
+        &s,
+        Arc::new(process.output_driver()),
+    ))
+    .expect("simulation converges");
+    // Allow the documented model error margin on top of the budget.
+    assert!(
+        sim.vn_max.value() < budget.value() * 1.10,
+        "simulated {} exceeds budget {budget} by more than the model margin",
+        sim.vn_max
+    );
+}
+
+/// All three library processes support the full pipeline.
+#[test]
+fn all_processes_fit_and_estimate() {
+    for process in Process::all() {
+        let s = SsnScenario::builder(&process)
+            .drivers(8)
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .expect("fit succeeds");
+        assert!(s.asdm().sigma() >= 1.0);
+        assert!(s.asdm().v0() > process.vth0());
+        let (v, _) = lcmodel::vn_max(&s);
+        assert!(
+            v.value() > 0.05 && v.value() < process.vdd().value(),
+            "{}: vn_max = {v}",
+            process.name()
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Failure-injection tests: the suite must fail loudly and informatively,
+//! never silently produce garbage.
+
+use ssn_lab::spice::{
+    dc_operating_point, transient, Circuit, DcOptions, SourceWave, SpiceError, TranOptions,
+};
+
+/// A current source into a capacitor-only node has no DC solution path
+/// except gmin; the op must still converge (to a huge but finite voltage)
+/// rather than hang or panic.
+#[test]
+fn dc_gmin_rescues_pathological_topologies() {
+    let mut c = Circuit::new();
+    c.isource("i1", "0", "island", SourceWave::Dc(1e-6))
+        .expect("valid");
+    c.capacitor("c1", "island", "0", 1e-12).expect("valid");
+    let op = dc_operating_point(&c, DcOptions::default()).expect("gmin path exists");
+    let v = op.voltage("island").expect("probe");
+    // 1 uA through the 1e-12 S gmin floor: ~1e6 V. Finite and explainable.
+    assert!(v.is_finite());
+    assert!(v > 1e5);
+}
+
+/// Probing names that do not exist must return `UnknownProbe`, not panic.
+#[test]
+fn unknown_probes_error_cleanly() {
+    let mut c = Circuit::new();
+    c.vsource("v1", "a", "0", SourceWave::Dc(1.0)).expect("valid");
+    c.resistor("r1", "a", "0", 1e3).expect("valid");
+    let res = transient(&c, TranOptions::to(1e-9).with_ic()).expect("simulates");
+    for bad in ["ghost", "A_typo", ""] {
+        assert!(matches!(
+            res.voltage(bad),
+            Err(SpiceError::UnknownProbe { .. })
+        ));
+    }
+}
+
+/// Contradictory voltage sources (two different DC values forced on one
+/// node pair) make the MNA matrix singular; the error must say so.
+#[test]
+fn contradictory_sources_report_singularity() {
+    let mut c = Circuit::new();
+    c.vsource("v1", "a", "0", SourceWave::Dc(1.0)).expect("valid");
+    c.vsource("v2", "a", "0", SourceWave::Dc(2.0)).expect("valid");
+    c.resistor("r1", "a", "0", 1e3).expect("valid");
+    let result = dc_operating_point(&c, DcOptions::default());
+    assert!(
+        matches!(
+            result,
+            Err(SpiceError::Numeric(_)) | Err(SpiceError::NewtonDiverged { .. })
+        ),
+        "expected a loud failure, got {result:?}"
+    );
+}
+
+/// An over-tight iteration budget must surface as `NewtonDiverged` with
+/// the time attached, not as a wrong answer.
+#[test]
+fn starved_newton_budget_reports_divergence() {
+    use ssn_lab::devices::{AlphaPower, MosPolarity};
+    use std::sync::Arc;
+
+    let mut c = Circuit::new();
+    let m = Arc::new(AlphaPower::builder().build());
+    c.vsource("vdd", "vdd", "0", SourceWave::Dc(1.8)).expect("valid");
+    c.vsource("vin", "g", "0", SourceWave::ramp(0.0, 1.8, 0.0, 1e-10))
+        .expect("valid");
+    c.mosfet("m1", MosPolarity::Nmos, "out", "g", "0", "0", m)
+        .expect("valid");
+    c.resistor("rl", "vdd", "out", 10e3).expect("valid");
+    c.capacitor("cl", "out", "0", 1e-13).expect("valid");
+    let opts = TranOptions {
+        newton: DcOptions {
+            max_newton: 1, // starve it
+            ..DcOptions::default()
+        },
+        ..TranOptions::to(1e-9)
+    };
+    let result = transient(&c, opts);
+    assert!(
+        matches!(
+            result,
+            Err(SpiceError::NewtonDiverged { .. }) | Err(SpiceError::TimestepUnderflow { .. })
+        ),
+        "expected divergence, got {result:?}"
+    );
+}
+
+/// Deck parse errors carry line numbers all the way up through the public
+/// API.
+#[test]
+fn parse_errors_are_located() {
+    use ssn_lab::spice::parser::parse_deck;
+    let deck = "title line\nR1 a 0 1k\nC1 b 0 oops\n";
+    match parse_deck(deck) {
+        Err(SpiceError::Parse { line, message }) => {
+            assert_eq!(line, 3);
+            assert!(message.contains("oops"));
+        }
+        other => panic!("expected a located parse error, got {other:?}"),
+    }
+}
+
+/// Scenario validation rejects each physically meaningless input with a
+/// message naming the offending quantity.
+#[test]
+fn scenario_errors_name_the_offender() {
+    use ssn_lab::core::scenario::SsnScenario;
+    use ssn_lab::devices::Asdm;
+    use ssn_lab::units::{Henrys, Seconds, Siemens, Volts};
+
+    let asdm = Asdm::new(Siemens::from_millis(5.0), 1.2, Volts::new(0.6));
+    type BuildAttempt = Box<dyn Fn() -> Result<SsnScenario, ssn_lab::core::SsnError>>;
+    let cases: Vec<(BuildAttempt, &str)> = vec![
+        (
+            Box::new(move || SsnScenario::from_asdm(asdm, Volts::new(1.8)).drivers(0).build()),
+            "driver",
+        ),
+        (
+            Box::new(move || {
+                SsnScenario::from_asdm(asdm, Volts::new(1.8))
+                    .inductance(Henrys::ZERO)
+                    .build()
+            }),
+            "inductance",
+        ),
+        (
+            Box::new(move || {
+                SsnScenario::from_asdm(asdm, Volts::new(1.8))
+                    .rise_time(Seconds::new(-1.0))
+                    .build()
+            }),
+            "rise time",
+        ),
+        (
+            Box::new(move || SsnScenario::from_asdm(asdm, Volts::new(0.5)).build()),
+            "V0",
+        ),
+    ];
+    for (build, needle) in cases {
+        let err = build().expect_err("must be rejected");
+        let text = err.to_string();
+        assert!(text.contains(needle), "{text:?} should mention {needle:?}");
+    }
+}
+
+/// Monte Carlo clamping keeps every sample physical even under absurd
+/// variation.
+#[test]
+fn monte_carlo_survives_extreme_variation() {
+    use ssn_lab::core::montecarlo::{run_monte_carlo, VariationSpec};
+    use ssn_lab::core::scenario::SsnScenario;
+    use ssn_lab::devices::Asdm;
+    use ssn_lab::units::{Henrys, Seconds, Siemens, Volts};
+
+    let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+    let s = SsnScenario::from_asdm(asdm, Volts::new(1.8))
+        .drivers(8)
+        .inductance(Henrys::from_nanos(5.0))
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()
+        .expect("valid");
+    let crazy = VariationSpec {
+        k_frac: 1.0,
+        sigma_abs: 1.0,
+        v0_abs: 1.0,
+        l_frac: 1.0,
+        c_frac: 1.0,
+    };
+    let r = run_monte_carlo(&s, &crazy, 500, 99).expect("clamped sampling succeeds");
+    assert_eq!(r.len(), 500);
+    assert!(r.samples().iter().all(|v| v.is_finite() && *v >= 0.0));
+}
