@@ -1,8 +1,8 @@
-//! Criterion benches for the closed-form SSN evaluators — the cost a
+//! Micro-benchmarks for the closed-form SSN evaluators — the cost a
 //! designer pays per estimate (versus the transient simulation measured in
 //! `transient.rs`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssn_bench::timing::BenchSet;
 use ssn_core::scenario::SsnScenario;
 use ssn_core::{lcmodel, lmodel};
 use ssn_devices::process::Process;
@@ -25,41 +25,29 @@ fn scenarios() -> Vec<(&'static str, SsnScenario)> {
     ]
 }
 
-fn bench_vn_max(c: &mut Criterion) {
-    let mut group = c.benchmark_group("closed_form/vn_max");
+fn main() {
+    let mut set = BenchSet::new();
     for (label, s) in scenarios() {
-        group.bench_with_input(BenchmarkId::new("lc_model", label), &s, |b, s| {
-            b.iter(|| lcmodel::vn_max(black_box(s)))
+        set.bench(&format!("closed_form/vn_max/lc_model/{label}"), || {
+            lcmodel::vn_max(black_box(&s))
         });
-        group.bench_with_input(BenchmarkId::new("l_only", label), &s, |b, s| {
-            b.iter(|| lmodel::vn_max(black_box(s)))
+        set.bench(&format!("closed_form/vn_max/l_only/{label}"), || {
+            lmodel::vn_max(black_box(&s))
         });
     }
-    group.finish();
-}
-
-fn bench_waveform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("closed_form/waveform_1k_samples");
     for (label, s) in scenarios() {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
-            b.iter(|| lcmodel::vn_waveform(black_box(s), 1000).expect("valid waveform"))
+        set.bench(&format!("closed_form/waveform_1k_samples/{label}"), || {
+            lcmodel::vn_waveform(black_box(&s), 1000).expect("valid waveform")
         });
     }
-    group.finish();
-}
-
-fn bench_scenario_build(c: &mut Criterion) {
     // Includes the ASDM fit: the one-time cost per process.
     let process = Process::p018();
-    c.bench_function("closed_form/scenario_build_with_fit", |b| {
-        b.iter(|| {
-            SsnScenario::builder(black_box(&process))
-                .drivers(8)
-                .build()
-                .expect("valid scenario")
-        })
+    set.bench("closed_form/scenario_build_with_fit", || {
+        SsnScenario::builder(black_box(&process))
+            .drivers(8)
+            .build()
+            .expect("valid scenario")
     });
+    let path = set.write_csv("bench_closed_form").expect("csv written");
+    println!("csv written to {}", path.display());
 }
-
-criterion_group!(benches, bench_vn_max, bench_waveform, bench_scenario_build);
-criterion_main!(benches);

@@ -1,41 +1,28 @@
-//! Criterion benches for model fitting: the per-process setup cost of the
+//! Micro-benchmarks for model fitting: the per-process setup cost of the
 //! ASDM methodology.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssn_bench::timing::BenchSet;
 use ssn_devices::fit::{fit_alpha_power, fit_asdm, sample_ssn_region, SsnRegionSpec};
 use ssn_devices::process::Process;
 use std::hint::black_box;
 
-fn bench_sampling(c: &mut Criterion) {
+fn main() {
+    let mut set = BenchSet::new();
     let process = Process::p018();
     let driver = process.output_driver();
     let spec = SsnRegionSpec::for_process(&process);
-    c.bench_function("fitting/sample_ssn_region_370pts", |b| {
-        b.iter(|| sample_ssn_region(black_box(&driver), black_box(&spec)))
+    set.bench("fitting/sample_ssn_region_370pts", || {
+        sample_ssn_region(black_box(&driver), black_box(&spec))
     });
-}
 
-fn bench_asdm_fit(c: &mut Criterion) {
-    let process = Process::p018();
-    let samples = sample_ssn_region(
-        &process.output_driver(),
-        &SsnRegionSpec::for_process(&process),
-    );
-    c.bench_function("fitting/fit_asdm_linear_ls", |b| {
-        b.iter(|| fit_asdm(black_box(&samples)).expect("fit converges"))
+    let samples = sample_ssn_region(&driver, &spec);
+    set.bench("fitting/fit_asdm_linear_ls", || {
+        fit_asdm(black_box(&samples)).expect("fit converges")
     });
-}
-
-fn bench_alpha_power_fit(c: &mut Criterion) {
-    let process = Process::p018();
-    let samples = sample_ssn_region(
-        &process.output_driver(),
-        &SsnRegionSpec::for_process(&process),
-    );
-    c.bench_function("fitting/fit_alpha_power_lm", |b| {
-        b.iter(|| fit_alpha_power(black_box(&samples), 0.4).expect("fit converges"))
+    set.bench("fitting/fit_alpha_power_lm", || {
+        fit_alpha_power(black_box(&samples), 0.4).expect("fit converges")
     });
-}
 
-criterion_group!(benches, bench_sampling, bench_asdm_fit, bench_alpha_power_fit);
-criterion_main!(benches);
+    let path = set.write_csv("bench_fitting").expect("csv written");
+    println!("csv written to {}", path.display());
+}

@@ -1,7 +1,7 @@
-//! Criterion benches for the simulator front ends: deck parsing with
+//! Micro-benchmarks for the simulator front ends: deck parsing with
 //! subcircuit flattening, AC sweeps, and the diode Newton path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssn_bench::timing::BenchSet;
 use ssn_spice::parser::parse_deck;
 use ssn_spice::{ac_analysis, dc_operating_point, AcOptions, Circuit, DcOptions, SourceWave};
 use std::hint::black_box;
@@ -20,41 +20,38 @@ fn bank_deck(n: usize) -> String {
     deck
 }
 
-fn bench_parse(c: &mut Criterion) {
+fn main() {
+    let mut set = BenchSet::new();
+
     let deck = bank_deck(16);
-    c.bench_function("frontends/parse_deck_16_slices", |b| {
-        b.iter(|| parse_deck(black_box(&deck)).expect("parses"))
+    set.bench("frontends/parse_deck_16_slices", || {
+        parse_deck(black_box(&deck)).expect("parses")
     });
-}
 
-fn bench_ac_sweep(c: &mut Criterion) {
-    let mut circuit = Circuit::new();
-    circuit
-        .isource("iin", "0", "tank", SourceWave::Dc(0.0))
+    let mut tank = Circuit::new();
+    tank.isource("iin", "0", "tank", SourceWave::Dc(0.0))
         .expect("valid");
-    circuit.inductor("l1", "tank", "0", 5e-9).expect("valid");
-    circuit.capacitor("c1", "tank", "0", 1e-12).expect("valid");
-    circuit.resistor("r1", "tank", "0", 5e3).expect("valid");
+    tank.inductor("l1", "tank", "0", 5e-9).expect("valid");
+    tank.capacitor("c1", "tank", "0", 1e-12).expect("valid");
+    tank.resistor("r1", "tank", "0", 5e3).expect("valid");
     let opts = AcOptions::log_sweep("iin", 1e8, 3e10, 40);
-    c.bench_function("frontends/ac_sweep_100pts_tank", |b| {
-        b.iter(|| ac_analysis(black_box(&circuit), black_box(&opts)).expect("solves"))
+    set.bench("frontends/ac_sweep_100pts_tank", || {
+        ac_analysis(black_box(&tank), black_box(&opts)).expect("solves")
     });
-}
 
-fn bench_diode_newton(c: &mut Criterion) {
     use ssn_devices::Diode;
-    let mut circuit = Circuit::new();
-    circuit
+    let mut diode_ckt = Circuit::new();
+    diode_ckt
         .vsource("v1", "in", "0", SourceWave::Dc(1.0))
         .expect("valid");
-    circuit.resistor("r1", "in", "d", 1e3).expect("valid");
-    circuit
+    diode_ckt.resistor("r1", "in", "d", 1e3).expect("valid");
+    diode_ckt
         .diode("d1", "d", "0", Diode::new(1e-14, 1.0))
         .expect("valid");
-    c.bench_function("frontends/diode_dc_newton", |b| {
-        b.iter(|| dc_operating_point(black_box(&circuit), DcOptions::default()).expect("solves"))
+    set.bench("frontends/diode_dc_newton", || {
+        dc_operating_point(black_box(&diode_ckt), DcOptions::default()).expect("solves")
     });
-}
 
-criterion_group!(benches, bench_parse, bench_ac_sweep, bench_diode_newton);
-criterion_main!(benches);
+    let path = set.write_csv("bench_frontends").expect("csv written");
+    println!("csv written to {}", path.display());
+}

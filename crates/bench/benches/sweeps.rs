@@ -1,8 +1,8 @@
-//! Criterion benches for whole-figure sweeps: the closed-form cost of
+//! Micro-benchmarks for whole-figure sweeps: the closed-form cost of
 //! regenerating Fig. 3 / Fig. 4 series (the simulated reference columns are
 //! measured separately in `transient.rs`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssn_bench::timing::BenchSet;
 use ssn_core::baselines::{senthinathan_prince, song, vemuru, BaselineInputs};
 use ssn_core::scenario::SsnScenario;
 use ssn_core::{design, lcmodel, lmodel};
@@ -10,64 +10,49 @@ use ssn_devices::process::Process;
 use ssn_units::{Seconds, Volts};
 use std::hint::black_box;
 
-fn bench_fig3_series(c: &mut Criterion) {
+fn main() {
+    let mut set = BenchSet::new();
     let process = Process::p018();
     let base = SsnScenario::builder(&process)
         .rise_time(Seconds::from_nanos(0.5))
         .build()
         .expect("valid scenario");
-    c.bench_function("sweeps/fig3_closed_forms_n1_16", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for n in 1..=16usize {
-                let s = base.with_drivers(n).expect("valid");
-                acc += lmodel::vn_max(&s).value();
-                let inputs = BaselineInputs::from_process(
-                    black_box(&process),
-                    n,
-                    s.inductance(),
-                    s.rise_time(),
-                );
-                acc += vemuru(&inputs).value();
-                acc += song(&inputs).value();
-                acc += senthinathan_prince(&inputs).value();
-            }
-            acc
-        })
-    });
-}
 
-fn bench_fig4_series(c: &mut Criterion) {
-    let process = Process::p018();
-    let base = SsnScenario::builder(&process)
-        .rise_time(Seconds::from_nanos(0.5))
-        .build()
-        .expect("valid scenario");
-    c.bench_function("sweeps/fig4_lc_model_n1_16", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for n in 1..=16usize {
-                let s = base.with_drivers(n).expect("valid");
-                acc += lcmodel::vn_max(black_box(&s)).0.value();
-            }
-            acc
-        })
+    set.bench("sweeps/fig3_closed_forms_n1_16", || {
+        let mut acc = 0.0;
+        for n in 1..=16usize {
+            let s = base.with_drivers(n).expect("valid");
+            acc += lmodel::vn_max(&s).value();
+            let inputs =
+                BaselineInputs::from_process(black_box(&process), n, s.inductance(), s.rise_time());
+            acc += vemuru(&inputs).value();
+            acc += song(&inputs).value();
+            acc += senthinathan_prince(&inputs).value();
+        }
+        acc
     });
-}
 
-fn bench_design_searches(c: &mut Criterion) {
-    let base = SsnScenario::builder(&Process::p018())
+    set.bench("sweeps/fig4_lc_model_n1_16", || {
+        let mut acc = 0.0;
+        for n in 1..=16usize {
+            let s = base.with_drivers(n).expect("valid");
+            acc += lcmodel::vn_max(black_box(&s)).0.value();
+        }
+        acc
+    });
+
+    let wide = SsnScenario::builder(&Process::p018())
         .drivers(32)
         .rise_time(Seconds::from_nanos(0.5))
         .build()
         .expect("valid scenario");
-    c.bench_function("sweeps/design_max_drivers", |b| {
-        b.iter(|| design::max_simultaneous_drivers(black_box(&base), Volts::new(0.45)).expect("ok"))
+    set.bench("sweeps/design_max_drivers", || {
+        design::max_simultaneous_drivers(black_box(&wide), Volts::new(0.45)).expect("ok")
     });
-    c.bench_function("sweeps/design_required_rise_time", |b| {
-        b.iter(|| design::required_rise_time(black_box(&base), Volts::new(0.45)).expect("ok"))
+    set.bench("sweeps/design_required_rise_time", || {
+        design::required_rise_time(black_box(&wide), Volts::new(0.45)).expect("ok")
     });
-}
 
-criterion_group!(benches, bench_fig3_series, bench_fig4_series, bench_design_searches);
-criterion_main!(benches);
+    let path = set.write_csv("bench_sweeps").expect("csv written");
+    println!("csv written to {}", path.display());
+}

@@ -1,7 +1,7 @@
-//! Criterion benches for the transient simulator: the reference cost the
+//! Micro-benchmarks for the transient simulator: the reference cost the
 //! closed-form models are amortizing away.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssn_bench::timing::BenchSet;
 use ssn_core::bridge::DriverBankConfig;
 use ssn_core::scenario::SsnScenario;
 use ssn_devices::process::Process;
@@ -10,32 +10,24 @@ use ssn_units::Seconds;
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_driver_bank(c: &mut Criterion) {
+fn main() {
+    let mut set = BenchSet::new();
     let process = Process::p018();
     let base = SsnScenario::builder(&process)
         .rise_time(Seconds::from_nanos(0.5))
         .build()
         .expect("valid scenario");
-    let mut group = c.benchmark_group("transient/driver_bank");
-    group.sample_size(10);
     for n in [1usize, 4, 8] {
         let s = base.with_drivers(n).expect("valid");
         let cfg = DriverBankConfig::from_scenario(&s, Arc::new(process.output_driver()));
         let circuit = cfg.build_circuit().expect("valid circuit");
         let t_stop = 50e-12 + 0.5e-9 * 2.5;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
-            b.iter(|| {
-                let opts = TranOptions::to(t_stop)
-                    .with_ic()
-                    .with_dt_max(0.5e-9 / 50.0);
-                transient(black_box(circuit), opts).expect("converges")
-            })
+        set.bench(&format!("transient/driver_bank/{n}"), || {
+            let opts = TranOptions::to(t_stop).with_ic().with_dt_max(0.5e-9 / 50.0);
+            transient(black_box(&circuit), opts).expect("converges")
         });
     }
-    group.finish();
-}
 
-fn bench_linear_rlc(c: &mut Criterion) {
     let mut circuit = Circuit::new();
     circuit
         .vsource("v1", "in", "0", SourceWave::Dc(1.0))
@@ -45,12 +37,10 @@ fn bench_linear_rlc(c: &mut Criterion) {
     circuit
         .capacitor_with_ic("c1", "n2", "0", 1e-9, 0.0)
         .expect("valid");
-    c.bench_function("transient/rlc_ringdown", |b| {
-        b.iter(|| {
-            transient(black_box(&circuit), TranOptions::to(8e-6).with_ic()).expect("converges")
-        })
+    set.bench("transient/rlc_ringdown", || {
+        transient(black_box(&circuit), TranOptions::to(8e-6).with_ic()).expect("converges")
     });
-}
 
-criterion_group!(benches, bench_driver_bank, bench_linear_rlc);
-criterion_main!(benches);
+    let path = set.write_csv("bench_transient").expect("csv written");
+    println!("csv written to {}", path.display());
+}

@@ -12,6 +12,8 @@
 
 use ssn_bench::{mv, pct, simulate_scenario, Table};
 use ssn_core::bridge::{measure, DriverBankConfig};
+use ssn_core::design::sweep_design_grid;
+use ssn_core::parallel::ExecPolicy;
 use ssn_core::scenario::SsnScenario;
 use ssn_core::{lcmodel, lmodel};
 use ssn_devices::process::Process;
@@ -29,10 +31,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     z_figure_equivalence(&base)?;
     critical_capacitance_map(&base)?;
+    design_grid(&base)?;
     sigma_ablation(&process, &base)?;
     asdm_in_simulator(&process, &base)?;
     integration_ablation(&process, &base)?;
     fit_weighting_ablation(&process)?;
+    Ok(())
+}
+
+/// The full `N x L` design grid on the parallel engine, with run telemetry.
+/// Point values are identical for every thread count (fixed chunking and
+/// chunk-ordered assembly), so this artifact is reproducible on any machine.
+fn design_grid(base: &SsnScenario) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== GRID1: N x L design grid (parallel engine) ==");
+    let drivers: Vec<usize> = (1..=16).collect();
+    let inductances: Vec<Henrys> = [1.0, 2.5, 5.0, 7.5, 10.0]
+        .iter()
+        .map(|&l| Henrys::from_nanos(l))
+        .collect();
+    let (points, stats) = sweep_design_grid(base, &drivers, &inductances, &ExecPolicy::auto())?;
+
+    let mut table = Table::new(&["N", "L", "Vn_max (L-only)", "Vn_max (LC)", "Table-1 case"]);
+    for p in &points {
+        table.row(&[
+            p.n_drivers.to_string(),
+            p.inductance.to_string(),
+            mv(p.vn_l_only.value()),
+            mv(p.vn_lc.value()),
+            p.case.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("run: {stats}\n");
+    table.write_csv("grid1_design_grid")?;
     Ok(())
 }
 
@@ -46,7 +77,13 @@ fn fit_weighting_ablation(process: &Process) -> Result<(), Box<dyn std::error::E
         &process.output_driver(),
         &SsnRegionSpec::for_process(process),
     );
-    let mut table = Table::new(&["weight w", "K (mS)", "sigma", "V0 (mV)", "worst SSN err (N=1..12)"]);
+    let mut table = Table::new(&[
+        "weight w",
+        "K (mS)",
+        "sigma",
+        "V0 (mV)",
+        "worst SSN err (N=1..12)",
+    ]);
     for w in [0.0, 1.0, 2.0, 4.0] {
         let asdm = fit_asdm_weighted(&samples, w)?;
         let mut worst = 0.0f64;
@@ -85,8 +122,14 @@ fn z_figure_equivalence(base: &SsnScenario) -> Result<(), Box<dyn std::error::Er
     let variants: Vec<(&str, SsnScenario)> = vec![
         ("baseline (N=8, L=5n, tr=0.5n)", base.clone()),
         ("N x2", base.with_drivers(16)?),
-        ("L x2", base.with_package(base.inductance() * 2.0, base.capacitance())?),
-        ("s x2 (tr / 2)", base.with_rise_time(base.rise_time() / 2.0)?),
+        (
+            "L x2",
+            base.with_package(base.inductance() * 2.0, base.capacitance())?,
+        ),
+        (
+            "s x2 (tr / 2)",
+            base.with_rise_time(base.rise_time() / 2.0)?,
+        ),
         ("N x2, L / 2 (Z unchanged)", {
             base.with_drivers(16)?
                 .with_package(base.inductance() / 2.0, base.capacitance())?
@@ -129,14 +172,18 @@ fn critical_capacitance_map(base: &SsnScenario) -> Result<(), Box<dyn std::error
 }
 
 /// How much of the model's accuracy comes from fitting sigma > 1?
-fn sigma_ablation(
-    process: &Process,
-    base: &SsnScenario,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn sigma_ablation(process: &Process, base: &SsnScenario) -> Result<(), Box<dyn std::error::Error>> {
     println!("== ablation: force sigma = 1 in the fitted ASDM ==");
     let a = base.asdm();
     let ablated = Asdm::new(a.k(), 1.0, a.v0());
-    let mut table = Table::new(&["N", "sim", "full ASDM", "sigma=1", "err full", "err sigma=1"]);
+    let mut table = Table::new(&[
+        "N",
+        "sim",
+        "full ASDM",
+        "sigma=1",
+        "err full",
+        "err sigma=1",
+    ]);
     let mut full_err = 0.0f64;
     let mut abl_err = 0.0f64;
     for n in [2usize, 4, 8, 16] {
@@ -181,7 +228,13 @@ fn asdm_in_simulator(
     base: &SsnScenario,
 ) -> Result<(), Box<dyn std::error::Error>> {
     println!("== ablation: ASDM device inside the transient simulator ==");
-    let mut table = Table::new(&["N", "closed form", "sim w/ ASDM", "sim w/ golden", "CF vs ASDM-sim"]);
+    let mut table = Table::new(&[
+        "N",
+        "closed form",
+        "sim w/ ASDM",
+        "sim w/ golden",
+        "CF vs ASDM-sim",
+    ]);
     for n in [2usize, 8] {
         let s = base.with_drivers(n)?;
         let closed = lcmodel::vn_max(&s).0.value();

@@ -13,9 +13,9 @@
 
 use ssn_bench::{mv, pct, Table};
 use ssn_core::bridge::{ground_impedance, measure, DriverBankConfig};
+use ssn_core::lcmodel;
 use ssn_core::montecarlo::{run_monte_carlo, VariationSpec};
 use ssn_core::scenario::SsnScenario;
-use ssn_core::lcmodel;
 use ssn_devices::process::Process;
 use ssn_units::{Hertz, Seconds, Volts};
 
@@ -97,9 +97,11 @@ fn ext7_mixed_banks(process: &Process) -> Result<(), Box<dyn std::error::Error>>
         for _ in 0..n2 {
             models.push(Arc::new(wide.clone()));
         }
-        let sim = measure(&DriverBankConfig::from_process(process, models.len()).with_mixed_models(models))?
-            .vn_max
-            .value();
+        let sim = measure(
+            &DriverBankConfig::from_process(process, models.len()).with_mixed_models(models),
+        )?
+        .vn_max
+        .value();
         table.row(&[
             format!("{n1} + {n2}"),
             mv(closed),
@@ -208,12 +210,7 @@ fn ext4_victim(process: &Process) -> Result<(), Box<dyn std::error::Error>> {
             .peak()
             .value;
         let bounce = meas.ground_bounce.peak().value;
-        table.row(&[
-            n.to_string(),
-            mv(bounce),
-            mv(glitch),
-            pct(glitch / bounce),
-        ]);
+        table.row(&[n.to_string(), mv(bounce), mv(glitch), pct(glitch / bounce)]);
     }
     println!("{table}");
     println!(

@@ -36,16 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut row = vec![format!("{vg:.2}")];
         for vs in vs_list {
             let sim = driver.ids(vg - vs, vdd - vs, -vs).id;
-            let model = asdm
-                .drain_current(Volts::new(vg), Volts::new(vs))
-                .value();
+            let model = asdm.drain_current(Volts::new(vg), Volts::new(vs)).value();
             row.push(format!("{:.3}", sim * 1e3));
             row.push(format!("{:.3}", model * 1e3));
         }
         table.row(&row);
     }
     for vs in [0.0, 0.4, 0.8] {
-        let sim = Waveform::from_fn(0.0, vdd, 120, |vg| driver.ids(vg - vs, vdd - vs, -vs).id * 1e3)?;
+        let sim = Waveform::from_fn(0.0, vdd, 120, |vg| {
+            driver.ids(vg - vs, vdd - vs, -vs).id * 1e3
+        })?;
         let lin = Waveform::from_fn(0.0, vdd, 120, |vg| {
             asdm.drain_current(Volts::new(vg), Volts::new(vs)).value() * 1e3
         })?;
@@ -88,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (p - s.id).abs() / s.id
         })
         .fold(0.0f64, f64::max);
-    println!("worst ASDM error above 1/3 full-scale current: {}", pct(worst));
+    println!(
+        "worst ASDM error above 1/3 full-scale current: {}",
+        pct(worst)
+    );
 
     let path = table.write_csv("fig1_iv_curves")?;
     println!("csv: {}", path.display());

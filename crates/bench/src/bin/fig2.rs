@@ -8,8 +8,8 @@
 //! Run with `cargo run -p ssn-bench --bin fig2`.
 
 use ssn_bench::{mv, pct, simulate_scenario, Table};
-use ssn_core::scenario::SsnScenario;
 use ssn_core::lmodel;
+use ssn_core::scenario::SsnScenario;
 use ssn_devices::process::Process;
 use ssn_units::{Farads, Seconds};
 use ssn_waveform::{AsciiPlot, CsvTable};
@@ -68,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{table}");
 
-    let v_err = (lmodel::vn_max(&scenario).value() - sim.vn_max.value()).abs()
-        / sim.vn_max.value();
+    let v_err = (lmodel::vn_max(&scenario).value() - sim.vn_max.value()).abs() / sim.vn_max.value();
     let i_model_end = model_il.sample(tr);
     let i_sim_end = sim.inductor_current.sample(tr);
     let i_err = (i_model_end - i_sim_end).abs() / i_sim_end;

@@ -46,14 +46,7 @@ fn run_process(process: &Process) -> Result<(), Box<dyn std::error::Error>> {
         let vem = vemuru(&inputs).value();
         let son = song(&inputs).value();
         let sp = senthinathan_prince(&inputs).value();
-        table.row(&[
-            n.to_string(),
-            mv(sim),
-            mv(this),
-            mv(vem),
-            mv(son),
-            mv(sp),
-        ]);
+        table.row(&[n.to_string(), mv(sim), mv(this), mv(vem), mv(son), mv(sp)]);
         for (k, v) in [this, vem, son, sp].into_iter().enumerate() {
             errs[k] += (v - sim).abs() / sim / ns.len() as f64;
         }

@@ -43,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for panel in panels {
         println!("== {} ==", panel.label);
         let mut table = Table::new(&[
-            "N", "region", "case", "sim", "L-only", "LC model", "err L-only", "err LC",
+            "N",
+            "region",
+            "case",
+            "sim",
+            "L-only",
+            "LC model",
+            "err L-only",
+            "err LC",
         ]);
         let mut worst_lc = 0.0f64;
         let mut worst_lonly_under = 0.0f64;

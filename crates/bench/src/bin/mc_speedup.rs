@@ -1,0 +1,93 @@
+//! PERF1 — Monte Carlo scaling on the parallel scenario engine.
+//!
+//! Runs the same 10 000-sample Monte Carlo at 1/2/4/8 worker threads,
+//! verifies every run is **bit-identical** to the serial reference (the
+//! engine's determinism contract: fixed chunk boundaries + per-chunk RNG
+//! streams), and reports the wall-clock speedup table.
+//!
+//! Speedup over serial requires actual hardware parallelism; on a
+//! single-core host the table still verifies determinism but the ratios
+//! hover around 1.0x. Run with
+//! `cargo run -p ssn-bench --bin mc_speedup --release`.
+
+use ssn_bench::{pct, Table};
+use ssn_core::montecarlo::{run_monte_carlo_with, VariationSpec};
+use ssn_core::parallel::ExecPolicy;
+use ssn_core::scenario::SsnScenario;
+use ssn_devices::process::Process;
+use ssn_units::Seconds;
+
+const SAMPLES: usize = 10_000;
+const SEED: u64 = 1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = Process::p018();
+    let scenario = SsnScenario::builder(&process)
+        .drivers(8)
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+    let spec = VariationSpec::typical();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("== PERF1: Monte Carlo scaling ({SAMPLES} samples, {cores} hardware thread(s)) ==");
+
+    let (reference, serial_stats) =
+        run_monte_carlo_with(&scenario, &spec, SAMPLES, SEED, &ExecPolicy::serial())?;
+
+    let mut table = Table::new(&[
+        "threads",
+        "wall (s)",
+        "samples/s",
+        "utilization",
+        "speedup",
+        "bit-identical",
+    ]);
+    table.row(&[
+        "1 (serial)".to_owned(),
+        format!("{:.3}", serial_stats.wall.as_secs_f64()),
+        format!("{:.0}", serial_stats.items_per_sec()),
+        pct(serial_stats.utilization()),
+        "1.00x".to_owned(),
+        "reference".to_owned(),
+    ]);
+
+    for threads in [2usize, 4, 8] {
+        let (mc, stats) = run_monte_carlo_with(
+            &scenario,
+            &spec,
+            SAMPLES,
+            SEED,
+            &ExecPolicy::with_threads(threads),
+        )?;
+        let identical = mc.samples() == reference.samples();
+        assert!(
+            identical,
+            "determinism contract violated at {threads} threads"
+        );
+        table.row(&[
+            threads.to_string(),
+            format!("{:.3}", stats.wall.as_secs_f64()),
+            format!("{:.0}", stats.items_per_sec()),
+            pct(stats.utilization()),
+            format!(
+                "{:.2}x",
+                serial_stats.wall.as_secs_f64() / stats.wall.as_secs_f64().max(1e-9)
+            ),
+            "yes".to_owned(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "mean {} sd {} q99 {} — identical for every thread count.",
+        reference.mean(),
+        reference.std_dev(),
+        reference.quantile(0.99)
+    );
+    if cores < 4 {
+        println!(
+            "note: only {cores} hardware thread(s) available; speedup ratios\n\
+             are bounded by physical cores, determinism holds regardless."
+        );
+    }
+    table.write_csv("perf1_mc_speedup")?;
+    Ok(())
+}

@@ -48,8 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let mut table = Table::new(&[
-        "case", "alpha (1/s)", "omega0 (1/s)", "t_peak vs window", "formula", "waveform",
-        "ODE", "sim", "err vs sim",
+        "case",
+        "alpha (1/s)",
+        "omega0 (1/s)",
+        "t_peak vs window",
+        "formula",
+        "waveform",
+        "ODE",
+        "sim",
+        "err vs sim",
     ]);
 
     for (label, s) in cases {

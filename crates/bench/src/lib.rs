@@ -13,10 +13,14 @@
 //! * `design_space` — Section-3 design implications and ablations.
 //!
 //! Binaries print aligned tables to stdout and drop CSV files into
-//! `./results/`.
+//! `./results/`. The `benches/` micro-benchmarks are plain binaries built
+//! on the in-repo [`timing`] runner (the workspace builds offline, so no
+//! external benchmark framework is available).
 
-use ssn_core::scenario::SsnScenario;
+pub mod timing;
+
 use ssn_core::bridge::{measure, DriverBankConfig, SsnMeasurement};
+use ssn_core::scenario::SsnScenario;
 use ssn_core::SsnError;
 use ssn_devices::process::Process;
 use std::fmt::Display;
@@ -43,7 +47,8 @@ impl Table {
 
     /// Appends a row (missing cells render empty, extras are kept).
     pub fn row<S: Display>(&mut self, cells: &[S]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 

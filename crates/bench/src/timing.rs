@@ -1,0 +1,165 @@
+//! A small self-calibrating micro-benchmark runner.
+//!
+//! The workspace builds offline, so the benches under `benches/` are plain
+//! `harness = false` binaries driven by this module instead of an external
+//! framework. Methodology: warm up, calibrate the iteration count to a
+//! ~50 ms batch, then report the fastest of several batches (the usual
+//! guard against scheduler noise on shared machines).
+
+use crate::Table;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target duration of one measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(50);
+/// Measured batches per benchmark (the fastest wins).
+const BATCHES: usize = 5;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations per measured batch.
+    pub iters: u64,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the best batch.
+    pub fn per_sec(&self) -> f64 {
+        1e9 / self.ns_per_iter.max(1e-3)
+    }
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} {:>12} /iter  ({:.0} iter/s)",
+            self.name,
+            format_ns(self.ns_per_iter),
+            self.per_sec()
+        )
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times `f`, printing the result as it completes, and returns it.
+pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) -> BenchResult {
+    // Warm-up + calibration: time single calls until 5 ms or 100 calls.
+    let calib_start = Instant::now();
+    let mut calls = 0u64;
+    while calib_start.elapsed() < Duration::from_millis(5) && calls < 100 {
+        black_box(f());
+        calls += 1;
+    }
+    let per_call = calib_start.elapsed().as_secs_f64() / calls as f64;
+    let iters = ((BATCH_TARGET.as_secs_f64() / per_call.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        best = best.min(ns);
+    }
+    let result = BenchResult {
+        name: name.to_owned(),
+        iters,
+        ns_per_iter: best,
+    };
+    println!("{result}");
+    result
+}
+
+/// Collects a suite of results and writes them as one CSV artifact.
+#[derive(Debug, Default)]
+pub struct BenchSet {
+    results: Vec<BenchResult>,
+}
+
+impl BenchSet {
+    /// An empty suite.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs and records one benchmark.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, f: F) -> &BenchResult {
+        self.results.push(bench(name, f));
+        self.results.last().expect("just pushed")
+    }
+
+    /// The recorded results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes `results/<name>.csv` with one row per benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let mut table = Table::new(&["benchmark", "ns_per_iter", "iters_per_batch"]);
+        for r in &self.results {
+            table.row(&[
+                r.name.clone(),
+                format!("{:.1}", r.ns_per_iter),
+                r.iters.to_string(),
+            ]);
+        }
+        table.write_csv(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let r = bench("test/noop_sum", || (0..100u64).sum::<u64>());
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.iters >= 1);
+        assert!(r.per_sec() > 0.0);
+        assert!(r.to_string().contains("test/noop_sum"));
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(12_300.0), "12.30 us");
+        assert_eq!(format_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(format_ns(2.5e9), "2.500 s");
+    }
+
+    #[test]
+    fn bench_set_collects_and_exports() {
+        let mut set = BenchSet::new();
+        set.bench("test/a", || 1 + 1);
+        set.bench("test/b", || 2 + 2);
+        assert_eq!(set.results().len(), 2);
+        let path = set.write_csv("test_bench_set").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("benchmark,"));
+        assert!(text.contains("test/a"));
+        std::fs::remove_file(path).ok();
+    }
+}

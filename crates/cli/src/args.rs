@@ -85,9 +85,10 @@ impl ParsedArgs {
     pub fn parsed<T: FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
         match self.value(name) {
             None => Ok(None),
-            Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
-                CliError::usage(format!("--{name}: cannot parse {raw:?}"))
-            }),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("--{name}: cannot parse {raw:?}"))),
         }
     }
 
@@ -123,7 +124,9 @@ mod tests {
     #[test]
     fn parses_options_flags_and_positionals() {
         let a = ParsedArgs::parse(
-            &argv(&["deck.sp", "--probe", "ng", "--probe", "out0", "--fast", "--n", "8"]),
+            &argv(&[
+                "deck.sp", "--probe", "ng", "--probe", "out0", "--fast", "--n", "8",
+            ]),
             &["probe", "n"],
             &["fast", "help"],
         )

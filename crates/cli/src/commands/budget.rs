@@ -4,8 +4,8 @@ use super::resolve_process;
 use crate::args::ParsedArgs;
 use crate::error::CliError;
 use ssn_core::design;
-use ssn_core::scenario::SsnScenario;
 use ssn_core::lcmodel;
+use ssn_core::scenario::SsnScenario;
 use ssn_units::{Seconds, Volts};
 use std::io::Write;
 

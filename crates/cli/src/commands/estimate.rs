@@ -31,7 +31,13 @@ options:
 pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["process", "drivers", "rise-time", "inductance", "capacitance"],
+        &[
+            "process",
+            "drivers",
+            "rise-time",
+            "inductance",
+            "capacitance",
+        ],
         &["simulate", "full", "help"],
     )?;
     if args.wants_help() {
@@ -64,16 +70,22 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     }
 
     writeln!(out, "{scenario}")?;
-    writeln!(out, "damping: {} | critical capacitance C_m = {}",
+    writeln!(
+        out,
+        "damping: {} | critical capacitance C_m = {}",
         lcmodel::classify(&scenario),
-        lcmodel::critical_capacitance(&scenario))?;
-    writeln!(out, "L-only model (Eqn. 7): Vn_max = {}", lmodel::vn_max(&scenario))?;
+        lcmodel::critical_capacitance(&scenario)
+    )?;
+    writeln!(
+        out,
+        "L-only model (Eqn. 7): Vn_max = {}",
+        lmodel::vn_max(&scenario)
+    )?;
     let (lc, case) = lcmodel::vn_max(&scenario);
     writeln!(out, "LC model (Table 1):    Vn_max = {lc}  [{case}]")?;
 
     if args.flag("simulate") {
-        let cfg =
-            DriverBankConfig::from_scenario(&scenario, Arc::new(process.output_driver()));
+        let cfg = DriverBankConfig::from_scenario(&scenario, Arc::new(process.output_driver()));
         let sim = measure(&cfg)?;
         let err = (lc.value() - sim.vn_max.value()).abs() / sim.vn_max.value();
         writeln!(out, "simulated:             Vn_max = {}", sim.vn_max)?;

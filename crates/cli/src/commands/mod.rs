@@ -1,10 +1,10 @@
 //! Command implementations.
 
 pub mod budget;
-pub mod impedance;
-pub mod montecarlo;
 pub mod estimate;
 pub mod fit;
+pub mod impedance;
+pub mod montecarlo;
 pub mod simulate;
 pub mod sweep;
 

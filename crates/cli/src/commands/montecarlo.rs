@@ -3,9 +3,10 @@
 use super::resolve_process;
 use crate::args::ParsedArgs;
 use crate::error::CliError;
-use ssn_core::montecarlo::{run_monte_carlo, VariationSpec};
-use ssn_core::scenario::SsnScenario;
 use ssn_core::lcmodel;
+use ssn_core::montecarlo::{run_monte_carlo_with, VariationSpec};
+use ssn_core::parallel::ExecPolicy;
+use ssn_core::scenario::SsnScenario;
 use ssn_units::{Seconds, Volts};
 use std::io::Write;
 
@@ -16,6 +17,8 @@ options:
     --rise-time <t>     input rise time (default 0.5n)
     --samples <n>       Monte Carlo samples (default 2000)
     --seed <u64>        RNG seed (default 1)
+    --threads <n>       worker threads (default: all hardware threads;
+                        results are identical for every thread count)
     --budget <V>        also report the yield against this budget
     --k-frac <x>        fractional sigma of K (default 0.08)
     --l-frac <x>        fractional sigma of L (default 0.10)
@@ -31,7 +34,15 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let args = ParsedArgs::parse(
         argv,
         &[
-            "process", "drivers", "rise-time", "samples", "seed", "budget", "k-frac", "l-frac",
+            "process",
+            "drivers",
+            "rise-time",
+            "samples",
+            "seed",
+            "threads",
+            "budget",
+            "k-frac",
+            "l-frac",
             "c-frac",
         ],
         &["help"],
@@ -47,6 +58,11 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let drivers: usize = args.required("drivers")?;
     let samples: usize = args.parsed_or("samples", 2000)?;
     let seed: u64 = args.parsed_or("seed", 1)?;
+    let policy = match args.parsed::<usize>("threads")? {
+        Some(0) => return Err(CliError::usage("--threads must be at least 1")),
+        Some(t) => ExecPolicy::with_threads(t),
+        None => ExecPolicy::auto(),
+    };
 
     let scenario = SsnScenario::builder(&process)
         .drivers(drivers)
@@ -58,7 +74,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         c_frac: args.parsed_or("c-frac", 0.15)?,
         ..VariationSpec::typical()
     };
-    let mc = run_monte_carlo(&scenario, &spec, samples, seed)?;
+    let (mc, stats) = run_monte_carlo_with(&scenario, &spec, samples, seed, &policy)?;
 
     writeln!(out, "nominal Vn_max: {}", lcmodel::vn_max(&scenario).0)?;
     writeln!(
@@ -77,5 +93,6 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
             mc.yield_within(budget) * 100.0
         )?;
     }
+    writeln!(out, "run: {stats}")?;
     Ok(())
 }

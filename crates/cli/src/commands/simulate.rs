@@ -45,11 +45,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let opts = match (deck.tran, args.parsed::<ssn_units::Seconds>("t-stop")?) {
         (_, Some(t)) => TranOptions::to(t.value()).with_ic(),
         (Some(t), None) => t.to_options(),
-        (None, None) => {
-            return Err(CliError::usage(
-                "deck has no .tran card; pass --t-stop",
-            ))
-        }
+        (None, None) => return Err(CliError::usage("deck has no .tran card; pass --t-stop")),
     };
     let result = transient(&deck.circuit, opts)?;
     writeln!(

@@ -5,8 +5,9 @@ use crate::args::ParsedArgs;
 use crate::error::CliError;
 use ssn_core::baselines::{senthinathan_prince, song, vemuru, BaselineInputs};
 use ssn_core::bridge::{measure, DriverBankConfig};
+use ssn_core::parallel::{par_map, ExecPolicy};
 use ssn_core::scenario::SsnScenario;
-use ssn_core::{lcmodel, lmodel};
+use ssn_core::{lcmodel, lmodel, SsnError};
 use ssn_units::Seconds;
 use std::io::Write;
 use std::sync::Arc;
@@ -17,6 +18,9 @@ usage: ssn sweep --process <p018|p025|p035> [options]
 options:
     --max-drivers <N>   sweep N = 1..=N (default 16)
     --rise-time <t>     input rise time (default 0.5n)
+    --threads <n>       worker threads for the sweep rows (default: all
+                        hardware threads; results are identical for every
+                        thread count)
     --no-simulation     skip the (slow) golden-device reference column
     --csv <path>        also write the table as CSV
 ";
@@ -29,7 +33,7 @@ options:
 pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let args = ParsedArgs::parse(
         argv,
-        &["process", "max-drivers", "rise-time", "csv"],
+        &["process", "max-drivers", "rise-time", "threads", "csv"],
         &["no-simulation", "help"],
     )?;
     if args.wants_help() {
@@ -46,16 +50,27 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     }
     let tr = args.parsed_or("rise-time", Seconds::from_nanos(0.5))?;
     let simulate = !args.flag("no-simulation");
+    let policy = match args.parsed::<usize>("threads")? {
+        Some(0) => return Err(CliError::usage("--threads must be at least 1")),
+        Some(t) => ExecPolicy::with_threads(t),
+        None => ExecPolicy::auto(),
+    };
 
     let base = SsnScenario::builder(&process).rise_time(tr).build()?;
-    let mut rows: Vec<Vec<String>> = Vec::new();
     let mut header = vec!["N".to_owned(), "L-only".to_owned(), "LC".to_owned()];
     if simulate {
         header.push("sim".to_owned());
     }
-    header.extend(["Vemuru96".to_owned(), "Song99".to_owned(), "SenPr91".to_owned()]);
+    header.extend([
+        "Vemuru96".to_owned(),
+        "Song99".to_owned(),
+        "SenPr91".to_owned(),
+    ]);
 
-    for n in 1..=max_n {
+    // Each row is independent (the simulation column dominates the cost),
+    // so fan rows out over the engine; output order is the input order.
+    let ns: Vec<usize> = (1..=max_n).collect();
+    let (row_results, stats) = par_map(&ns, &policy, |&n| -> Result<Vec<String>, SsnError> {
         let s = base.with_drivers(n)?;
         let inputs = BaselineInputs::from_process(&process, n, s.inductance(), tr);
         let mut row = vec![
@@ -72,9 +87,15 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         }
         row.push(format!("{:.1} mV", vemuru(&inputs).value() * 1e3));
         row.push(format!("{:.1} mV", song(&inputs).value() * 1e3));
-        row.push(format!("{:.1} mV", senthinathan_prince(&inputs).value() * 1e3));
-        rows.push(row);
-    }
+        row.push(format!(
+            "{:.1} mV",
+            senthinathan_prince(&inputs).value() * 1e3
+        ));
+        Ok(row)
+    });
+    let rows = row_results
+        .into_iter()
+        .collect::<Result<Vec<Vec<String>>, SsnError>>()?;
 
     // Render aligned.
     let widths: Vec<usize> = (0..header.len())
@@ -98,6 +119,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     for r in &rows {
         writeln!(out, "{}", fmt(r))?;
     }
+    writeln!(out, "run: {stats}")?;
 
     if let Some(path) = args.value("csv") {
         let mut text = header.join(",");

@@ -128,7 +128,12 @@ mod tests {
     #[test]
     fn estimate_with_simulation() {
         let (res, text) = run_to_string(&[
-            "estimate", "--process", "p018", "--drivers", "4", "--simulate",
+            "estimate",
+            "--process",
+            "p018",
+            "--drivers",
+            "4",
+            "--simulate",
         ]);
         assert!(res.is_ok(), "{text}");
         assert!(text.contains("simulated"), "{text}");
@@ -137,9 +142,8 @@ mod tests {
 
     #[test]
     fn estimate_full_report() {
-        let (res, text) = run_to_string(&[
-            "estimate", "--process", "p018", "--drivers", "8", "--full",
-        ]);
+        let (res, text) =
+            run_to_string(&["estimate", "--process", "p018", "--drivers", "8", "--full"]);
         assert!(res.is_ok(), "{text}");
         assert!(text.contains("SSN assessment"), "{text}");
         assert!(text.contains("budget check"), "{text}");
@@ -148,7 +152,12 @@ mod tests {
     #[test]
     fn sweep_produces_table() {
         let (res, text) = run_to_string(&[
-            "sweep", "--process", "p018", "--max-drivers", "4", "--no-simulation",
+            "sweep",
+            "--process",
+            "p018",
+            "--max-drivers",
+            "4",
+            "--no-simulation",
         ]);
         assert!(res.is_ok(), "{text}");
         assert!(text.lines().count() >= 5, "{text}");
@@ -158,7 +167,13 @@ mod tests {
     #[test]
     fn budget_advises() {
         let (res, text) = run_to_string(&[
-            "budget", "--process", "p018", "--drivers", "32", "--budget", "450m",
+            "budget",
+            "--process",
+            "p018",
+            "--drivers",
+            "32",
+            "--budget",
+            "450m",
         ]);
         assert!(res.is_ok(), "{text}");
         assert!(text.contains("simultaneous"), "{text}");
@@ -209,7 +224,13 @@ mod tests {
     #[test]
     fn impedance_finds_resonance() {
         let (res, text) = run_to_string(&[
-            "impedance", "--process", "p018", "--drivers", "8", "--points", "10",
+            "impedance",
+            "--process",
+            "p018",
+            "--drivers",
+            "8",
+            "--points",
+            "10",
         ]);
         assert!(res.is_ok(), "{text}");
         assert!(text.contains("resonance peak"), "{text}");
@@ -243,10 +264,21 @@ mod tests {
 
     #[test]
     fn command_help_flags() {
-        for cmd in ["estimate", "sweep", "budget", "simulate", "montecarlo", "impedance", "fit"] {
+        for cmd in [
+            "estimate",
+            "sweep",
+            "budget",
+            "simulate",
+            "montecarlo",
+            "impedance",
+            "fit",
+        ] {
             let (res, text) = run_to_string(&[cmd, "--help"]);
             assert!(res.is_ok(), "{cmd}");
-            assert!(text.contains("USAGE") || text.contains("usage"), "{cmd}: {text}");
+            assert!(
+                text.contains("USAGE") || text.contains("usage"),
+                "{cmd}: {text}"
+            );
         }
     }
 }

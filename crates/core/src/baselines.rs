@@ -225,8 +225,8 @@ mod tests {
         let v = song(&i).value();
         let window = i.vgt_max() / i.s.value();
         let eff = i.s.value() - v / window;
-        let rhs = i.n as f64 * i.l.value() * i.alpha * i.b * eff
-            * (eff * window).powf(i.alpha - 1.0);
+        let rhs =
+            i.n as f64 * i.l.value() * i.alpha * i.b * eff * (eff * window).powf(i.alpha - 1.0);
         assert!((rhs - v).abs() < 1e-9, "residual {}", rhs - v);
     }
 }

@@ -217,7 +217,8 @@ impl DriverBankConfig {
 
     /// Number of distinct input ramps (1 without staggering).
     fn n_groups(&self) -> usize {
-        self.stagger.map_or(1, |s| s.groups.max(1).min(self.n_drivers))
+        self.stagger
+            .map_or(1, |s| s.groups.max(1).min(self.n_drivers))
     }
 
     /// Builds the driver-bank netlist for the configured rail.
@@ -247,10 +248,15 @@ impl DriverBankConfig {
         let (v0, v1) = if rising { (0.0, vdd) } else { (vdd, 0.0) };
         if self.n_groups() > 1 {
             for g in 0..self.n_groups() {
-                let delay =
-                    self.input_delay.value() + g as f64 * self.stagger.expect("staggered").group_delay.value();
+                let delay = self.input_delay.value()
+                    + g as f64 * self.stagger.expect("staggered").group_delay.value();
                 let node = format!("in{g}");
-                c.vsource(&format!("vin{g}"), &node, "0", SourceWave::ramp(v0, v1, delay, tr))?;
+                c.vsource(
+                    &format!("vin{g}"),
+                    &node,
+                    "0",
+                    SourceWave::ramp(v0, v1, delay, tr),
+                )?;
                 c.set_initial_voltage(&node, v0)?;
             }
         } else {
@@ -308,7 +314,15 @@ impl DriverBankConfig {
             // Quiet victim: gate pinned high, output solidly LOW through
             // the (on) pull-down — until the ground node bounces.
             c.vsource("vgh", "gh", "0", SourceWave::Dc(vdd))?;
-            c.mosfet("mv", MosPolarity::Nmos, "outv", "gh", "ng", "0", self.model.clone())?;
+            c.mosfet(
+                "mv",
+                MosPolarity::Nmos,
+                "outv",
+                "gh",
+                "ng",
+                "0",
+                self.model.clone(),
+            )?;
             c.capacitor_with_ic("clv", "outv", "0", self.load_capacitance.value(), 0.0)?;
             c.set_initial_voltage("gh", vdd)?;
             c.set_initial_voltage("outv", 0.0)?;
@@ -356,8 +370,8 @@ impl DriverBankConfig {
     }
 
     fn t_stop(&self) -> f64 {
-        let stagger_span = (self.n_groups() - 1) as f64
-            * self.stagger.map_or(0.0, |s| s.group_delay.value());
+        let stagger_span =
+            (self.n_groups() - 1) as f64 * self.stagger.map_or(0.0, |s| s.group_delay.value());
         self.input_delay.value() + stagger_span + self.rise_time.value() * (1.0 + self.sim_margin)
     }
 }
@@ -534,7 +548,11 @@ mod tests {
         // Input reaches the rail.
         assert!((meas.input.sample(0.5e-9) - 1.8).abs() < 1e-6);
         // Output stays high during the ramp (the paper's assumption).
-        assert!(meas.output.sample(0.5e-9) > 1.5, "out = {}", meas.output.sample(0.5e-9));
+        assert!(
+            meas.output.sample(0.5e-9) > 1.5,
+            "out = {}",
+            meas.output.sample(0.5e-9)
+        );
         // Peak bookkeeping.
         assert!(meas.vn_max_global >= meas.vn_max);
         assert!(meas.vn_peak_time.value() <= 0.5e-9 + 1e-15);
@@ -545,22 +563,19 @@ mod tests {
         // Paper Section 1: "it is a very good approximation to neglect the
         // small resistance" — verified, not assumed.
         let without = measure(&p018_config(8)).unwrap().vn_max.value();
-        let with_r = measure(
-            &p018_config(8).with_series_resistance(ssn_units::Ohms::from_millis(10.0)),
-        )
-        .unwrap()
-        .vn_max
-        .value();
+        let with_r =
+            measure(&p018_config(8).with_series_resistance(ssn_units::Ohms::from_millis(10.0)))
+                .unwrap()
+                .vn_max
+                .value();
         let rel = (with_r - without).abs() / without;
         assert!(rel < 0.005, "10 mOhm changed Vn_max by {rel}");
         // A deliberately large resistance does matter (sanity that the
         // knob is actually wired in).
-        let with_big_r = measure(
-            &p018_config(8).with_series_resistance(ssn_units::Ohms::new(5.0)),
-        )
-        .unwrap()
-        .vn_max
-        .value();
+        let with_big_r = measure(&p018_config(8).with_series_resistance(ssn_units::Ohms::new(5.0)))
+            .unwrap()
+            .vn_max
+            .value();
         assert!(
             (with_big_r - without).abs() / without > 0.05,
             "5 Ohm should visibly change the bounce: {with_big_r} vs {without}"
@@ -614,8 +629,7 @@ mod tests {
         let bank = aggregate_asdm(&[(asdm_narrow, 4), (asdm_wide, 2)]).unwrap();
         // Width scaling scales K only.
         assert!(
-            (asdm_wide.k().value() - 2.0 * asdm_narrow.k().value()).abs()
-                / asdm_wide.k().value()
+            (asdm_wide.k().value() - 2.0 * asdm_narrow.k().value()).abs() / asdm_wide.k().value()
                 < 1e-6
         );
 
@@ -761,10 +775,7 @@ mod tests {
                 .drivers(n)
                 .build()
                 .unwrap();
-            let cfg = DriverBankConfig::from_scenario(
-                &scenario,
-                Arc::new(process.output_driver()),
-            );
+            let cfg = DriverBankConfig::from_scenario(&scenario, Arc::new(process.output_driver()));
             let meas = measure(&cfg).unwrap();
             let (lc, _) = lcmodel::vn_max(&scenario);
             let rel = (lc.value() - meas.vn_max.value()).abs() / meas.vn_max.value();

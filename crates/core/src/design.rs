@@ -10,10 +10,12 @@
 
 use crate::error::SsnError;
 use crate::lcmodel;
+use crate::lcmodel::MaxSsnCase;
+use crate::parallel::{run_chunked, ExecPolicy, ExecStats};
 use crate::scenario::SsnScenario;
 use ssn_numeric::optimize::golden_section;
 use ssn_numeric::roots::{brent, RootOptions};
-use ssn_units::{Seconds, Volts};
+use ssn_units::{Henrys, Seconds, Volts};
 
 /// Hard cap on driver counts considered by the search helpers.
 const MAX_DRIVERS: usize = 65_536;
@@ -43,10 +45,7 @@ const MAX_DRIVERS: usize = 65_536;
 /// # Ok(())
 /// # }
 /// ```
-pub fn max_simultaneous_drivers(
-    template: &SsnScenario,
-    budget: Volts,
-) -> Result<usize, SsnError> {
+pub fn max_simultaneous_drivers(template: &SsnScenario, budget: Volts) -> Result<usize, SsnError> {
     if !(budget.value() > 0.0) {
         return Err(SsnError::scenario("noise budget must be positive"));
     }
@@ -190,6 +189,73 @@ pub fn stagger_plan(template: &SsnScenario, budget: Volts) -> Result<StaggerPlan
     })
 }
 
+/// One evaluated point of a design-space grid sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Driver count at this point.
+    pub n_drivers: usize,
+    /// Ground-path inductance at this point.
+    pub inductance: Henrys,
+    /// L-only maximum SSN (paper Eqn. 7).
+    pub vn_l_only: Volts,
+    /// Full LC maximum SSN (paper Table 1).
+    pub vn_lc: Volts,
+    /// The Table-1 case that produced `vn_lc`.
+    pub case: MaxSsnCase,
+}
+
+/// Grid points per work-queue chunk; fixed so chunk boundaries (and hence
+/// evaluation grouping) never depend on the thread count.
+const GRID_CHUNK: usize = 64;
+
+/// Sweeps the `drivers` × `inductances` design grid around `template` on
+/// the parallel engine, returning one [`GridPoint`] per `(N, L)` pair in
+/// row-major order (`drivers` outer, `inductances` inner) plus run
+/// telemetry.
+///
+/// The evaluation is deterministic: point order and values are identical
+/// for every `policy.threads()`.
+///
+/// # Errors
+///
+/// Returns [`SsnError::InvalidScenario`] when the grid is empty or any
+/// point is invalid (`N == 0`, non-positive `L`).
+pub fn sweep_design_grid(
+    template: &SsnScenario,
+    drivers: &[usize],
+    inductances: &[Henrys],
+    policy: &ExecPolicy,
+) -> Result<(Vec<GridPoint>, ExecStats), SsnError> {
+    if drivers.is_empty() || inductances.is_empty() {
+        return Err(SsnError::scenario("design grid must be non-empty"));
+    }
+    let n_points = drivers.len() * inductances.len();
+    let (chunks, stats) = run_chunked(n_points, GRID_CHUNK, policy, |_, range| {
+        range
+            .map(|i| {
+                let n = drivers[i / inductances.len()];
+                let l = inductances[i % inductances.len()];
+                let s = template
+                    .with_drivers(n)?
+                    .with_package(l, template.capacitance())?;
+                let (vn_lc, case) = lcmodel::vn_max(&s);
+                Ok(GridPoint {
+                    n_drivers: n,
+                    inductance: l,
+                    vn_l_only: crate::lmodel::vn_max(&s),
+                    vn_lc,
+                    case,
+                })
+            })
+            .collect::<Result<Vec<GridPoint>, SsnError>>()
+    });
+    let mut points = Vec::with_capacity(n_points);
+    for chunk in chunks {
+        points.extend(chunk?);
+    }
+    Ok((points, stats))
+}
+
 impl std::fmt::Display for StaggerPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -232,10 +298,7 @@ mod tests {
     #[test]
     fn driver_budget_zero_when_unreachable() {
         let t = template(8);
-        assert_eq!(
-            max_simultaneous_drivers(&t, Volts::new(1e-6)).unwrap(),
-            0
-        );
+        assert_eq!(max_simultaneous_drivers(&t, Volts::new(1e-6)).unwrap(), 0);
         assert!(max_simultaneous_drivers(&t, Volts::ZERO).is_err());
     }
 
@@ -291,5 +354,57 @@ mod tests {
     fn stagger_unreachable_budget_errors() {
         let t = template(8);
         assert!(stagger_plan(&t, Volts::new(1e-9)).is_err());
+    }
+
+    #[test]
+    fn grid_sweep_covers_the_grid_row_major() {
+        let t = template(8);
+        let ns = [1usize, 4, 16];
+        let ls: Vec<Henrys> = [2.5, 5.0].iter().map(|&l| Henrys::from_nanos(l)).collect();
+        let (points, stats) = sweep_design_grid(&t, &ns, &ls, &ExecPolicy::serial()).unwrap();
+        assert_eq!(points.len(), 6);
+        assert_eq!(stats.items, 6);
+        // Row-major: drivers outer, inductances inner.
+        assert_eq!(points[0].n_drivers, 1);
+        assert_eq!(points[1].n_drivers, 1);
+        assert_eq!(points[1].inductance, Henrys::from_nanos(5.0));
+        assert_eq!(points[5].n_drivers, 16);
+        // Values match a direct evaluation.
+        for p in &points {
+            let s = t
+                .with_drivers(p.n_drivers)
+                .unwrap()
+                .with_package(p.inductance, t.capacitance())
+                .unwrap();
+            assert_eq!(p.vn_lc, lcmodel::vn_max(&s).0);
+            assert_eq!(p.case, lcmodel::vn_max(&s).1);
+            assert_eq!(p.vn_l_only, crate::lmodel::vn_max(&s));
+        }
+    }
+
+    #[test]
+    fn grid_sweep_is_thread_count_invariant() {
+        let t = template(8);
+        let ns: Vec<usize> = (1..=40).collect();
+        let ls: Vec<Henrys> = (1..=10).map(|l| Henrys::from_nanos(l as f64)).collect();
+        let (serial, _) = sweep_design_grid(&t, &ns, &ls, &ExecPolicy::serial()).unwrap();
+        for threads in [2, 8] {
+            let (par, _) =
+                sweep_design_grid(&t, &ns, &ls, &ExecPolicy::with_threads(threads)).unwrap();
+            assert_eq!(serial, par, "thread count {threads} changed the grid");
+        }
+    }
+
+    #[test]
+    fn grid_sweep_rejects_empty_and_invalid_grids() {
+        let t = template(8);
+        assert!(
+            sweep_design_grid(&t, &[], &[Henrys::from_nanos(5.0)], &ExecPolicy::serial()).is_err()
+        );
+        assert!(sweep_design_grid(&t, &[1], &[], &ExecPolicy::serial()).is_err());
+        // An invalid point inside the grid surfaces as an error, not a skip.
+        assert!(
+            sweep_design_grid(&t, &[0], &[Henrys::from_nanos(5.0)], &ExecPolicy::serial()).is_err()
+        );
     }
 }

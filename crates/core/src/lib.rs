@@ -22,7 +22,9 @@
 //! * [`bridge`] — generation and measurement of the equivalent
 //!   driver-bank netlist in [`ssn_spice`] (the HSPICE substitute),
 //! * [`design`] — the design-space utilities implied by Section 3
-//!   (noise-budget sizing, slew targets, switching-skew scheduling).
+//!   (noise-budget sizing, slew targets, switching-skew scheduling),
+//! * [`parallel`] — the deterministic chunked thread-pool engine behind
+//!   Monte Carlo margining and design-space sweeps.
 //!
 //! # Examples
 //!
@@ -56,6 +58,7 @@ pub mod error;
 pub mod lcmodel;
 pub mod lmodel;
 pub mod montecarlo;
+pub mod parallel;
 pub mod report;
 pub mod scenario;
 

@@ -26,10 +26,7 @@ use ssn_waveform::{Waveform, WaveformError};
 /// The model's exponential time constant `tau = sigma L N K`.
 pub fn time_constant(s: &SsnScenario) -> Seconds {
     Seconds::new(
-        s.asdm().sigma()
-            * s.inductance().value()
-            * s.n_drivers() as f64
-            * s.asdm().k().value(),
+        s.asdm().sigma() * s.inductance().value() * s.n_drivers() as f64 * s.asdm().k().value(),
     )
 }
 
@@ -258,8 +255,8 @@ mod tests {
         let w = current_waveform(&s, 300).unwrap();
         assert_eq!(w.sample(0.0), 0.0);
         assert!(w.peak().value > 10e-3); // tens of mA for 8 drivers
-        // Current must be non-decreasing during the ramp (gate keeps
-        // rising faster than the source bounces in this configuration).
+                                         // Current must be non-decreasing during the ramp (gate keeps
+                                         // rising faster than the source bounces in this configuration).
         let mut prev = -1.0;
         for &v in w.values() {
             assert!(v >= prev - 1e-9);

@@ -5,14 +5,25 @@
 //! the fitted device (`K`, `sigma`, `V_0`) and of the package parasitics
 //! (`L`, `C`). This module samples those parameters from independent
 //! Gaussians and pushes each sample through the full Table-1 model.
+//!
+//! Sampling is chunked for the parallel engine (see [`crate::parallel`]):
+//! samples are drawn in fixed blocks of [`MC_CHUNK`], each block from its
+//! own RNG stream derived from `(seed, chunk_index)`. The thread count
+//! therefore **never** changes the result — `run_monte_carlo_with` on 8
+//! workers returns a bit-identical [`McResult`] to the serial run, which
+//! the workspace determinism tests pin down.
 
 use crate::error::SsnError;
 use crate::lcmodel;
+use crate::parallel::{run_chunked, ExecPolicy, ExecStats};
 use crate::scenario::SsnScenario;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use ssn_devices::Asdm;
+use ssn_numeric::rng::Rng;
 use ssn_units::{Farads, Henrys, Siemens, Volts};
+
+/// Samples per work-queue chunk (and per RNG stream). Fixed — independent
+/// of the thread count — because chunk boundaries define which stream a
+/// sample draws from.
+pub const MC_CHUNK: usize = 256;
 
 /// Standard deviations of the varied parameters. Fractional sigmas apply
 /// multiplicatively (`x * (1 + sigma * z)`), absolute sigmas additively.
@@ -55,6 +66,24 @@ impl VariationSpec {
     }
 }
 
+/// A fixed-width histogram of the sampled maximum SSN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bin (the sample minimum).
+    pub lo: Volts,
+    /// Right edge of the last bin (the sample maximum).
+    pub hi: Volts,
+    /// Per-bin sample counts.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Width of one bin (volts); zero when all samples coincide.
+    pub fn bin_width(&self) -> Volts {
+        Volts::new((self.hi.value() - self.lo.value()) / self.counts.len() as f64)
+    }
+}
+
 /// The sampled distribution of the maximum SSN voltage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct McResult {
@@ -86,11 +115,7 @@ impl McResult {
     /// Sample standard deviation (volts).
     pub fn std_dev(&self) -> Volts {
         let m = self.mean().value();
-        let var = self
-            .samples
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
             / (self.samples.len() as f64 - 1.0).max(1.0);
         Volts::new(var.sqrt())
     }
@@ -119,26 +144,71 @@ impl McResult {
             .count();
         ok as f64 / self.samples.len() as f64
     }
-}
 
-/// Standard normal via Box–Muller (avoids an extra distribution crate).
-fn normal(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
+    /// Bins the samples into a `bins`-bin histogram spanning the sample
+    /// range. Degenerate distributions (all samples equal) collapse into
+    /// the first bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0`.
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        let mut counts = vec![0usize; bins];
+        let width = (hi - lo) / bins as f64;
+        for &v in &self.samples {
+            let bin = if width > 0.0 {
+                (((v - lo) / width) as usize).min(bins - 1)
+            } else {
+                0
+            };
+            counts[bin] += 1;
         }
-        let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        Histogram {
+            lo: Volts::new(lo),
+            hi: Volts::new(hi),
+            counts,
+        }
     }
 }
 
-/// Runs `n_samples` Monte Carlo evaluations of the Table-1 maximum-SSN
-/// model around `nominal`, with reproducible seeding.
+/// Draws one varied scenario and evaluates its Table-1 maximum.
 ///
 /// Out-of-domain draws (non-positive `K`/`L`, `sigma < 1`, `V_0` outside
 /// `(0, V_dd)`) are clamped to the domain edge rather than redrawn, so the
-/// sample count is exact and tails remain honest.
+/// sample count is exact and tails remain honest. The five variates are
+/// always drawn in the same order (`K`, `sigma`, `V_0`, `L`, `C`) — part
+/// of the determinism contract.
+fn sample_vn_max(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    rng: &mut Rng,
+) -> Result<f64, SsnError> {
+    let a0 = nominal.asdm();
+    let vdd = nominal.vdd().value();
+    let k = (a0.k().value() * (1.0 + spec.k_frac * rng.normal())).max(1e-6);
+    let sigma = (a0.sigma() + spec.sigma_abs * rng.normal()).max(1.0);
+    let v0 = (a0.v0().value() + spec.v0_abs * rng.normal()).clamp(1e-3, vdd * 0.95);
+    let l = (nominal.inductance().value() * (1.0 + spec.l_frac * rng.normal())).max(1e-12);
+    let c = (nominal.capacitance().value() * (1.0 + spec.c_frac * rng.normal())).max(0.0);
+    let asdm = ssn_devices::Asdm::new(Siemens::new(k), sigma, Volts::new(v0));
+    let s = SsnScenario::from_asdm(asdm, nominal.vdd())
+        .drivers(nominal.n_drivers())
+        .inductance(Henrys::new(l))
+        .capacitance(Farads::new(c))
+        .rise_time(nominal.rise_time())
+        .rail(nominal.rail())
+        .build()?;
+    Ok(lcmodel::vn_max(&s).0.value())
+}
+
+/// Runs `n_samples` Monte Carlo evaluations of the Table-1 maximum-SSN
+/// model around `nominal`, serially, with reproducible seeding.
+///
+/// Equivalent to [`run_monte_carlo_with`] under [`ExecPolicy::serial`] —
+/// and, by the engine's determinism contract, to *any* thread count.
 ///
 /// # Errors
 ///
@@ -166,38 +236,48 @@ pub fn run_monte_carlo(
     n_samples: usize,
     seed: u64,
 ) -> Result<McResult, SsnError> {
+    run_monte_carlo_with(nominal, spec, n_samples, seed, &ExecPolicy::serial())
+        .map(|(result, _)| result)
+}
+
+/// Runs the Monte Carlo analysis on the parallel engine and returns the
+/// result together with run telemetry.
+///
+/// Samples are drawn in fixed [`MC_CHUNK`]-sized blocks, chunk `c` from
+/// RNG stream `(seed, c)`; the result is bit-identical for every
+/// `policy.threads()`.
+///
+/// # Errors
+///
+/// Returns [`SsnError::InvalidScenario`] when `n_samples == 0`.
+pub fn run_monte_carlo_with(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    n_samples: usize,
+    seed: u64,
+    policy: &ExecPolicy,
+) -> Result<(McResult, ExecStats), SsnError> {
     if n_samples == 0 {
         return Err(SsnError::scenario("need at least one Monte Carlo sample"));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let a0 = nominal.asdm();
-    let vdd = nominal.vdd().value();
+    let (chunks, stats) = run_chunked(n_samples, MC_CHUNK, policy, |c, range| {
+        let mut rng = Rng::from_seed_and_stream(seed, c as u64);
+        range
+            .map(|_| sample_vn_max(nominal, spec, &mut rng))
+            .collect::<Result<Vec<f64>, SsnError>>()
+    });
     let mut samples = Vec::with_capacity(n_samples);
-    for _ in 0..n_samples {
-        let k = (a0.k().value() * (1.0 + spec.k_frac * normal(&mut rng))).max(1e-6);
-        let sigma = (a0.sigma() + spec.sigma_abs * normal(&mut rng)).max(1.0);
-        let v0 = (a0.v0().value() + spec.v0_abs * normal(&mut rng)).clamp(1e-3, vdd * 0.95);
-        let l = (nominal.inductance().value() * (1.0 + spec.l_frac * normal(&mut rng)))
-            .max(1e-12);
-        let c = (nominal.capacitance().value() * (1.0 + spec.c_frac * normal(&mut rng)))
-            .max(0.0);
-        let asdm = Asdm::new(Siemens::new(k), sigma, Volts::new(v0));
-        let s = SsnScenario::from_asdm(asdm, nominal.vdd())
-            .drivers(nominal.n_drivers())
-            .inductance(Henrys::new(l))
-            .capacitance(Farads::new(c))
-            .rise_time(nominal.rise_time())
-            .rail(nominal.rail())
-            .build()?;
-        samples.push(lcmodel::vn_max(&s).0.value());
+    for chunk in chunks {
+        samples.extend(chunk?);
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite noise values"));
-    Ok(McResult { samples })
+    Ok((McResult { samples }, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ssn_devices::Asdm;
     use ssn_units::Seconds;
 
     fn nominal() -> SsnScenario {
@@ -222,6 +302,23 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_never_changes_the_result() {
+        // The determinism contract of the tentpole: 1, 2 and 8 workers
+        // produce bit-identical McResults (also covered end-to-end in
+        // tests/determinism.rs; spanning several chunks matters here).
+        let s = nominal();
+        let spec = VariationSpec::typical();
+        let n = 3 * MC_CHUNK + 17;
+        let (serial, _) = run_monte_carlo_with(&s, &spec, n, 7, &ExecPolicy::serial()).unwrap();
+        for threads in [2, 8] {
+            let (par, stats) =
+                run_monte_carlo_with(&s, &spec, n, 7, &ExecPolicy::with_threads(threads)).unwrap();
+            assert_eq!(serial, par, "thread count {threads} changed samples");
+            assert_eq!(stats.items, n);
+        }
+    }
+
+    #[test]
     fn frozen_variation_is_a_delta() {
         let s = nominal();
         let r = run_monte_carlo(&s, &VariationSpec::frozen(), 50, 1).unwrap();
@@ -230,6 +327,10 @@ mod tests {
         assert!((r.mean().value() - nominal_v).abs() < 1e-12);
         assert_eq!(r.len(), 50);
         assert!(!r.is_empty());
+        // Degenerate histogram: everything in one bin.
+        let h = r.histogram(4);
+        assert_eq!(h.counts, vec![50, 0, 0, 0]);
+        assert_eq!(h.bin_width(), Volts::ZERO);
     }
 
     #[test]
@@ -250,6 +351,20 @@ mod tests {
     }
 
     #[test]
+    fn histogram_partitions_all_samples() {
+        let s = nominal();
+        let r = run_monte_carlo(&s, &VariationSpec::typical(), 1000, 5).unwrap();
+        let h = r.histogram(20);
+        assert_eq!(h.counts.iter().sum::<usize>(), 1000);
+        assert_eq!(h.counts.len(), 20);
+        assert!(h.lo < h.hi);
+        assert!(h.bin_width() > Volts::ZERO);
+        // Ends of the range hold the min/max samples.
+        assert!(h.counts[0] >= 1);
+        assert!(h.counts[19] >= 1);
+    }
+
+    #[test]
     fn yield_is_monotone_in_budget() {
         let s = nominal();
         let r = run_monte_carlo(&s, &VariationSpec::typical(), 500, 3).unwrap();
@@ -265,6 +380,14 @@ mod tests {
     #[test]
     fn zero_samples_rejected() {
         assert!(run_monte_carlo(&nominal(), &VariationSpec::typical(), 0, 1).is_err());
+        assert!(run_monte_carlo_with(
+            &nominal(),
+            &VariationSpec::typical(),
+            0,
+            1,
+            &ExecPolicy::auto()
+        )
+        .is_err());
     }
 
     #[test]
@@ -272,5 +395,12 @@ mod tests {
     fn quantile_domain_checked() {
         let r = run_monte_carlo(&nominal(), &VariationSpec::frozen(), 10, 1).unwrap();
         let _ = r.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram")]
+    fn histogram_rejects_zero_bins() {
+        let r = run_monte_carlo(&nominal(), &VariationSpec::frozen(), 10, 1).unwrap();
+        let _ = r.histogram(0);
     }
 }

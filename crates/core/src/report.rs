@@ -48,9 +48,7 @@ pub fn assess(
 ) -> Result<SsnReport, SsnError> {
     let (lc, case) = lcmodel::vn_max(scenario);
     let simulated = match simulate_with {
-        Some(model) => Some(
-            measure(&DriverBankConfig::from_scenario(scenario, model))?.vn_max,
-        ),
+        Some(model) => Some(measure(&DriverBankConfig::from_scenario(scenario, model))?.vn_max),
         None => None,
     };
     let budget = Volts::new(scenario.vdd().value() * 0.25);

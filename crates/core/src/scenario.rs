@@ -175,10 +175,7 @@ impl SsnScenarioBuilder {
 /// # }
 /// ```
 pub fn aggregate_asdm(members: &[(Asdm, usize)]) -> Result<Asdm, SsnError> {
-    let total_k: f64 = members
-        .iter()
-        .map(|(a, n)| a.k().value() * *n as f64)
-        .sum();
+    let total_k: f64 = members.iter().map(|(a, n)| a.k().value() * *n as f64).sum();
     if members.is_empty() || total_k <= 0.0 {
         return Err(SsnError::scenario("mixed bank must contain devices"));
     }
@@ -403,9 +400,7 @@ mod tests {
         assert!((s.slew().value() - 3.6e9).abs() < 1.0);
         // t0 = 0.6 / 3.6e9.
         assert!((s.conduction_start().value() - 0.6 / 3.6e9).abs() < 1e-20);
-        assert!(
-            (s.conduction_window().value() - (0.5e-9 - 0.6 / 3.6e9)).abs() < 1e-20
-        );
+        assert!((s.conduction_window().value() - (0.5e-9 - 0.6 / 3.6e9)).abs() < 1e-20);
         // V_inf = L N K s = 5e-9 * 8 * 7.5e-3 * 3.6e9.
         assert!((s.v_inf().value() - 1.08).abs() < 1e-9);
         // Z = 8 * 5e-9 * 3.6e9 = 144.
@@ -421,12 +416,16 @@ mod tests {
         assert!(b().capacitance(Farads::new(-1e-12)).build().is_err());
         // V0 above Vdd: never conducts.
         let hot = Asdm::new(Siemens::from_millis(1.0), 1.1, Volts::new(2.0));
-        assert!(SsnScenario::from_asdm(hot, Volts::new(1.8)).build().is_err());
+        assert!(SsnScenario::from_asdm(hot, Volts::new(1.8))
+            .build()
+            .is_err());
     }
 
     #[test]
     fn sweep_helpers() {
-        let s = SsnScenario::from_asdm(asdm(), Volts::new(1.8)).build().unwrap();
+        let s = SsnScenario::from_asdm(asdm(), Volts::new(1.8))
+            .build()
+            .unwrap();
         let s2 = s.with_drivers(16).unwrap();
         assert_eq!(s2.n_drivers(), 16);
         assert!((s2.z_figure() - 2.0 * s.z_figure()).abs() < 1e-9);
@@ -443,7 +442,9 @@ mod tests {
 
     #[test]
     fn display_mentions_the_knobs() {
-        let s = SsnScenario::from_asdm(asdm(), Volts::new(1.8)).build().unwrap();
+        let s = SsnScenario::from_asdm(asdm(), Volts::new(1.8))
+            .build()
+            .unwrap();
         let text = s.to_string();
         assert!(text.contains("N = 8"));
         assert!(text.contains("5 nH"));

@@ -146,7 +146,15 @@ impl AlphaPowerBuilder {
         assert!(self.phi > 0.0, "phi must be positive");
         assert!(self.gamma >= 0.0, "gamma must be non-negative");
         assert!(self.lambda >= 0.0, "lambda must be non-negative");
-        for v in [self.vth0, self.gamma, self.phi, self.alpha, self.b, self.kd, self.lambda] {
+        for v in [
+            self.vth0,
+            self.gamma,
+            self.phi,
+            self.alpha,
+            self.b,
+            self.kd,
+            self.lambda,
+        ] {
             assert!(v.is_finite(), "non-finite alpha-power parameter");
         }
         AlphaPower {
@@ -369,7 +377,10 @@ mod tests {
             (0.6, 1.8, -0.6),  // near threshold
         ] {
             let err = derivative_check(&m, vgs, vds, vbs);
-            assert!(err < 1e-4, "derivative mismatch {err} at ({vgs},{vds},{vbs})");
+            assert!(
+                err < 1e-4,
+                "derivative mismatch {err} at ({vgs},{vds},{vbs})"
+            );
         }
     }
 

@@ -16,7 +16,6 @@
 //! (0.61 V vs. ~0.43 V for the paper's 0.18 um process).
 
 use crate::model::{DrainCurrent, MosModel};
-use serde::{Deserialize, Serialize};
 use ssn_units::{Siemens, Volts};
 
 /// The ASDM linear current law.
@@ -34,7 +33,7 @@ use ssn_units::{Siemens, Volts};
 /// // Below the displacement voltage the device is off:
 /// assert_eq!(asdm.drain_current(Volts::new(0.5), Volts::ZERO).value(), 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Asdm {
     k: Siemens,
     sigma: f64,

@@ -46,11 +46,7 @@ impl Diode {
     pub fn new(is: f64, n: f64) -> Self {
         assert!(is.is_finite() && is > 0.0, "Is must be positive");
         assert!(n.is_finite() && n > 0.0, "n must be positive");
-        Self {
-            is,
-            n,
-            vt: VT_300K,
-        }
+        Self { is, n, vt: VT_300K }
     }
 
     /// The saturation current (A).

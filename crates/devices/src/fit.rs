@@ -10,7 +10,6 @@ use crate::alpha_power::AlphaPower;
 use crate::asdm::Asdm;
 use crate::model::MosModel;
 use crate::process::Process;
-use serde::{Deserialize, Serialize};
 use ssn_numeric::matrix::DenseMatrix;
 use ssn_numeric::optimize::{levenberg_marquardt, linear_least_squares, LmOptions};
 use ssn_numeric::stats::linspace;
@@ -20,7 +19,7 @@ use ssn_units::{Siemens, Volts};
 /// One I–V sample in node-voltage form: absolute gate voltage `vg`, absolute
 /// source voltage `vs` (bulk at true ground, drain held high), drain current
 /// `id`. SI units.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IvSample {
     /// Absolute gate voltage (V).
     pub vg: f64,
@@ -158,10 +157,7 @@ pub fn fit_asdm_with_threshold(
 /// # Errors
 ///
 /// See [`fit_asdm`].
-pub fn fit_asdm_weighted(
-    samples: &[IvSample],
-    weight_exponent: f64,
-) -> Result<Asdm, NumericError> {
+pub fn fit_asdm_weighted(samples: &[IvSample], weight_exponent: f64) -> Result<Asdm, NumericError> {
     if !weight_exponent.is_finite() || weight_exponent < 0.0 {
         return Err(NumericError::argument(format!(
             "weight exponent must be finite and non-negative, got {weight_exponent}"
@@ -202,7 +198,7 @@ pub fn fit_asdm_weighted(
 }
 
 /// Goodness-of-fit summary for a fitted model over a sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitReport {
     /// Root-mean-square current error over the evaluated samples (A).
     pub rms_error: f64,
@@ -234,7 +230,9 @@ pub fn asdm_fit_report(asdm: &Asdm, samples: &[IvSample]) -> Result<FitReport, N
         n += 1;
     }
     if n == 0 {
-        return Err(NumericError::argument("fit report: no samples above cutoff"));
+        return Err(NumericError::argument(
+            "fit report: no samples above cutoff",
+        ));
     }
     Ok(FitReport {
         rms_error: (ss / n as f64).sqrt(),
@@ -329,9 +327,7 @@ mod tests {
         let mut samples = Vec::new();
         for vs in [0.0, 0.2, 0.4, 0.6] {
             for vg in [0.8, 1.0, 1.2, 1.4, 1.6, 1.8] {
-                let id = truth
-                    .drain_current(Volts::new(vg), Volts::new(vs))
-                    .value();
+                let id = truth.drain_current(Volts::new(vg), Volts::new(vs)).value();
                 samples.push(IvSample { vg, vs, id });
             }
         }
@@ -382,10 +378,26 @@ mod tests {
     fn fit_rejects_degenerate_input() {
         assert!(fit_asdm(&[]).is_err());
         let flat = vec![
-            IvSample { vg: 1.0, vs: 0.0, id: 1e-3 },
-            IvSample { vg: 1.0, vs: 0.0, id: 1e-3 },
-            IvSample { vg: 1.0, vs: 0.0, id: 1e-3 },
-            IvSample { vg: 1.0, vs: 0.0, id: 1e-3 },
+            IvSample {
+                vg: 1.0,
+                vs: 0.0,
+                id: 1e-3,
+            },
+            IvSample {
+                vg: 1.0,
+                vs: 0.0,
+                id: 1e-3,
+            },
+            IvSample {
+                vg: 1.0,
+                vs: 0.0,
+                id: 1e-3,
+            },
+            IvSample {
+                vg: 1.0,
+                vs: 0.0,
+                id: 1e-3,
+            },
         ];
         // Rank-deficient design (vg and vs constant).
         assert!(fit_asdm(&flat).is_err());
@@ -470,8 +482,16 @@ mod tests {
             })
             .collect();
         let fitted = fit_alpha_power(&samples, 0.4).unwrap();
-        assert!((fitted.vth0() - 0.45).abs() < 0.02, "vth = {}", fitted.vth0());
-        assert!((fitted.alpha() - 1.3).abs() < 0.05, "alpha = {}", fitted.alpha());
+        assert!(
+            (fitted.vth0() - 0.45).abs() < 0.02,
+            "vth = {}",
+            fitted.vth0()
+        );
+        assert!(
+            (fitted.alpha() - 1.3).abs() < 0.05,
+            "alpha = {}",
+            fitted.alpha()
+        );
     }
 
     #[test]

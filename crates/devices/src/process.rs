@@ -8,11 +8,10 @@
 //! explicitly negligible).
 
 use crate::alpha_power::AlphaPower;
-use serde::{Deserialize, Serialize};
 use ssn_units::{Farads, Henrys, Ohms, Volts};
 
 /// Per-ground-path package parasitics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PackageParasitics {
     /// Bond-wire + pin inductance.
     pub inductance: Henrys,

@@ -125,8 +125,8 @@ impl MosModel for TableModel {
         let q10 = self.sample_at(i + 1, j);
         let q01 = self.sample_at(i, j + 1);
         let q11 = self.sample_at(i + 1, j + 1);
-        let id = (1.0 - u) * (1.0 - w) * q00 + u * (1.0 - w) * q10 + (1.0 - u) * w * q01
-            + u * w * q11;
+        let id =
+            (1.0 - u) * (1.0 - w) * q00 + u * (1.0 - w) * q10 + (1.0 - u) * w * q01 + u * w * q11;
         let gm = ((1.0 - w) * (q10 - q00) + w * (q11 - q01)) / dx;
         let gds = ((1.0 - u) * (q01 - q00) + u * (q11 - q10)) / dy;
         DrainCurrent {

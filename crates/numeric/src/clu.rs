@@ -64,11 +64,7 @@ impl ComplexMatrix {
             )));
         }
         Ok((0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self[(i, j)] * x[j])
-                    .sum::<Complex>()
-            })
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum::<Complex>())
             .collect())
     }
 }

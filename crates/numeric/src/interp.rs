@@ -90,7 +90,12 @@ impl Pchip {
                 slopes[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
             }
         }
-        slopes[0] = edge_slope(h[0], h.get(1).copied().unwrap_or(h[0]), delta[0], *delta.get(1).unwrap_or(&delta[0]));
+        slopes[0] = edge_slope(
+            h[0],
+            h.get(1).copied().unwrap_or(h[0]),
+            delta[0],
+            *delta.get(1).unwrap_or(&delta[0]),
+        );
         slopes[n - 1] = edge_slope(
             h[n - 2],
             if n >= 3 { h[n - 3] } else { h[n - 2] },

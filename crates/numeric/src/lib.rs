@@ -15,7 +15,10 @@
 //! * [`interp`] — linear and monotone-cubic interpolation,
 //! * [`ode`] — reference ODE integrators (RK4, adaptive RKF45) used to
 //!   cross-check both the closed-form SSN solutions and the simulator,
-//! * [`stats`] — error metrics and grid helpers.
+//! * [`stats`] — error metrics and grid helpers,
+//! * [`rng`] — deterministic, stream-splittable pseudo-random numbers
+//!   (xoshiro256++) for Monte Carlo work,
+//! * [`check`] — a minimal deterministic property-testing harness.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 //! # }
 //! ```
 
+pub mod check;
 pub mod clu;
 pub mod complex;
 pub mod interp;
@@ -40,6 +44,7 @@ pub mod matrix;
 pub mod ode;
 pub mod optimize;
 pub mod quadrature;
+pub mod rng;
 pub mod roots;
 pub mod stats;
 

@@ -199,12 +199,8 @@ mod tests {
 
     #[test]
     fn solves_3x3_exactly() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
         let b = [8.0, -11.0, -3.0];
         let x = solve(&a, &b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);

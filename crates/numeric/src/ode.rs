@@ -66,7 +66,13 @@ impl Trajectory {
 ///
 /// Returns [`NumericError::InvalidArgument`] for a non-positive step count
 /// or a reversed time interval.
-pub fn rk4<F>(mut f: F, t0: f64, t1: f64, y0: &[f64], steps: usize) -> Result<Trajectory, NumericError>
+pub fn rk4<F>(
+    mut f: F,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    steps: usize,
+) -> Result<Trajectory, NumericError>
 where
     F: FnMut(f64, &[f64], &mut [f64]),
 {
@@ -175,10 +181,23 @@ where
         [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
         [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
         [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
     ];
     const C: [f64; 6] = [0.0, 0.25, 0.375, 12.0 / 13.0, 1.0, 0.5];
-    const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const B4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -1.0 / 5.0,
+        0.0,
+    ];
     const B5: [f64; 6] = [
         16.0 / 135.0,
         0.0,
@@ -191,7 +210,11 @@ where
     let n = y0.len();
     let mut t = t0;
     let mut y = y0.to_vec();
-    let mut h = if opts.h0 > 0.0 { opts.h0 } else { (t1 - t0) / 100.0 };
+    let mut h = if opts.h0 > 0.0 {
+        opts.h0
+    } else {
+        (t1 - t0) / 100.0
+    };
     if opts.h_max > 0.0 {
         h = h.min(opts.h_max);
     }

@@ -286,7 +286,10 @@ mod tests {
     #[test]
     fn lm_fits_exponential() {
         let xs: Vec<f64> = (0..30).map(|i| f64::from(i) * 0.05).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 0.75 * (1.0 - (-4.0 * x).exp())).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 0.75 * (1.0 - (-4.0 * x).exp()))
+            .collect();
         let fit = levenberg_marquardt(
             |p, out| {
                 for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
@@ -321,8 +324,10 @@ mod tests {
 
     #[test]
     fn lm_rejects_underdetermined() {
-        assert!(levenberg_marquardt(|_, out| out[0] = 0.0, &[1.0, 2.0], 1, LmOptions::default())
-            .is_err());
+        assert!(
+            levenberg_marquardt(|_, out| out[0] = 0.0, &[1.0, 2.0], 1, LmOptions::default())
+                .is_err()
+        );
     }
 
     #[test]

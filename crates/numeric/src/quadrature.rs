@@ -29,7 +29,12 @@ pub fn trapezoid_samples(xs: &[f64], ys: &[f64]) -> Result<f64, NumericError> {
 /// # Errors
 ///
 /// Returns [`NumericError::InvalidArgument`] when `b <= a` or `n == 0`.
-pub fn simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> Result<f64, NumericError> {
+pub fn simpson<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    n: usize,
+) -> Result<f64, NumericError> {
     if !(b > a) {
         return Err(NumericError::argument("simpson: b must exceed a"));
     }

@@ -126,7 +126,11 @@ where
         };
 
         let lo_bound = (3.0 * a + b) / 4.0;
-        let (mn, mx) = if lo_bound < b { (lo_bound, b) } else { (b, lo_bound) };
+        let (mn, mx) = if lo_bound < b {
+            (lo_bound, b)
+        } else {
+            (b, lo_bound)
+        };
         let cond1 = !(s > mn && s < mx);
         let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
         let cond3 = !mflag && (s - b).abs() >= d.abs() / 2.0;

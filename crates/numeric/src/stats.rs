@@ -62,13 +62,7 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2, "linspace needs at least two points");
     let step = (hi - lo) / (n - 1) as f64;
     (0..n)
-        .map(|i| {
-            if i == n - 1 {
-                hi
-            } else {
-                lo + step * i as f64
-            }
-        })
+        .map(|i| if i == n - 1 { hi } else { lo + step * i as f64 })
         .collect()
 }
 
@@ -80,7 +74,10 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2, "logspace needs at least two points");
     assert!(lo > 0.0 && hi > 0.0, "logspace bounds must be positive");
-    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+    linspace(lo.ln(), hi.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 /// Arithmetic mean of a non-empty slice.

@@ -182,10 +182,14 @@ pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Spic
                 ElementKind::Resistor { a, b: nb, ohms } => {
                     stamp_admittance(&layout, &mut y, *a, *nb, Complex::real(1.0 / ohms));
                 }
-                ElementKind::Capacitor { a, b: nb, farads, .. } => {
+                ElementKind::Capacitor {
+                    a, b: nb, farads, ..
+                } => {
                     stamp_admittance(&layout, &mut y, *a, *nb, Complex::new(0.0, w * farads));
                 }
-                ElementKind::Inductor { a, b: nb, henrys, .. } => {
+                ElementKind::Inductor {
+                    a, b: nb, henrys, ..
+                } => {
                     let bi = layout.branch_index(idx).expect("inductor branch");
                     if let Some(i) = layout.node_index(*a) {
                         y.add(i, bi, Complex::ONE);
@@ -228,15 +232,7 @@ pub fn ac_analysis(circuit: &Circuit, opts: &AcOptions) -> Result<AcResult, Spic
                     ctrl_n,
                     gm,
                 } => {
-                    stamp_transconductance(
-                        &layout,
-                        &mut y,
-                        *out_p,
-                        *out_n,
-                        *ctrl_p,
-                        *ctrl_n,
-                        *gm,
-                    );
+                    stamp_transconductance(&layout, &mut y, *out_p, *out_n, *ctrl_p, *ctrl_n, *gm);
                 }
                 ElementKind::Diode { a, k, model } => {
                     // Small-signal junction conductance at the operating

@@ -77,7 +77,10 @@ impl fmt::Display for SpiceError {
                     f,
                     "newton iteration diverged at t = {t:.4e} after {iterations} iterations"
                 ),
-                None => write!(f, "dc newton iteration diverged after {iterations} iterations"),
+                None => write!(
+                    f,
+                    "dc newton iteration diverged after {iterations} iterations"
+                ),
             },
             Self::TimestepUnderflow { time, dt } => {
                 write!(f, "timestep underflow at t = {time:.4e} (dt = {dt:.3e})")
@@ -135,9 +138,12 @@ mod tests {
         }
         .to_string()
         .contains("dc"));
-        assert!(SpiceError::TimestepUnderflow { time: 0.0, dt: 1e-20 }
-            .to_string()
-            .contains("underflow"));
+        assert!(SpiceError::TimestepUnderflow {
+            time: 0.0,
+            dt: 1e-20
+        }
+        .to_string()
+        .contains("underflow"));
         let n: SpiceError = NumericError::argument("x").into();
         assert!(n.to_string().contains("numeric failure"));
         assert!(Error::source(&n).is_some());

@@ -186,7 +186,11 @@ impl Circuit {
         if name.is_empty() {
             return Err(SpiceError::InvalidNode { name: name.into() });
         }
-        let key = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        let key = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
         if let Some(&id) = self.node_map.get(key) {
             return Ok(id);
         }
@@ -198,7 +202,11 @@ impl Circuit {
 
     /// Looks up an existing node without creating it.
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        let key = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        let key = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
         self.node_map.get(key).copied()
     }
 
@@ -264,7 +272,8 @@ impl Circuit {
                 context: format!("duplicate element name {name:?}"),
             });
         }
-        self.element_names.insert(name.to_owned(), self.elements.len());
+        self.element_names
+            .insert(name.to_owned(), self.elements.len());
         self.elements.push(Element {
             name: name.to_owned(),
             kind,

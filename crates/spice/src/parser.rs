@@ -141,10 +141,7 @@ fn parse_source(toks: &[String], k: usize, line: usize) -> Result<SourceWave, Sp
     }
     let head = toks[k].to_ascii_uppercase();
     let nums = |from: usize| -> Result<Vec<f64>, SpiceError> {
-        toks[from..]
-            .iter()
-            .map(|t| parse_value(t, line))
-            .collect()
+        toks[from..].iter().map(|t| parse_value(t, line)).collect()
     };
     match head.as_str() {
         "DC" => {
@@ -217,7 +214,11 @@ enum ModelDef {
 }
 
 impl ModelDef {
-    fn instantiate(&self, width: Option<f64>, line: usize) -> Result<Arc<dyn MosModel>, SpiceError> {
+    fn instantiate(
+        &self,
+        width: Option<f64>,
+        line: usize,
+    ) -> Result<Arc<dyn MosModel>, SpiceError> {
         match (self, width) {
             (Self::Alpha(m), Some(w)) => {
                 if !(w.is_finite() && w > 0.0) {
@@ -315,7 +316,10 @@ pub fn parse_deck(text: &str) -> Result<Deck, SpiceError> {
                     return Err(err(*line, "diode model needs positive is and n"));
                 }
                 // Polarity is irrelevant for diodes; Nmos is a placeholder.
-                (MosPolarity::Nmos, ModelDef::Diode(ssn_devices::Diode::new(is, n)))
+                (
+                    MosPolarity::Nmos,
+                    ModelDef::Diode(ssn_devices::Diode::new(is, n)),
+                )
             }
             other => return Err(err(*line, format!("unknown polarity {other:?}"))),
         };
@@ -344,7 +348,10 @@ pub fn parse_deck(text: &str) -> Result<Deck, SpiceError> {
                             .or_else(|| t.strip_prefix("v("))
                             .unwrap_or(t);
                         let Some((node, val)) = inner.split_once('=') else {
-                            return Err(err(*line, format!(".ic expects V(node)=value, got {t:?}")));
+                            return Err(err(
+                                *line,
+                                format!(".ic expects V(node)=value, got {t:?}"),
+                            ));
                         };
                         let node = node.trim_end_matches(')');
                         circuit.set_initial_voltage(node, parse_value(val, *line)?)?;
@@ -356,9 +363,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, SpiceError> {
                     }
                     let tstep = parse_value(&toks[1], *line)?;
                     let tstop = parse_value(&toks[2], *line)?;
-                    let uic = toks
-                        .get(3)
-                        .is_some_and(|t| t.eq_ignore_ascii_case("uic"));
+                    let uic = toks.get(3).is_some_and(|t| t.eq_ignore_ascii_case("uic"));
                     if !(tstop > 0.0 && tstep > 0.0) {
                         return Err(err(*line, ".tran times must be positive"));
                     }
@@ -379,9 +384,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, SpiceError> {
                 require(&toks, 4, *line, "C<name> n+ n- value [IC=v]")?;
                 let value = parse_value(&toks[3], *line)?;
                 match ic_of(&toks[4..], *line)? {
-                    Some(ic) => {
-                        circuit.capacitor_with_ic(&head, &toks[1], &toks[2], value, ic)?
-                    }
+                    Some(ic) => circuit.capacitor_with_ic(&head, &toks[1], &toks[2], value, ic)?,
                     None => circuit.capacitor(&head, &toks[1], &toks[2], value)?,
                 }
             }
@@ -439,7 +442,9 @@ pub fn parse_deck(text: &str) -> Result<Deck, SpiceError> {
                     None => None,
                 };
                 let model = def.instantiate(width, *line)?;
-                circuit.mosfet(&head, *polarity, &toks[1], &toks[2], &toks[3], &toks[4], model)?;
+                circuit.mosfet(
+                    &head, *polarity, &toks[1], &toks[2], &toks[3], &toks[4], model,
+                )?;
             }
             other => return Err(err(*line, format!("unknown element type {other:?}"))),
         }
@@ -486,7 +491,10 @@ fn resolve_includes(path: &std::path::Path, depth: usize) -> Result<String, Spic
         path: path.display().to_string(),
         message: e.to_string(),
     })?;
-    let dir = path.parent().map(std::path::Path::to_path_buf).unwrap_or_default();
+    let dir = path
+        .parent()
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_default();
     let mut out = String::with_capacity(text.len());
     for line in text.lines() {
         let trimmed = line.trim();
@@ -525,16 +533,17 @@ const MAX_SUBCKT_DEPTH: usize = 16;
 /// flat element cards. Instance elements and internal nodes are prefixed
 /// with `<instance>.`; port nodes map to the caller's nodes; the ground
 /// node `0`/`gnd` is global.
-fn expand_subcircuits(
-    cards: Vec<(usize, String)>,
-) -> Result<Vec<(usize, String)>, SpiceError> {
+fn expand_subcircuits(cards: Vec<(usize, String)>) -> Result<Vec<(usize, String)>, SpiceError> {
     // Pass 1: harvest definitions.
     let mut subckts: HashMap<String, Subckt> = HashMap::new();
     let mut top: Vec<(usize, String)> = Vec::new();
     let mut current: Option<(String, Subckt)> = None;
     for (line, card) in cards {
         let toks = tokenize(&card);
-        let head = toks.first().map(|t| t.to_ascii_uppercase()).unwrap_or_default();
+        let head = toks
+            .first()
+            .map(|t| t.to_ascii_uppercase())
+            .unwrap_or_default();
         match head.as_str() {
             ".SUBCKT" => {
                 if current.is_some() {
@@ -545,7 +554,13 @@ fn expand_subcircuits(
                 }
                 let name = toks[1].to_ascii_lowercase();
                 let ports = toks[2..].to_vec();
-                current = Some((name, Subckt { ports, body: Vec::new() }));
+                current = Some((
+                    name,
+                    Subckt {
+                        ports,
+                        body: Vec::new(),
+                    },
+                ));
             }
             ".ENDS" => {
                 let Some((name, def)) = current.take() else {
@@ -601,10 +616,17 @@ fn expand_subcircuits(
                     format!("{prefix}{n}")
                 }
             };
-            let kind = first.chars().next().expect("non-empty").to_ascii_uppercase();
+            let kind = first
+                .chars()
+                .next()
+                .expect("non-empty")
+                .to_ascii_uppercase();
             if kind == 'X' {
                 if depth >= MAX_SUBCKT_DEPTH {
-                    return Err(err(*line, "subcircuit nesting too deep (recursive definition?)"));
+                    return Err(err(
+                        *line,
+                        "subcircuit nesting too deep (recursive definition?)",
+                    ));
                 }
                 if toks.len() < 3 {
                     return Err(err(*line, "X<name> needs nodes and a subckt name"));
@@ -613,8 +635,10 @@ fn expand_subcircuits(
                 let Some(def) = subckts.get(&sub_name) else {
                     return Err(err(*line, format!("unknown subcircuit {sub_name:?}")));
                 };
-                let outer_nodes: Vec<String> =
-                    toks[1..toks.len() - 1].iter().map(|n| map_node(n)).collect();
+                let outer_nodes: Vec<String> = toks[1..toks.len() - 1]
+                    .iter()
+                    .map(|n| map_node(n))
+                    .collect();
                 if outer_nodes.len() != def.ports.len() {
                     return Err(err(
                         *line,
@@ -626,13 +650,16 @@ fn expand_subcircuits(
                     ));
                 }
                 let inner_prefix = format!("{prefix}{}.", first);
-                let inner_map: HashMap<String, String> = def
-                    .ports
-                    .iter()
-                    .cloned()
-                    .zip(outer_nodes)
-                    .collect();
-                expand_into(out, &def.body, &inner_prefix, &inner_map, subckts, depth + 1)?;
+                let inner_map: HashMap<String, String> =
+                    def.ports.iter().cloned().zip(outer_nodes).collect();
+                expand_into(
+                    out,
+                    &def.body,
+                    &inner_prefix,
+                    &inner_map,
+                    subckts,
+                    depth + 1,
+                )?;
                 continue;
             }
             // Rewrite node fields by element type; keep values and model
@@ -642,7 +669,10 @@ fn expand_subcircuits(
                 'G' => 4,
                 'M' => 4,
                 other => {
-                    return Err(err(*line, format!("unknown element type {other:?} in subckt")))
+                    return Err(err(
+                        *line,
+                        format!("unknown element type {other:?} in subckt"),
+                    ))
                 }
             };
             if toks.len() < 1 + node_count {
@@ -776,17 +806,34 @@ Cl1 out1 0 5p IC=1.8
              I1 e 0 PWL(0 0 1n 1m)\n",
         )
         .unwrap();
-        let kinds: Vec<&ElementKind> = deck
-            .circuit
-            .elements()
-            .iter()
-            .map(|e| e.kind())
-            .collect();
-        assert!(matches!(kinds[0], ElementKind::VSource { wave: SourceWave::Dc(v), .. } if *v == 1.8));
-        assert!(matches!(kinds[1], ElementKind::VSource { wave: SourceWave::Pulse { .. }, .. }));
-        assert!(matches!(kinds[2], ElementKind::VSource { wave: SourceWave::Sine { .. }, .. }));
-        assert!(matches!(kinds[3], ElementKind::VSource { wave: SourceWave::Dc(v), .. } if *v == 2.5));
-        assert!(matches!(kinds[4], ElementKind::ISource { wave: SourceWave::Pwl(_), .. }));
+        let kinds: Vec<&ElementKind> = deck.circuit.elements().iter().map(|e| e.kind()).collect();
+        assert!(
+            matches!(kinds[0], ElementKind::VSource { wave: SourceWave::Dc(v), .. } if *v == 1.8)
+        );
+        assert!(matches!(
+            kinds[1],
+            ElementKind::VSource {
+                wave: SourceWave::Pulse { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            kinds[2],
+            ElementKind::VSource {
+                wave: SourceWave::Sine { .. },
+                ..
+            }
+        ));
+        assert!(
+            matches!(kinds[3], ElementKind::VSource { wave: SourceWave::Dc(v), .. } if *v == 2.5)
+        );
+        assert!(matches!(
+            kinds[4],
+            ElementKind::ISource {
+                wave: SourceWave::Pwl(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -870,8 +917,8 @@ Cl1 out1 0 5p IC=1.8
         )
         .unwrap();
         assert_eq!(deck.circuit.element_count(), 3);
-        let op = crate::dc::dc_operating_point(&deck.circuit, crate::dc::DcOptions::default())
-            .unwrap();
+        let op =
+            crate::dc::dc_operating_point(&deck.circuit, crate::dc::DcOptions::default()).unwrap();
         let vd = op.voltage("d").unwrap();
         assert!(vd > 0.4 && vd < 0.8, "diode drop {vd}");
         // Misuse errors.
@@ -965,8 +1012,8 @@ Cl1 out1 0 5p IC=1.8
         assert!(deck.circuit.find_element("R.Xtop.X1.R1").is_some());
         assert!(deck.circuit.find_node("Xtop.m").is_some());
         // DC: out follows in through the resistor chain (caps open).
-        let op = crate::dc::dc_operating_point(&deck.circuit, crate::dc::DcOptions::default())
-            .unwrap();
+        let op =
+            crate::dc::dc_operating_point(&deck.circuit, crate::dc::DcOptions::default()).unwrap();
         assert!((op.voltage("out").unwrap() - 1.0).abs() < 1e-6);
     }
 
@@ -979,20 +1026,11 @@ Cl1 out1 0 5p IC=1.8
         // Unknown subckt
         assert!(parse_deck("t\nX1 a s_nope\n").is_err());
         // Port arity mismatch
-        assert!(parse_deck(
-            "t\n.subckt s a b\nR1 a b 1k\n.ends\nX1 n1 s\n"
-        )
-        .is_err());
+        assert!(parse_deck("t\n.subckt s a b\nR1 a b 1k\n.ends\nX1 n1 s\n").is_err());
         // Directive inside a body
-        assert!(parse_deck(
-            "t\n.subckt s a\n.tran 1n 1u\n.ends\nX1 n1 s\n"
-        )
-        .is_err());
+        assert!(parse_deck("t\n.subckt s a\n.tran 1n 1u\n.ends\nX1 n1 s\n").is_err());
         // Recursive definition trips the depth limit.
-        assert!(parse_deck(
-            "t\n.subckt s a\nX1 a s\n.ends\nXtop n1 s\n"
-        )
-        .is_err());
+        assert!(parse_deck("t\n.subckt s a\nX1 a s\n.ends\nXtop n1 s\n").is_err());
     }
 
     #[test]

@@ -73,9 +73,7 @@ impl SystemLayout {
 
     /// Unknown index of the branch current of element `elem_idx`.
     pub(crate) fn branch_index(&self, elem_idx: usize) -> Option<usize> {
-        self.branch_of
-            .get(&elem_idx)
-            .map(|b| self.n_nodes - 1 + b)
+        self.branch_of.get(&elem_idx).map(|b| self.n_nodes - 1 + b)
     }
 
     /// Voltage of node `n` in the unknown vector `x` (0 for ground).
@@ -171,7 +169,10 @@ pub(crate) fn assemble(
                 farads,
                 ..
             } => {
-                if let AnalysisMode::Tran { dt, method, prev, .. } = mode {
+                if let AnalysisMode::Tran {
+                    dt, method, prev, ..
+                } = mode
+                {
                     let slot = layout.cap_of[&idx];
                     let state = &prev.caps[slot];
                     let (geq, ieq) = match method {
@@ -194,7 +195,12 @@ pub(crate) fn assemble(
                 }
                 // DC: open circuit, nothing to stamp.
             }
-            ElementKind::Inductor { a: na, b: nb, henrys, .. } => {
+            ElementKind::Inductor {
+                a: na,
+                b: nb,
+                henrys,
+                ..
+            } => {
                 let bi = layout.branch_index(idx).expect("inductor has a branch");
                 // KCL: branch current leaves node a, enters node b.
                 if let Some(i) = layout.node_index(*na) {
@@ -218,7 +224,9 @@ pub(crate) fn assemble(
                             a.add(bi, bi, 1.0);
                         }
                     }
-                    AnalysisMode::Tran { dt, method, prev, .. } => {
+                    AnalysisMode::Tran {
+                        dt, method, prev, ..
+                    } => {
                         let i_prev = prev.x[bi];
                         let v_prev = layout.voltage(&prev.x, *na) - layout.voltage(&prev.x, *nb);
                         let coeff = match method {
@@ -291,7 +299,11 @@ pub(crate) fn assemble(
                     }
                 }
             }
-            ElementKind::Diode { a: na, k: nk, model } => {
+            ElementKind::Diode {
+                a: na,
+                k: nk,
+                model,
+            } => {
                 let va = layout.voltage(x, *na);
                 let vk = layout.voltage(x, *nk);
                 let (i0, g) = model.iv(va - vk);
@@ -319,8 +331,7 @@ pub(crate) fn assemble(
                 let vb = layout.voltage(x, *b);
                 let lin = mos_linearize(model.as_ref(), *polarity, vd, vg, vs, vb);
                 // ieq so that i_into_d = sum(g_k v_k) + ieq at the iterate.
-                let ieq =
-                    lin.i - lin.g_d * vd - lin.g_g * vg - lin.g_s * vs - lin.g_b * vb;
+                let ieq = lin.i - lin.g_d * vd - lin.g_g * vg - lin.g_s * vs - lin.g_b * vb;
                 let stamps = [(*d, lin.g_d), (*g, lin.g_g), (*s, lin.g_s), (*b, lin.g_b)];
                 if let Some(i) = layout.node_index(*d) {
                     for (node, gval) in stamps {
@@ -447,10 +458,10 @@ mod tests {
         let h = 1e-7;
         let biases = [
             // (vd, vg, vs, vb) covering all four cases.
-            (1.8, 1.8, 0.2, 0.0),  // nmos normal
-            (0.1, 1.8, 1.5, 0.0),  // nmos reversed
-            (0.2, 0.0, 1.8, 1.8),  // pmos normal (when polarity = Pmos)
-            (1.8, 0.0, 0.3, 1.8),  // pmos reversed
+            (1.8, 1.8, 0.2, 0.0), // nmos normal
+            (0.1, 1.8, 1.5, 0.0), // nmos reversed
+            (0.2, 0.0, 1.8, 1.8), // pmos normal (when polarity = Pmos)
+            (1.8, 0.0, 0.3, 1.8), // pmos reversed
         ];
         for &pol in &[MosPolarity::Nmos, MosPolarity::Pmos] {
             for &(vd, vg, vs, vb) in &biases {
@@ -490,7 +501,10 @@ mod tests {
         let model = AlphaPower::builder().build();
         // PMOS source at 1.8 (vs), drain at 0.9, gate at 0: strongly on.
         let on = mos_linearize(&model, MosPolarity::Pmos, 0.9, 0.0, 1.8, 1.8);
-        assert!(on.i < -1e-3, "PMOS drain current should be negative (into channel from source)");
+        assert!(
+            on.i < -1e-3,
+            "PMOS drain current should be negative (into channel from source)"
+        );
         // Gate at 1.8: off.
         let off = mos_linearize(&model, MosPolarity::Pmos, 0.9, 1.8, 1.8, 1.8);
         assert_eq!(off.i, 0.0);

@@ -123,7 +123,10 @@ fn initial_state(
         // A grounded capacitor with an explicit IC pins its free terminal
         // unless the user already set that node.
         for el in circuit.elements() {
-            if let ElementKind::Capacitor { a, b, ic: Some(v0), .. } = el.kind() {
+            if let ElementKind::Capacitor {
+                a, b, ic: Some(v0), ..
+            } = el.kind()
+            {
                 match (layout.node_index(*a), layout.node_index(*b)) {
                     (Some(i), None) if !pinned[i] => x[i] = *v0,
                     (None, Some(j)) if !pinned[j] => x[j] = -*v0,
@@ -136,9 +139,8 @@ fn initial_state(
             match el.kind() {
                 ElementKind::Capacitor { a, b, ic, .. } => {
                     let slot = layout.cap_of[&idx];
-                    caps[slot].v = ic.unwrap_or_else(|| {
-                        layout.voltage(&x, *a) - layout.voltage(&x, *b)
-                    });
+                    caps[slot].v =
+                        ic.unwrap_or_else(|| layout.voltage(&x, *a) - layout.voltage(&x, *b));
                     caps[slot].i = 0.0;
                 }
                 ElementKind::Inductor { ic, .. } => {
@@ -181,9 +183,7 @@ fn update_cap_states(
             let state = &mut caps[slot];
             state.i = match method {
                 IntegrationMethod::BackwardEuler => farads * (v_new - state.v) / dt,
-                IntegrationMethod::Trapezoidal => {
-                    2.0 * farads * (v_new - state.v) / dt - state.i
-                }
+                IntegrationMethod::Trapezoidal => 2.0 * farads * (v_new - state.v) / dt - state.i,
             };
             state.v = v_new;
         }
@@ -255,7 +255,10 @@ pub fn transient(circuit: &Circuit, opts: TranOptions) -> Result<TranResult, Spi
             // A breakpoint collision can legitimately produce a tiny final
             // sliver; only fail when the controller itself shrank dt.
             if !landed_on_bp {
-                return Err(SpiceError::TimestepUnderflow { time: t, dt: dt_eff });
+                return Err(SpiceError::TimestepUnderflow {
+                    time: t,
+                    dt: dt_eff,
+                });
             }
         }
 
@@ -423,7 +426,11 @@ mod tests {
         let w0 = 1.0 / (1e-6f64 * 1e-9).sqrt();
         let wd = w0 * (1.0 - zeta * zeta).sqrt();
         let tp = std::f64::consts::PI / wd;
-        assert!((peak.time - tp).abs() / tp < 0.05, "tp {} vs {tp}", peak.time);
+        assert!(
+            (peak.time - tp).abs() / tp < 0.05,
+            "tp {} vs {tp}",
+            peak.time
+        );
     }
 
     #[test]
@@ -548,11 +555,7 @@ mod tests {
         let mut c = Circuit::new();
         c.vsource("v1", "a", "0", SourceWave::Dc(1.0)).unwrap();
         c.resistor("r1", "a", "0", 1e3).unwrap();
-        let res = transient(
-            &c,
-            TranOptions::to(1e-6).with_ic().with_dt_max(1e-8),
-        )
-        .unwrap();
+        let res = transient(&c, TranOptions::to(1e-6).with_ic().with_dt_max(1e-8)).unwrap();
         let worst = res
             .times()
             .windows(2)

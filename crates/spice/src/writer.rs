@@ -49,7 +49,13 @@ fn wave_text(wave: &SourceWave) -> String {
             ampl,
             freq,
             delay,
-        } => format!("SIN({} {} {} {})", v(*offset), v(*ampl), v(*freq), v(*delay)),
+        } => format!(
+            "SIN({} {} {} {})",
+            v(*offset),
+            v(*ampl),
+            v(*freq),
+            v(*delay)
+        ),
     }
 }
 
@@ -158,15 +164,15 @@ pub fn write_deck(
                 b,
                 model,
             } => {
-                let params = model.model_card_params().ok_or_else(|| {
-                    SpiceError::InvalidValue {
+                let params = model
+                    .model_card_params()
+                    .ok_or_else(|| SpiceError::InvalidValue {
                         context: format!(
                             "model {:?} of {:?} cannot be written as a .model card",
                             model.name(),
                             el.name()
                         ),
-                    }
-                })?;
+                    })?;
                 let pol = polarity.to_string().to_ascii_uppercase();
                 let mname = model_name_of(&params, &pol);
                 let _ = writeln!(
@@ -220,8 +226,10 @@ mod tests {
         let mut c = Circuit::new();
         c.vsource("Vin", "in", "0", SourceWave::ramp(0.0, 1.8, 50e-12, 0.5e-9))
             .expect("valid");
-        c.inductor_with_ic("Lg", "ng", "0", 5e-9, 0.0).expect("valid");
-        c.capacitor_with_ic("Cg", "ng", "0", 1e-12, 0.0).expect("valid");
+        c.inductor_with_ic("Lg", "ng", "0", 5e-9, 0.0)
+            .expect("valid");
+        c.capacitor_with_ic("Cg", "ng", "0", 1e-12, 0.0)
+            .expect("valid");
         let m = Arc::new(AlphaPower::builder().build());
         for i in 0..3 {
             c.mosfet(
@@ -236,7 +244,8 @@ mod tests {
             .expect("valid");
             c.capacitor_with_ic(&format!("Cl{i}"), &format!("out{i}"), "0", 5e-12, 1.8)
                 .expect("valid");
-            c.set_initial_voltage(&format!("out{i}"), 1.8).expect("valid");
+            c.set_initial_voltage(&format!("out{i}"), 1.8)
+                .expect("valid");
         }
         c.set_initial_voltage("ng", 0.0).expect("valid");
         c.set_initial_voltage("in", 0.0).expect("valid");
@@ -282,7 +291,8 @@ mod tests {
     #[test]
     fn all_source_shapes_roundtrip() {
         let mut c = Circuit::new();
-        c.vsource("V1", "a", "0", SourceWave::Dc(1.5)).expect("valid");
+        c.vsource("V1", "a", "0", SourceWave::Dc(1.5))
+            .expect("valid");
         c.vsource(
             "V2",
             "b",
@@ -310,8 +320,13 @@ mod tests {
             },
         )
         .expect("valid");
-        c.isource("I1", "d", "0", SourceWave::Pwl(vec![(0.0, 0.0), (1e-9, 1e-3)]))
-            .expect("valid");
+        c.isource(
+            "I1",
+            "d",
+            "0",
+            SourceWave::Pwl(vec![(0.0, 0.0), (1e-9, 1e-3)]),
+        )
+        .expect("valid");
         c.resistor("R1", "a", "0", 1e3).expect("valid");
         c.resistor("R2", "b", "0", 1e3).expect("valid");
         c.resistor("R3", "c", "0", 1e3).expect("valid");

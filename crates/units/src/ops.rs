@@ -5,8 +5,7 @@
 //! a type error.
 
 use crate::quantity::{
-    Amps, Coulombs, Farads, Henrys, Hertz, Joules, Ohms, Seconds, Siemens, SlewRate, Volts,
-    Watts,
+    Amps, Coulombs, Farads, Henrys, Hertz, Joules, Ohms, Seconds, Siemens, SlewRate, Volts, Watts,
 };
 use std::ops::{Div, Mul};
 
@@ -210,8 +209,8 @@ mod tests {
     fn inductor_and_capacitor_helpers() {
         let v = Henrys::from_nanos(5.0).emf(Amps::from_millis(72.0), Seconds::from_nanos(0.5));
         assert!((v.value() - 0.72).abs() < 1e-12);
-        let i = Farads::from_picos(5.0)
-            .displacement_current(Volts::new(1.8), Seconds::from_nanos(0.5));
+        let i =
+            Farads::from_picos(5.0).displacement_current(Volts::new(1.8), Seconds::from_nanos(0.5));
         assert!((i.value() - 18e-3).abs() < 1e-15);
     }
 }

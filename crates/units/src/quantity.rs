@@ -2,7 +2,6 @@
 
 use crate::parse::{parse_quantity, ParseQuantityError};
 use crate::prefix::format_eng;
-use serde::{Deserialize, Serialize};
 use std::str::FromStr;
 
 /// Generates a physical-quantity newtype over `f64`.
@@ -18,8 +17,7 @@ macro_rules! quantity {
         $name:ident, $symbol:expr
     ) => {
         $(#[$meta])*
-        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
         pub struct $name(f64);
 
         impl $name {

@@ -161,10 +161,7 @@ mod tests {
     #[test]
     fn ramp_goes_corner_to_corner() {
         let s = AsciiPlot::new(20, 5).with_trace("r", &ramp()).to_string();
-        let rows: Vec<&str> = s
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
         assert_eq!(rows.len(), 5);
         // Top row has the glyph at the right edge, bottom row at the left.
         let top = rows[0].split('|').nth(1).unwrap();

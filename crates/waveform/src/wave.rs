@@ -1,6 +1,5 @@
 //! The `Waveform` type and its analysis methods.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -35,7 +34,7 @@ impl fmt::Display for WaveformError {
 impl Error for WaveformError {}
 
 /// A located extremum returned by [`Waveform::peak`] / [`Waveform::trough`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Peak {
     /// Time of the extremum (parabolically refined between samples).
     pub time: f64,
@@ -44,7 +43,7 @@ pub struct Peak {
 }
 
 /// A sampled signal on a strictly increasing time grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Waveform {
     t: Vec<f64>,
     v: Vec<f64>,
@@ -355,10 +354,7 @@ impl Waveform {
         if a1 < b0 || b1 < a0 {
             return Err(WaveformError::DisjointWindows);
         }
-        let v = self
-            .iter()
-            .map(|(t, v)| f(v, other.sample(t)))
-            .collect();
+        let v = self.iter().map(|(t, v)| f(v, other.sample(t))).collect();
         Self::new(self.t.clone(), v)
     }
 
@@ -499,8 +495,8 @@ mod tests {
 
     #[test]
     fn crossings_of_sine() {
-        let w = Waveform::from_fn(0.0, 1.0, 1001, |t| (2.0 * std::f64::consts::PI * t).sin())
-            .unwrap();
+        let w =
+            Waveform::from_fn(0.0, 1.0, 1001, |t| (2.0 * std::f64::consts::PI * t).sin()).unwrap();
         let c = w.crossings(0.0);
         // Starts at 0 (touch) and crosses at 0.5; whether the endpoint
         // registers depends on sin(2*pi) rounding, so only require those two.

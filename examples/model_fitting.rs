@@ -25,8 +25,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         let report = asdm_fit_report(&asdm, &samples)?;
 
         println!("== process {} (Vdd = {}) ==", process.name(), process.vdd());
-        println!("  golden device: alpha-power, Vth0 = {}, alpha = {:.2}",
-            process.vth0(), driver.alpha());
+        println!(
+            "  golden device: alpha-power, Vth0 = {}, alpha = {:.2}",
+            process.vth0(),
+            driver.alpha()
+        );
         println!("  fitted {asdm}");
         println!(
             "  fit quality: rms = {:.3} mA, worst rel = {:.1}% over {} samples",
@@ -51,9 +54,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let mut plot = AsciiPlot::new(64, 16).with_labels("V_G (V)", "I_D (A)");
     for (i, vs) in [0.0, 0.4, 0.8].into_iter().enumerate() {
-        let golden = Waveform::from_fn(0.0, vdd, 100, |vg| {
-            driver.ids(vg - vs, vdd - vs, -vs).id
-        })?;
+        let golden = Waveform::from_fn(0.0, vdd, 100, |vg| driver.ids(vg - vs, vdd - vs, -vs).id)?;
         let linear = Waveform::from_fn(0.0, vdd, 100, |vg| {
             asdm.drain_current(Volts::new(vg), Volts::new(vs)).value()
         })?;

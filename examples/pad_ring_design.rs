@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Option D: spend package resources — more ground pads.
     println!("\nD. ground-pad scaling (L/n, C*n):");
-    println!("{:>6} {:>12} {:>12} {:>14} {:>24}", "pads", "L", "C", "Vn_max", "damping");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>24}",
+        "pads", "L", "C", "Vn_max", "damping"
+    );
     for pads in [1usize, 2, 4, 8] {
         let pkg = PackageParasitics::pga().with_ground_pads(pads);
         let s = bus.with_package(pkg.inductance, pkg.capacitance)?;

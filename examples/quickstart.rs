@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let (lc, case) = lcmodel::vn_max(&scenario);
     println!("\nL-only model (Eqn. 7):   Vn_max = {l_only}");
     println!("LC model (Table 1):      Vn_max = {lc}   [{case}]");
-    println!("damping: {} ; critical capacitance C_m = {}",
+    println!(
+        "damping: {} ; critical capacitance C_m = {}",
         lcmodel::classify(&scenario),
         lcmodel::critical_capacitance(&scenario),
     );

@@ -44,13 +44,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     // How a designer closes the loop: pick a budget, hold the q99 corner.
     let budget = Volts::new(0.6);
     let corner = mc.quantile(0.99);
-    println!(
-        "\nfor a hard {budget} budget: the 99th-percentile corner is {corner}, so"
-    );
+    println!("\nfor a hard {budget} budget: the 99th-percentile corner is {corner}, so");
     if corner <= budget {
         println!("the design passes with margin {}", budget - corner);
     } else {
-        let n_ok = design::max_simultaneous_drivers(&scenario, Volts::new(budget.value() / (corner.value() / nominal.value())))?;
+        let n_ok = design::max_simultaneous_drivers(
+            &scenario,
+            Volts::new(budget.value() / (corner.value() / nominal.value())),
+        )?;
         println!(
             "derate the nominal target by the corner ratio: limit simultaneous\n\
              switching to {n_ok} drivers (from 8) to pass at the q99 corner."

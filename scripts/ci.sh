@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the SSN reproduction suite (see ROADMAP.md),
+# plus formatting. Run from the repository root:
+#
+#   ./scripts/ci.sh
+#
+# Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== formatting =="
+cargo fmt --check
+
+echo "ci: all gates passed"

@@ -6,7 +6,10 @@ use ssn_lab::spice::transient;
 #[test]
 fn pad_ring_deck_parses_and_matches_api_built_bank() {
     let deck = parse_deck_file("decks/pad_ring.sp").expect("fixture parses");
-    assert_eq!(deck.title, "eight-slice pad ring with ESD clamps (SSN demo)");
+    assert_eq!(
+        deck.title,
+        "eight-slice pad ring with ESD clamps (SSN demo)"
+    );
     // 1 source + L + C + 2 diodes + 8 * (fet + load) = 21 elements.
     assert_eq!(deck.circuit.element_count(), 21);
     assert!(deck.circuit.find_element("M.X5.M1").is_some());
@@ -22,8 +25,7 @@ fn pad_ring_deck_parses_and_matches_api_built_bank() {
     use ssn_lab::devices::process::Process;
     use ssn_lab::devices::Diode;
     let api = measure(
-        &DriverBankConfig::from_process(&Process::p018(), 8)
-            .with_esd_clamp(Diode::new(1e-11, 1.0)),
+        &DriverBankConfig::from_process(&Process::p018(), 8).with_esd_clamp(Diode::new(1e-11, 1.0)),
     )
     .expect("simulates");
     let deck_peak = vn.peak().value;
@@ -52,8 +54,8 @@ fn cell_library_is_reusable_standalone() {
     std::fs::write(&path, top).expect("write");
     let deck = parse_deck_file(&path).expect("parses");
     assert_eq!(deck.circuit.element_count(), 6);
-    let result = transient(&deck.circuit, deck.tran.expect("tran").to_options())
-        .expect("simulates");
+    let result =
+        transient(&deck.circuit, deck.tran.expect("tran").to_options()).expect("simulates");
     let peak = result.voltage("ng").expect("probe").peak().value;
     assert!(peak > 0.1 && peak < 0.5, "two-slice bounce {peak}");
     std::fs::remove_dir_all(&dir).ok();

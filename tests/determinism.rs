@@ -1,0 +1,142 @@
+//! Determinism contract of the parallel scenario engine: for a fixed seed,
+//! the thread count must never change any result — not the samples, not the
+//! derived statistics, not the histogram, not a design-grid sweep.
+//!
+//! The engine guarantees this by construction (fixed-size chunks with
+//! per-chunk RNG streams, assembled in chunk order); these tests pin the
+//! contract end to end through the public APIs.
+
+use ssn_lab::core::design::sweep_design_grid;
+use ssn_lab::core::montecarlo::{run_monte_carlo_with, VariationSpec, MC_CHUNK};
+use ssn_lab::core::parallel::ExecPolicy;
+use ssn_lab::core::scenario::SsnScenario;
+use ssn_lab::devices::Asdm;
+use ssn_lab::units::{Farads, Henrys, Seconds, Siemens, Volts};
+
+fn scenario(n: usize) -> SsnScenario {
+    let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+    SsnScenario::from_asdm(asdm, Volts::new(1.8))
+        .drivers(n)
+        .inductance(Henrys::from_nanos(5.0))
+        .capacitance(Farads::from_picos(1.0))
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn monte_carlo_is_bit_identical_across_thread_counts() {
+    let s = scenario(8);
+    let spec = VariationSpec::typical();
+    // A sample count that is not a chunk multiple, spanning several chunks.
+    let n_samples = 2 * MC_CHUNK + 137;
+    let seed = 0xD1CE;
+
+    let (reference, serial_stats) =
+        run_monte_carlo_with(&s, &spec, n_samples, seed, &ExecPolicy::serial())
+            .expect("serial run");
+    assert_eq!(serial_stats.threads, 1);
+    assert_eq!(serial_stats.items, n_samples);
+
+    for threads in [1usize, 2, 8] {
+        let (mc, stats) = run_monte_carlo_with(
+            &s,
+            &spec,
+            n_samples,
+            seed,
+            &ExecPolicy::with_threads(threads),
+        )
+        .expect("parallel run");
+        assert_eq!(stats.items, n_samples);
+
+        // Bit-identical: raw sample streams first, then every statistic a
+        // consumer can observe.
+        assert_eq!(
+            mc.samples(),
+            reference.samples(),
+            "samples differ at {threads} threads"
+        );
+        assert_eq!(
+            mc.mean(),
+            reference.mean(),
+            "mean differs at {threads} threads"
+        );
+        assert_eq!(
+            mc.std_dev(),
+            reference.std_dev(),
+            "std dev differs at {threads} threads"
+        );
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(
+                mc.quantile(q),
+                reference.quantile(q),
+                "q{q} differs at {threads} threads"
+            );
+        }
+        let (h, href) = (mc.histogram(32), reference.histogram(32));
+        assert_eq!(h.lo, href.lo, "histogram lo differs at {threads} threads");
+        assert_eq!(h.hi, href.hi, "histogram hi differs at {threads} threads");
+        assert_eq!(
+            h.counts, href.counts,
+            "histogram counts differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_auto_policy_matches_serial() {
+    let s = scenario(4);
+    let spec = VariationSpec::typical();
+    let (serial, _) =
+        run_monte_carlo_with(&s, &spec, 500, 7, &ExecPolicy::serial()).expect("serial");
+    let (auto, _) = run_monte_carlo_with(&s, &spec, 500, 7, &ExecPolicy::auto()).expect("auto");
+    assert_eq!(serial.samples(), auto.samples());
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Guards against a degenerate "deterministic because constant" engine.
+    let s = scenario(8);
+    let spec = VariationSpec::typical();
+    let (a, _) = run_monte_carlo_with(&s, &spec, 300, 1, &ExecPolicy::auto()).expect("run");
+    let (b, _) = run_monte_carlo_with(&s, &spec, 300, 2, &ExecPolicy::auto()).expect("run");
+    assert_ne!(a.samples(), b.samples());
+}
+
+#[test]
+fn design_grid_is_identical_across_thread_counts() {
+    let template = scenario(8);
+    let drivers: Vec<usize> = (1..=24).collect();
+    let inductances: Vec<Henrys> = (1..=8).map(|l| Henrys::from_nanos(l as f64)).collect();
+
+    let (reference, stats) =
+        sweep_design_grid(&template, &drivers, &inductances, &ExecPolicy::serial())
+            .expect("serial sweep");
+    assert_eq!(stats.items, drivers.len() * inductances.len());
+
+    for threads in [2usize, 8] {
+        let (points, _) = sweep_design_grid(
+            &template,
+            &drivers,
+            &inductances,
+            &ExecPolicy::with_threads(threads),
+        )
+        .expect("parallel sweep");
+        assert_eq!(points, reference, "grid differs at {threads} threads");
+    }
+}
+
+#[test]
+fn telemetry_is_present_and_sane() {
+    let s = scenario(8);
+    let spec = VariationSpec::typical();
+    let (_, stats) =
+        run_monte_carlo_with(&s, &spec, 1000, 1, &ExecPolicy::with_threads(2)).expect("run");
+    assert_eq!(stats.items, 1000);
+    assert!(stats.threads >= 1);
+    assert!(stats.items_per_sec() > 0.0);
+    assert!(stats.utilization() >= 0.0);
+    let line = stats.to_string();
+    assert!(line.contains("1000 evaluations"), "telemetry line: {line}");
+    assert!(line.contains("eval/s"), "telemetry line: {line}");
+}

@@ -42,11 +42,7 @@ fn lc_model_tracks_simulation_across_regions() {
         // Where the L-only model is materially wrong (deep under-damped
         // region), the LC model must be the better estimate. Near the case
         // boundary both are within a few percent and may tie.
-        if matches!(
-            lcmodel::classify(&s),
-            lcmodel::Damping::Underdamped { .. }
-        ) && e_l > 0.05
-        {
+        if matches!(lcmodel::classify(&s), lcmodel::Damping::Underdamped { .. }) && e_l > 0.05 {
             assert!(
                 e_lc < e_l,
                 "N = {n} (under-damped): LC ({e_lc:.3}) must beat L-only ({e_l:.3})"

@@ -25,7 +25,8 @@ fn dc_gmin_rescues_pathological_topologies() {
 #[test]
 fn unknown_probes_error_cleanly() {
     let mut c = Circuit::new();
-    c.vsource("v1", "a", "0", SourceWave::Dc(1.0)).expect("valid");
+    c.vsource("v1", "a", "0", SourceWave::Dc(1.0))
+        .expect("valid");
     c.resistor("r1", "a", "0", 1e3).expect("valid");
     let res = transient(&c, TranOptions::to(1e-9).with_ic()).expect("simulates");
     for bad in ["ghost", "A_typo", ""] {
@@ -41,8 +42,10 @@ fn unknown_probes_error_cleanly() {
 #[test]
 fn contradictory_sources_report_singularity() {
     let mut c = Circuit::new();
-    c.vsource("v1", "a", "0", SourceWave::Dc(1.0)).expect("valid");
-    c.vsource("v2", "a", "0", SourceWave::Dc(2.0)).expect("valid");
+    c.vsource("v1", "a", "0", SourceWave::Dc(1.0))
+        .expect("valid");
+    c.vsource("v2", "a", "0", SourceWave::Dc(2.0))
+        .expect("valid");
     c.resistor("r1", "a", "0", 1e3).expect("valid");
     let result = dc_operating_point(&c, DcOptions::default());
     assert!(
@@ -63,7 +66,8 @@ fn starved_newton_budget_reports_divergence() {
 
     let mut c = Circuit::new();
     let m = Arc::new(AlphaPower::builder().build());
-    c.vsource("vdd", "vdd", "0", SourceWave::Dc(1.8)).expect("valid");
+    c.vsource("vdd", "vdd", "0", SourceWave::Dc(1.8))
+        .expect("valid");
     c.vsource("vin", "g", "0", SourceWave::ramp(0.0, 1.8, 0.0, 1e-10))
         .expect("valid");
     c.mosfet("m1", MosPolarity::Nmos, "out", "g", "0", "0", m)
@@ -114,7 +118,11 @@ fn scenario_errors_name_the_offender() {
     type BuildAttempt = Box<dyn Fn() -> Result<SsnScenario, ssn_lab::core::SsnError>>;
     let cases: Vec<(BuildAttempt, &str)> = vec![
         (
-            Box::new(move || SsnScenario::from_asdm(asdm, Volts::new(1.8)).drivers(0).build()),
+            Box::new(move || {
+                SsnScenario::from_asdm(asdm, Volts::new(1.8))
+                    .drivers(0)
+                    .build()
+            }),
             "driver",
         ),
         (

@@ -53,7 +53,12 @@ fn claim_v0_is_not_vth_and_sigma_exceeds_one() {
             asdm.v0(),
             process.vth0()
         );
-        assert!(asdm.sigma() > 1.0, "{}: sigma {}", process.name(), asdm.sigma());
+        assert!(
+            asdm.sigma() > 1.0,
+            "{}: sigma {}",
+            process.name(),
+            asdm.sigma()
+        );
     }
 }
 
@@ -74,8 +79,7 @@ fn claim_fig2_waveforms_match() {
     ))
     .expect("simulates");
     // Voltage peak within 10%.
-    let v_err = (lmodel::vn_max(&scenario).value() - sim.vn_max.value()).abs()
-        / sim.vn_max.value();
+    let v_err = (lmodel::vn_max(&scenario).value() - sim.vn_max.value()).abs() / sim.vn_max.value();
     assert!(v_err < 0.10, "Vn_max error {v_err}");
     // End-of-ramp current within 10%.
     let tr = scenario.rise_time();
@@ -159,7 +163,10 @@ fn claim_fig4_regional_errors() {
     .vn_max
     .value();
     let e_lonly_o = (lmodel::vn_max(&over).value() - sim_o).abs() / sim_o;
-    assert!(e_lonly_o < 0.08, "L-only is adequate over-damped: {e_lonly_o}");
+    assert!(
+        e_lonly_o < 0.08,
+        "L-only is adequate over-damped: {e_lonly_o}"
+    );
 }
 
 /// Section 4: "the system is very likely in the under-damped region when

@@ -1,104 +1,194 @@
-//! Property-based tests on the suite's core invariants (proptest).
+//! Property-based tests on the suite's core invariants, driven by the
+//! in-repo deterministic harness (`ssn_numeric::check`): every case derives
+//! from a fixed seed and a failure prints its replay seed.
 
-use proptest::prelude::*;
 use ssn_lab::core::scenario::SsnScenario;
 use ssn_lab::core::{lcmodel, lmodel};
 use ssn_lab::devices::fit::{fit_asdm, IvSample};
 use ssn_lab::devices::{Asdm, MosModel};
+use ssn_lab::numeric::check::{forall, Gen};
 use ssn_lab::numeric::lu::{solve, LuFactor};
 use ssn_lab::numeric::matrix::DenseMatrix;
 use ssn_lab::units::{Farads, Henrys, Seconds, Siemens, Volts};
 
-/// Strategy for a physically sensible ASDM.
-fn asdm_strategy() -> impl Strategy<Value = Asdm> {
-    (1e-3..20e-3f64, 1.0..1.6f64, 0.3..0.9f64)
-        .prop_map(|(k, sigma, v0)| Asdm::new(Siemens::new(k), sigma, Volts::new(v0)))
+/// A physically sensible ASDM.
+fn gen_asdm(g: &mut Gen) -> Asdm {
+    let k = g.f64_in(1e-3, 20e-3);
+    let sigma = g.f64_in(1.0, 1.6);
+    let v0 = g.f64_in(0.3, 0.9);
+    Asdm::new(Siemens::new(k), sigma, Volts::new(v0))
 }
 
-/// Strategy for a full scenario across all damping regimes.
-fn scenario_strategy() -> impl Strategy<Value = SsnScenario> {
-    (
-        asdm_strategy(),
-        1usize..24,
-        1e-9..10e-9f64,        // L
-        0.0..4e-12f64,         // C (0 = L-only)
-        0.2e-9..2e-9f64,       // tr
-    )
-        .prop_map(|(asdm, n, l, c, tr)| {
-            SsnScenario::from_asdm(asdm, Volts::new(1.8))
-                .drivers(n)
-                .inductance(Henrys::new(l))
-                .capacitance(Farads::new(c))
-                .rise_time(Seconds::new(tr))
-                .build()
-                .expect("strategy yields valid scenarios")
-        })
+/// A full scenario across all damping regimes (`C` may be 0 = L-only).
+fn gen_scenario(g: &mut Gen) -> SsnScenario {
+    let asdm = gen_asdm(g);
+    let n = g.usize_in(1, 23);
+    let l = g.f64_in(1e-9, 10e-9);
+    let c = g.f64_in(0.0, 4e-12);
+    let tr = g.f64_in(0.2e-9, 2e-9);
+    SsnScenario::from_asdm(asdm, Volts::new(1.8))
+        .drivers(n)
+        .inductance(Henrys::new(l))
+        .capacitance(Farads::new(c))
+        .rise_time(Seconds::new(tr))
+        .build()
+        .expect("generator yields valid scenarios")
 }
 
-proptest! {
-    /// Paper Table 1: the closed-form maximum always equals the maximum of
-    /// its own densely sampled waveform.
-    #[test]
-    fn vn_max_equals_waveform_maximum(s in scenario_strategy()) {
+/// Paper Table 1: the closed-form maximum always equals the maximum of
+/// its own densely sampled waveform.
+#[test]
+fn vn_max_equals_waveform_maximum() {
+    forall("vn_max equals waveform maximum", 128, |g| {
+        let s = gen_scenario(g);
         let (vmax, _) = lcmodel::vn_max(&s);
         let wave = lcmodel::vn_waveform(&s, 4096).expect("waveform");
         let peak = wave.peak().value;
         let scale = vmax.value().max(1e-6);
-        prop_assert!(
-            (vmax.value() - peak).abs() / scale < 2e-3,
-            "formula {} vs waveform {}", vmax.value(), peak
-        );
-    }
+        if (vmax.value() - peak).abs() / scale < 2e-3 {
+            Ok(())
+        } else {
+            Err(format!("formula {} vs waveform {peak}", vmax.value()))
+        }
+    });
+}
 
-    /// The SSN voltage never exceeds twice the asymptote `V_inf` (the
-    /// zero-damping ring bound) and is never negative during the ramp.
-    #[test]
-    fn vn_bounded_by_ring_limit(s in scenario_strategy()) {
+/// The SSN voltage never exceeds twice the asymptote `V_inf` (the
+/// zero-damping ring bound) and is never negative during the ramp.
+#[test]
+fn vn_bounded_by_ring_limit() {
+    forall("vn bounded by ring limit", 256, |g| {
+        let s = gen_scenario(g);
         let (vmax, _) = lcmodel::vn_max(&s);
-        prop_assert!(vmax.value() >= 0.0);
-        prop_assert!(
-            vmax.value() <= 2.0 * s.v_inf().value() + 1e-12,
-            "vmax {} vs 2 V_inf {}", vmax.value(), 2.0 * s.v_inf().value()
-        );
-    }
+        if vmax.value() < 0.0 {
+            return Err(format!("negative vmax {}", vmax.value()));
+        }
+        if vmax.value() <= 2.0 * s.v_inf().value() + 1e-12 {
+            Ok(())
+        } else {
+            Err(format!(
+                "vmax {} vs 2 V_inf {}",
+                vmax.value(),
+                2.0 * s.v_inf().value()
+            ))
+        }
+    });
+}
 
-    /// Monotonicity in the driver count: more simultaneous drivers never
-    /// reduce the maximum noise.
-    #[test]
-    fn vn_max_monotone_in_n(s in scenario_strategy(), extra in 1usize..8) {
+/// Monotonicity in the driver count (LC model): more simultaneous drivers
+/// never reduce the maximum noise.
+#[test]
+fn vn_max_monotone_in_n() {
+    forall("LC vn_max monotone in N", 256, |g| {
+        let s = gen_scenario(g);
+        let extra = g.usize_in(1, 7);
         let (v1, _) = lcmodel::vn_max(&s);
         let bigger = s.with_drivers(s.n_drivers() + extra).expect("valid");
         let (v2, _) = lcmodel::vn_max(&bigger);
-        prop_assert!(v2.value() >= v1.value() - 1e-12);
-    }
+        if v2.value() >= v1.value() - 1e-12 {
+            Ok(())
+        } else {
+            Err(format!(
+                "N {} -> {}: vn {} -> {}",
+                s.n_drivers(),
+                s.n_drivers() + extra,
+                v1.value(),
+                v2.value()
+            ))
+        }
+    });
+}
 
-    /// The L-only model is the `C -> 0` limit of the LC model.
-    #[test]
-    fn lc_model_limits_to_l_only(s in scenario_strategy()) {
-        let tiny = s.with_package(s.inductance(), Farads::new(1e-18)).expect("valid");
+/// Monotonicity in the driver count holds for the L-only model too.
+#[test]
+fn l_only_vn_max_monotone_in_n() {
+    forall("L-only vn_max monotone in N", 256, |g| {
+        let s = gen_scenario(g);
+        let extra = g.usize_in(1, 7);
+        let v1 = lmodel::vn_max(&s);
+        let bigger = s.with_drivers(s.n_drivers() + extra).expect("valid");
+        let v2 = lmodel::vn_max(&bigger);
+        if v2.value() >= v1.value() - 1e-12 {
+            Ok(())
+        } else {
+            Err(format!("vn {} -> {}", v1.value(), v2.value()))
+        }
+    });
+}
+
+/// Monotonicity in the ground-path inductance, for both models: a worse
+/// package never reduces the maximum noise.
+#[test]
+fn vn_max_monotone_in_l() {
+    forall("vn_max monotone in L (both models)", 256, |g| {
+        let s = gen_scenario(g);
+        let factor = g.f64_in(1.0, 4.0);
+        let worse = s
+            .with_package(s.inductance() * factor, s.capacitance())
+            .expect("valid");
+        let (lc1, lc2) = (lcmodel::vn_max(&s).0, lcmodel::vn_max(&worse).0);
+        if lc2.value() < lc1.value() - 1e-12 {
+            return Err(format!(
+                "LC: L x{factor:.3} dropped vn {} -> {}",
+                lc1.value(),
+                lc2.value()
+            ));
+        }
+        let (l1, l2) = (lmodel::vn_max(&s), lmodel::vn_max(&worse));
+        if l2.value() < l1.value() - 1e-12 {
+            return Err(format!(
+                "L-only: L x{factor:.3} dropped vn {} -> {}",
+                l1.value(),
+                l2.value()
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// The L-only model is the `C -> 0` limit of the LC model.
+#[test]
+fn lc_model_limits_to_l_only() {
+    forall("LC limits to L-only as C -> 0", 256, |g| {
+        let s = gen_scenario(g);
+        let tiny = s
+            .with_package(s.inductance(), Farads::new(1e-18))
+            .expect("valid");
         let l_only = lmodel::vn_max(&s).value();
         let lc = lcmodel::vn_max(&tiny).0.value();
-        prop_assert!(
-            (l_only - lc).abs() / l_only.max(1e-9) < 1e-3,
-            "L-only {l_only} vs LC(C=1e-18) {lc}"
-        );
-    }
+        if (l_only - lc).abs() / l_only.max(1e-9) < 1e-3 {
+            Ok(())
+        } else {
+            Err(format!("L-only {l_only} vs LC(C=1e-18) {lc}"))
+        }
+    });
+}
 
-    /// Z-figure invariance (paper Eqn. 10): trading N for L leaves the
-    /// L-only maximum unchanged.
-    #[test]
-    fn z_figure_invariance(s in scenario_strategy(), factor in 2usize..5) {
+/// Z-figure invariance (paper Eqn. 10): trading N for L leaves the
+/// L-only maximum unchanged.
+#[test]
+fn z_figure_invariance() {
+    forall("Z-figure invariance", 256, |g| {
+        let s = gen_scenario(g);
+        let factor = g.usize_in(2, 4);
         let a = lmodel::vn_max(&s.with_drivers(s.n_drivers() * factor).expect("valid"));
         let b = lmodel::vn_max(
-            &s.with_package(s.inductance() * factor as f64, s.capacitance()).expect("valid"),
+            &s.with_package(s.inductance() * factor as f64, s.capacitance())
+                .expect("valid"),
         );
-        prop_assert!((a.value() - b.value()).abs() < 1e-9);
-    }
+        if (a.value() - b.value()).abs() < 1e-9 {
+            Ok(())
+        } else {
+            Err(format!("N-scaled {} vs L-scaled {}", a.value(), b.value()))
+        }
+    });
+}
 
-    /// ASDM fitting round-trips exact synthetic data for arbitrary
-    /// parameters.
-    #[test]
-    fn asdm_fit_roundtrip(truth in asdm_strategy()) {
+/// ASDM fitting round-trips exact synthetic data for arbitrary parameters.
+#[test]
+fn asdm_fit_roundtrip() {
+    forall("ASDM fit round-trip", 256, |g| {
+        let truth = gen_asdm(g);
         let mut samples = Vec::new();
         for vs_step in 0..4 {
             let vs = 0.15 * f64::from(vs_step);
@@ -108,105 +198,153 @@ proptest! {
                 samples.push(IvSample { vg, vs, id });
             }
         }
-        if let Ok(fit) = fit_asdm(&samples) {
-            prop_assert!((fit.k().value() - truth.k().value()).abs() / truth.k().value() < 1e-6);
-            prop_assert!((fit.sigma() - truth.sigma()).abs() < 1e-4);
-            prop_assert!((fit.v0().value() - truth.v0().value()).abs() < 1e-4);
-        }
         // (A fit may legitimately fail when v0/sigma push all samples into
         // cutoff; that is not a round-trip violation.)
-    }
+        if let Ok(fit) = fit_asdm(&samples) {
+            let k_err = (fit.k().value() - truth.k().value()).abs() / truth.k().value();
+            if k_err >= 1e-6 {
+                return Err(format!("K error {k_err}"));
+            }
+            if (fit.sigma() - truth.sigma()).abs() >= 1e-4 {
+                return Err(format!("sigma {} vs {}", fit.sigma(), truth.sigma()));
+            }
+            if (fit.v0().value() - truth.v0().value()).abs() >= 1e-4 {
+                return Err(format!("V0 {} vs {}", fit.v0().value(), truth.v0().value()));
+            }
+        }
+        Ok(())
+    });
+}
 
-    /// The ASDM's two evaluation forms (node voltages vs source-referenced
-    /// MosModel) agree everywhere in the SSN region.
-    #[test]
-    fn asdm_forms_agree(
-        asdm in asdm_strategy(),
-        vg in 0.0..1.8f64,
-        vs in 0.0..0.8f64,
-    ) {
+/// The ASDM's two evaluation forms (node voltages vs source-referenced
+/// MosModel) agree everywhere in the SSN region.
+#[test]
+fn asdm_forms_agree() {
+    forall("ASDM evaluation forms agree", 256, |g| {
+        let asdm = gen_asdm(g);
+        let vg = g.f64_in(0.0, 1.8);
+        let vs = g.f64_in(0.0, 0.8);
         let node = asdm.drain_current(Volts::new(vg), Volts::new(vs)).value();
         let referenced = asdm.ids(vg - vs, 1.8 - vs, -vs).id;
-        prop_assert!((node - referenced).abs() < 1e-12);
-    }
+        if (node - referenced).abs() < 1e-12 {
+            Ok(())
+        } else {
+            Err(format!("node form {node} vs referenced form {referenced}"))
+        }
+    });
+}
 
-    /// LU with partial pivoting solves random diagonally dominant systems
-    /// to tight residual.
-    #[test]
-    fn lu_solves_diagonally_dominant(
-        seed_rows in prop::collection::vec(
-            prop::collection::vec(-1.0..1.0f64, 6), 6),
-        rhs in prop::collection::vec(-10.0..10.0f64, 6),
-    ) {
+/// LU with partial pivoting solves random diagonally dominant systems
+/// to tight residual.
+#[test]
+fn lu_solves_diagonally_dominant() {
+    forall("LU solves diagonally dominant", 256, |g| {
         let mut a = DenseMatrix::zeros(6, 6);
         for i in 0..6 {
             let mut sum = 0.0;
             for j in 0..6 {
                 if i != j {
-                    a[(i, j)] = seed_rows[i][j];
-                    sum += seed_rows[i][j].abs();
+                    a[(i, j)] = g.f64_in(-1.0, 1.0);
+                    sum += a[(i, j)].abs();
                 }
             }
             a[(i, i)] = sum + 1.0;
         }
+        let rhs = g.vec_f64(6, -10.0, 10.0);
         let x = solve(&a, &rhs).expect("diagonally dominant is nonsingular");
         let r = a.matvec(&x).expect("shape ok");
         for (ri, bi) in r.iter().zip(&rhs) {
-            prop_assert!((ri - bi).abs() < 1e-9);
+            if (ri - bi).abs() >= 1e-9 {
+                return Err(format!("residual {}", (ri - bi).abs()));
+            }
         }
         // Determinant of a strictly diagonally dominant matrix is nonzero.
         let lu = LuFactor::new(&a).expect("nonsingular");
-        prop_assert!(lu.determinant().abs() > 0.0);
-    }
+        if lu.determinant().abs() > 0.0 {
+            Ok(())
+        } else {
+            Err("zero determinant".to_owned())
+        }
+    });
+}
 
-    /// Random RLC ladder circuits survive the deck write/parse round trip
-    /// with identical DC solutions.
-    #[test]
-    fn deck_roundtrip_preserves_dc_solution(
-        rungs in prop::collection::vec((1.0..100e3f64, 1e-15..1e-9f64, 1e-12..1e-6f64), 1..6),
-        vin in 0.1..10.0f64,
-    ) {
-        use ssn_lab::spice::parser::parse_deck;
-        use ssn_lab::spice::writer::write_deck;
-        use ssn_lab::spice::{dc_operating_point, Circuit, DcOptions, SourceWave};
+/// Random RLC ladder circuits survive the deck write/parse round trip
+/// with identical DC solutions.
+#[test]
+fn deck_roundtrip_preserves_dc_solution() {
+    use ssn_lab::spice::parser::parse_deck;
+    use ssn_lab::spice::writer::write_deck;
+    use ssn_lab::spice::{dc_operating_point, Circuit, DcOptions, SourceWave};
 
+    forall("deck round-trip preserves DC", 64, |g| {
+        let n_rungs = g.usize_in(1, 5);
+        let vin = g.f64_in(0.1, 10.0);
         let mut c = Circuit::new();
-        c.vsource("V1", "n0", "0", SourceWave::Dc(vin)).expect("valid");
-        for (i, &(r, cap, l)) in rungs.iter().enumerate() {
+        c.vsource("V1", "n0", "0", SourceWave::Dc(vin))
+            .expect("valid");
+        let mut rungs = Vec::new();
+        for i in 0..n_rungs {
+            let (r, cap, l) = (
+                g.f64_in(1.0, 100e3),
+                g.f64_in(1e-15, 1e-9),
+                g.f64_in(1e-12, 1e-6),
+            );
+            rungs.push((r, cap, l));
             let a = format!("n{i}");
             let b = format!("n{}", i + 1);
             c.resistor(&format!("R{i}"), &a, &b, r).expect("valid");
             c.capacitor(&format!("C{i}"), &b, "0", cap).expect("valid");
-            c.inductor(&format!("L{i}"), &b, &format!("t{i}"), l).expect("valid");
-            c.resistor(&format!("RT{i}"), &format!("t{i}"), "0", r * 2.0).expect("valid");
+            c.inductor(&format!("L{i}"), &b, &format!("t{i}"), l)
+                .expect("valid");
+            c.resistor(&format!("RT{i}"), &format!("t{i}"), "0", r * 2.0)
+                .expect("valid");
         }
         let text = write_deck(&c, "ladder", None).expect("writes");
         let deck = parse_deck(&text).expect("parses its own output");
-        prop_assert_eq!(deck.circuit.element_count(), c.element_count());
+        if deck.circuit.element_count() != c.element_count() {
+            return Err(format!(
+                "element count {} vs {}",
+                deck.circuit.element_count(),
+                c.element_count()
+            ));
+        }
         let a = dc_operating_point(&c, DcOptions::default()).expect("solves");
         let b = dc_operating_point(&deck.circuit, DcOptions::default()).expect("solves");
-        for i in 0..=rungs.len() {
+        for i in 0..=n_rungs {
             let node = format!("n{i}");
             let va = a.voltage(&node).expect("probe");
             let vb = b.voltage(&node).expect("probe");
-            prop_assert!((va - vb).abs() < 1e-9 * va.abs().max(1.0));
+            if (va - vb).abs() >= 1e-9 * va.abs().max(1.0) {
+                return Err(format!("{node}: {va} vs {vb}"));
+            }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Passivity: a step-driven random RC ladder never leaves the source
-    /// range `[0, V]` (no energy creation in the simulator).
-    #[test]
-    fn rc_ladder_transient_is_passive(
-        rungs in prop::collection::vec((100.0..10e3f64, 1e-13..1e-11f64), 1..5),
-        vstep in 0.5..5.0f64,
-    ) {
-        use ssn_lab::spice::{transient, Circuit, SourceWave, TranOptions};
+/// Passivity: a step-driven random RC ladder never leaves the source
+/// range `[0, V]` (no energy creation in the simulator).
+#[test]
+fn rc_ladder_transient_is_passive() {
+    use ssn_lab::spice::{transient, Circuit, SourceWave, TranOptions};
 
+    forall("RC ladder transient is passive", 64, |g| {
+        let n_rungs = g.usize_in(1, 4);
+        let vstep = g.f64_in(0.5, 5.0);
         let mut c = Circuit::new();
-        c.vsource("V1", "n0", "0", SourceWave::Dc(vstep)).expect("valid");
-        for (i, &(r, cap)) in rungs.iter().enumerate() {
-            c.resistor(&format!("R{i}"), &format!("n{i}"), &format!("n{}", i + 1), r)
-                .expect("valid");
+        c.vsource("V1", "n0", "0", SourceWave::Dc(vstep))
+            .expect("valid");
+        let mut rungs = Vec::new();
+        for i in 0..n_rungs {
+            let (r, cap) = (g.f64_in(100.0, 10e3), g.f64_in(1e-13, 1e-11));
+            rungs.push((r, cap));
+            c.resistor(
+                &format!("R{i}"),
+                &format!("n{i}"),
+                &format!("n{}", i + 1),
+                r,
+            )
+            .expect("valid");
             c.capacitor_with_ic(&format!("C{i}"), &format!("n{}", i + 1), "0", cap, 0.0)
                 .expect("valid");
         }
@@ -219,29 +357,43 @@ proptest! {
             tau += r_cum * cap;
         }
         let res = transient(&c, TranOptions::to(12.0 * tau).with_ic()).expect("simulates");
-        for i in 1..=rungs.len() {
+        for i in 1..=n_rungs {
             let w = res.voltage(&format!("n{i}")).expect("probe");
             // Tolerance relative to scale: the trapezoidal corrector may
             // wobble by a few LTE units around the rails.
             let tol = vstep * 1e-4 + 1e-9;
             for &v in w.values() {
-                prop_assert!(v >= -tol, "undershoot {v} at node n{i}");
-                prop_assert!(v <= vstep + tol, "overshoot {v} at node n{i}");
+                if v < -tol {
+                    return Err(format!("undershoot {v} at node n{i}"));
+                }
+                if v > vstep + tol {
+                    return Err(format!("overshoot {v} at node n{i}"));
+                }
             }
             // The last sample approaches the source (all caps charged).
             let final_v = w.values().last().copied().expect("non-empty");
-            prop_assert!(final_v > 0.5 * vstep, "n{i} stuck at {final_v}");
+            if final_v <= 0.5 * vstep {
+                return Err(format!("n{i} stuck at {final_v}"));
+            }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Unit quantities survive a display/parse round trip within the
-    /// printed precision.
-    #[test]
-    fn units_display_parse_roundtrip(v in -1e12..1e12f64) {
+/// Unit quantities survive a display/parse round trip within the
+/// printed precision.
+#[test]
+fn units_display_parse_roundtrip() {
+    forall("units display/parse round-trip", 256, |g| {
+        let v = g.f64_in(-1e12, 1e12);
         let q = Volts::new(v);
         let text = q.to_string();
         let back: Volts = text.parse().expect("printed form parses");
         let tol = v.abs().max(1e-12) * 1e-3;
-        prop_assert!((back.value() - v).abs() <= tol, "{v} -> {text} -> {}", back.value());
-    }
+        if (back.value() - v).abs() <= tol {
+            Ok(())
+        } else {
+            Err(format!("{v} -> {text} -> {}", back.value()))
+        }
+    });
 }

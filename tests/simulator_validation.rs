@@ -77,7 +77,8 @@ fn mna_engine_matches_reference_integrator_on_linearized_ssn_circuit() {
 #[test]
 fn rc_charging_matches_exponential() {
     let mut c = Circuit::new();
-    c.vsource("v1", "in", "0", SourceWave::Dc(1.0)).expect("valid");
+    c.vsource("v1", "in", "0", SourceWave::Dc(1.0))
+        .expect("valid");
     c.resistor("r1", "in", "out", 2e3).expect("valid");
     c.capacitor_with_ic("c1", "out", "0", 0.5e-9, 0.0)
         .expect("valid");
@@ -99,7 +100,8 @@ fn rc_charging_matches_exponential() {
 #[test]
 fn charge_conservation_through_source() {
     let mut c = Circuit::new();
-    c.vsource("v1", "in", "0", SourceWave::Dc(1.0)).expect("valid");
+    c.vsource("v1", "in", "0", SourceWave::Dc(1.0))
+        .expect("valid");
     c.resistor("r1", "in", "out", 1e3).expect("valid");
     c.capacitor_with_ic("c1", "out", "0", 1e-9, 0.0)
         .expect("valid");
@@ -114,11 +116,7 @@ fn charge_conservation_through_source() {
     }
     // The source supplies the capacitor's final charge C*V = 1 nC (the
     // branch current is negative by the associated reference direction).
-    assert!(
-        (-q - 1e-9).abs() < 2e-11,
-        "delivered charge {} vs 1 nC",
-        -q
-    );
+    assert!((-q - 1e-9).abs() < 2e-11, "delivered charge {} vs 1 nC", -q);
 }
 
 /// Energy audit on an undriven LC tank: the total energy decays only
@@ -173,8 +171,10 @@ fn dc_op_matches_transient_settling() {
 
     let model = Arc::new(AlphaPower::builder().build());
     let mut c = Circuit::new();
-    c.vsource("vdd", "vdd", "0", SourceWave::Dc(1.8)).expect("valid");
-    c.vsource("vin", "g", "0", SourceWave::Dc(0.9)).expect("valid");
+    c.vsource("vdd", "vdd", "0", SourceWave::Dc(1.8))
+        .expect("valid");
+    c.vsource("vin", "g", "0", SourceWave::Dc(0.9))
+        .expect("valid");
     c.resistor("rl", "vdd", "out", 2e3).expect("valid");
     c.mosfet("m1", MosPolarity::Nmos, "out", "g", "0", "0", model)
         .expect("valid");
