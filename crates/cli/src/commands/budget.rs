@@ -58,8 +58,11 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     }
     let n_ok = design::max_simultaneous_drivers(&scenario, budget)?;
     writeln!(out, "A. simultaneous switching limit: {n_ok} drivers")?;
-    match design::required_rise_time(&scenario, budget) {
-        Ok(tr_needed) => writeln!(out, "B. slew control: rise time >= {tr_needed}")?,
+    match design::required_rise_time_with_report(&scenario, budget) {
+        Ok((tr_needed, report)) => {
+            writeln!(out, "B. slew control: rise time >= {tr_needed}")?;
+            writeln!(out, "   solver: {report}")?;
+        }
         Err(e) => writeln!(out, "B. slew control: not achievable ({e})")?,
     }
     match design::stagger_plan(&scenario, budget) {

@@ -44,8 +44,8 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let device = process.output_driver_at(temp);
     let spec = SsnRegionSpec::for_process(&process);
     let samples = sample_ssn_region(&device, &spec);
-    let asdm = fit_asdm_weighted(&samples, weight).map_err(|e| CliError::Analysis(Box::new(e)))?;
-    let report = asdm_fit_report(&asdm, &samples).map_err(|e| CliError::Analysis(Box::new(e)))?;
+    let asdm = fit_asdm_weighted(&samples, weight)?;
+    let report = asdm_fit_report(&asdm, &samples)?;
 
     writeln!(
         out,

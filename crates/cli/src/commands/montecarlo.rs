@@ -77,9 +77,18 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let (mc, stats) = run_monte_carlo_with(&scenario, &spec, samples, seed, &policy)?;
 
     writeln!(out, "nominal Vn_max: {}", lcmodel::vn_max(&scenario).0)?;
+    if stats.failed_chunks > 0 {
+        writeln!(
+            out,
+            "warning: {} chunk(s) failed; statistics cover the {} surviving samples",
+            stats.failed_chunks,
+            mc.len()
+        )?;
+    }
     writeln!(
         out,
-        "{samples} samples: mean {} sd {}",
+        "{} samples: mean {} sd {}",
+        mc.len(),
         mc.mean(),
         mc.std_dev()
     )?;

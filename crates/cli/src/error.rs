@@ -1,5 +1,21 @@
-//! CLI error type.
+//! CLI error type and the exit-code contract.
+//!
+//! Every failure the `ssn` binary can hit maps to a distinct, documented
+//! exit code (scripts branch on these):
+//!
+//! | code | meaning                                             |
+//! |------|-----------------------------------------------------|
+//! | 2    | usage error (bad flags / missing arguments)         |
+//! | 3    | I/O failure (decks, CSVs, stdout)                   |
+//! | 4    | invalid input rejected by validation                |
+//! | 5    | invalid scenario (physical-domain violation)        |
+//! | 6    | device-model fit / numeric failure                  |
+//! | 7    | validation simulator failure                        |
+//! | 8    | waveform operation failure                          |
+//! | 9    | every parallel chunk failed (no partial result)     |
+//! | 1    | any other analysis failure                          |
 
+use ssn_core::SsnError;
 use std::error::Error;
 use std::fmt;
 
@@ -14,8 +30,9 @@ pub enum CliError {
     },
     /// An I/O failure (reading decks, writing CSVs, stdout).
     Io(std::io::Error),
-    /// An analysis failure from the underlying suite.
-    Analysis(Box<dyn Error + Send + Sync>),
+    /// An analysis failure from the underlying suite; the inner
+    /// [`SsnError`] variant selects the exit code.
+    Analysis(SsnError),
 }
 
 impl CliError {
@@ -26,13 +43,50 @@ impl CliError {
         }
     }
 
-    /// The conventional process exit code for this error.
+    /// The conventional process exit code for this error (see the module
+    /// table).
     pub fn exit_code(&self) -> i32 {
         match self {
             Self::Usage { .. } => 2,
             Self::Io(_) => 3,
-            Self::Analysis(_) => 1,
+            Self::Analysis(e) => match e {
+                SsnError::InvalidInput { .. } => 4,
+                SsnError::InvalidScenario { .. } => 5,
+                SsnError::Fit(_) => 6,
+                SsnError::Simulation(_) => 7,
+                SsnError::Waveform(_) => 8,
+                SsnError::AllChunksFailed { .. } => 9,
+                _ => 1,
+            },
         }
+    }
+
+    /// Short machine-greppable kind tag for the structured stderr line.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Usage { .. } => "usage",
+            Self::Io(_) => "io",
+            Self::Analysis(e) => match e {
+                SsnError::InvalidInput { .. } => "invalid-input",
+                SsnError::InvalidScenario { .. } => "invalid-scenario",
+                SsnError::Fit(_) => "fit",
+                SsnError::Simulation(_) => "simulation",
+                SsnError::Waveform(_) => "waveform",
+                SsnError::AllChunksFailed { .. } => "all-chunks-failed",
+                _ => "analysis",
+            },
+        }
+    }
+
+    /// The single structured line the binary prints to stderr:
+    /// `ssn: error kind=<kind> exit=<code>: <message>`.
+    pub fn structured_line(&self) -> String {
+        format!(
+            "ssn: error kind={} exit={}: {}",
+            self.kind(),
+            self.exit_code(),
+            self
+        )
     }
 }
 
@@ -51,7 +105,7 @@ impl Error for CliError {
         match self {
             Self::Usage { .. } => None,
             Self::Io(e) => Some(e),
-            Self::Analysis(e) => Some(e.as_ref()),
+            Self::Analysis(e) => Some(e),
         }
     }
 }
@@ -62,21 +116,27 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-impl From<ssn_core::SsnError> for CliError {
-    fn from(e: ssn_core::SsnError) -> Self {
-        Self::Analysis(Box::new(e))
+impl From<SsnError> for CliError {
+    fn from(e: SsnError) -> Self {
+        Self::Analysis(e)
+    }
+}
+
+impl From<ssn_numeric::NumericError> for CliError {
+    fn from(e: ssn_numeric::NumericError) -> Self {
+        Self::Analysis(SsnError::from(e))
     }
 }
 
 impl From<ssn_spice::SpiceError> for CliError {
     fn from(e: ssn_spice::SpiceError) -> Self {
-        Self::Analysis(Box::new(e))
+        Self::Analysis(SsnError::from(e))
     }
 }
 
 impl From<ssn_waveform::WaveformError> for CliError {
     fn from(e: ssn_waveform::WaveformError) -> Self {
-        Self::Analysis(Box::new(e))
+        Self::Analysis(SsnError::from(e))
     }
 }
 
@@ -88,12 +148,47 @@ mod tests {
     fn exit_codes_and_display() {
         let u = CliError::usage("bad flag");
         assert_eq!(u.exit_code(), 2);
+        assert_eq!(u.kind(), "usage");
         assert!(u.to_string().contains("bad flag"));
         let io: CliError = std::io::Error::other("disk").into();
         assert_eq!(io.exit_code(), 3);
         assert!(io.source().is_some());
         let a: CliError = ssn_spice::SpiceError::UnknownProbe { name: "x".into() }.into();
-        assert_eq!(a.exit_code(), 1);
+        assert_eq!(a.exit_code(), 7);
+        assert_eq!(a.kind(), "simulation");
         assert!(a.to_string().contains("analysis failed"));
+    }
+
+    #[test]
+    fn each_analysis_variant_gets_its_own_exit_code() {
+        let cases: Vec<(CliError, i32, &str)> = vec![
+            (
+                ssn_waveform::WaveformError::InvalidTimeGrid.into(),
+                8,
+                "waveform",
+            ),
+            (ssn_numeric::NumericError::argument("x").into(), 6, "fit"),
+            (
+                CliError::Analysis(SsnError::AllChunksFailed {
+                    failed: 2,
+                    total: 2,
+                    first_cause: "worker panicked".into(),
+                }),
+                9,
+                "all-chunks-failed",
+            ),
+        ];
+        for (err, code, kind) in cases {
+            assert_eq!(err.exit_code(), code, "{err}");
+            assert_eq!(err.kind(), kind, "{err}");
+        }
+    }
+
+    #[test]
+    fn structured_line_is_single_and_greppable() {
+        let err: CliError = ssn_waveform::WaveformError::InvalidTimeGrid.into();
+        let line = err.structured_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("ssn: error kind=waveform exit=8: "));
     }
 }

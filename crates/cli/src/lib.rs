@@ -42,6 +42,14 @@ COMMANDS:
 
 Run `ssn <command> --help` for command options. Quantities accept SI/SPICE
 suffixes: 0.5n, 450m, 2.2p, 1MEG.
+
+EXIT CODES:
+    0  success               5  invalid scenario
+    2  usage error           6  model fit / numeric failure
+    3  i/o failure           7  simulator failure
+    4  invalid input         8  waveform failure
+                             9  every parallel chunk failed
+Errors print one structured stderr line: `ssn: error kind=... exit=...: ...`.
 ";
 
 /// Executes the CLI with explicit arguments and output sink.

@@ -8,7 +8,8 @@ fn main() -> ExitCode {
     match ssn_cli::run(&argv, &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("ssn: {e}");
+            // One structured, greppable line: `ssn: error kind=... exit=...: ...`.
+            eprintln!("{}", e.structured_line());
             ExitCode::from(e.exit_code() as u8)
         }
     }

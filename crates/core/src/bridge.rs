@@ -221,13 +221,75 @@ impl DriverBankConfig {
             .map_or(1, |s| s.groups.max(1).min(self.n_drivers))
     }
 
+    /// Rejects configurations the simulator cannot handle before any
+    /// netlist is built: zero drivers, non-positive or non-finite package
+    /// inductance, rise time, or supply, and negative or non-finite
+    /// capacitances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsnError::InvalidInput`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SsnError> {
+        if self.n_drivers == 0 {
+            return Err(SsnError::invalid(
+                "drivers",
+                0.0,
+                "the bank needs at least one driver",
+            ));
+        }
+        let l = self.inductance.value();
+        if !(l > 0.0) || !l.is_finite() {
+            return Err(SsnError::invalid(
+                "inductance",
+                l,
+                "package inductance must be positive and finite",
+            ));
+        }
+        let c = self.capacitance.value();
+        if !(c >= 0.0) || !c.is_finite() {
+            return Err(SsnError::invalid(
+                "capacitance",
+                c,
+                "package capacitance must be non-negative and finite",
+            ));
+        }
+        let tr = self.rise_time.value();
+        if !(tr > 0.0) || !tr.is_finite() {
+            return Err(SsnError::invalid(
+                "rise time",
+                tr,
+                "input rise time must be positive and finite",
+            ));
+        }
+        let vdd = self.vdd.value();
+        if !(vdd > 0.0) || !vdd.is_finite() {
+            return Err(SsnError::invalid(
+                "Vdd",
+                vdd,
+                "supply voltage must be positive and finite",
+            ));
+        }
+        let cl = self.load_capacitance.value();
+        if !(cl >= 0.0) || !cl.is_finite() {
+            return Err(SsnError::invalid(
+                "load capacitance",
+                cl,
+                "per-driver load must be non-negative and finite",
+            ));
+        }
+        Ok(())
+    }
+
     /// Builds the driver-bank netlist for the configured rail.
     ///
     /// # Errors
     ///
-    /// Propagates netlist construction failures (cannot occur for a valid
-    /// configuration; surfaced for API honesty).
+    /// Returns [`SsnError::InvalidInput`] for a configuration that fails
+    /// [`Self::validate`]; otherwise propagates netlist construction
+    /// failures (cannot occur for a valid configuration; surfaced for API
+    /// honesty).
     pub fn build_circuit(&self) -> Result<Circuit, SsnError> {
+        self.validate()?;
         match self.rail {
             Rail::Ground => self.build_ground_circuit(),
             Rail::Power => self.build_power_circuit(),
@@ -407,7 +469,9 @@ pub struct SsnMeasurement {
 ///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SsnError::Simulation`]).
+/// Returns [`SsnError::InvalidInput`] for a configuration that fails
+/// [`DriverBankConfig::validate`]; otherwise propagates simulator failures
+/// ([`SsnError::Simulation`]).
 pub fn measure(cfg: &DriverBankConfig) -> Result<SsnMeasurement, SsnError> {
     let circuit = cfg.build_circuit()?;
     let opts = TranOptions {
@@ -470,7 +534,9 @@ pub fn measure(cfg: &DriverBankConfig) -> Result<SsnMeasurement, SsnError> {
 ///
 /// # Errors
 ///
-/// Propagates circuit and AC-analysis failures.
+/// Returns [`SsnError::InvalidInput`] for a configuration that fails
+/// [`DriverBankConfig::validate`] or a non-positive / inverted frequency
+/// range; otherwise propagates circuit and AC-analysis failures.
 pub fn ground_impedance(
     cfg: &DriverBankConfig,
     gate_bias: Volts,
@@ -478,6 +544,21 @@ pub fn ground_impedance(
     f_hi: Hertz,
     points_per_decade: usize,
 ) -> Result<(Vec<f64>, Vec<f64>), SsnError> {
+    cfg.validate()?;
+    if !(f_lo.value() > 0.0) || !f_lo.value().is_finite() {
+        return Err(SsnError::invalid(
+            "sweep start frequency",
+            f_lo.value(),
+            "must be positive and finite",
+        ));
+    }
+    if !(f_hi.value() > f_lo.value()) || !f_hi.value().is_finite() {
+        return Err(SsnError::invalid(
+            "sweep stop frequency",
+            f_hi.value(),
+            "must be finite and above the start frequency",
+        ));
+    }
     let mut c = Circuit::new();
     let vdd = cfg.vdd.value();
     c.vsource("vbias", "in", "0", SourceWave::Dc(gate_bias.value()))?;
@@ -525,6 +606,47 @@ mod tests {
         assert!(c.find_element("cl0").is_some());
         assert!(c.find_node("ng").is_some());
         assert_eq!(cfg.n_drivers(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_before_simulation() {
+        use crate::error::SsnError;
+        let cases: Vec<(DriverBankConfig, &str)> = vec![
+            (
+                p018_config(4).with_package(Henrys::ZERO, Farads::ZERO),
+                "inductance",
+            ),
+            (
+                p018_config(4).with_package(Henrys::new(f64::NAN), Farads::ZERO),
+                "inductance",
+            ),
+            (
+                p018_config(4).with_package(Henrys::from_nanos(5.0), Farads::new(-1e-12)),
+                "capacitance",
+            ),
+            (p018_config(4).with_rise_time(Seconds::ZERO), "rise time"),
+            (
+                p018_config(4).with_rise_time(Seconds::new(f64::INFINITY)),
+                "rise time",
+            ),
+            (
+                p018_config(4).with_load(Farads::new(f64::NAN)),
+                "load capacitance",
+            ),
+        ];
+        for (cfg, want_field) in cases {
+            let err = measure(&cfg).unwrap_err();
+            assert!(
+                matches!(err, SsnError::InvalidInput { field, .. } if field == want_field),
+                "expected InvalidInput on {want_field}, got: {err}"
+            );
+        }
+        // Frequency-range validation on the impedance probe.
+        let good = p018_config(2);
+        assert!(ground_impedance(&good, Volts::ZERO, Hertz::ZERO, Hertz::new(1e9), 10).is_err());
+        assert!(
+            ground_impedance(&good, Volts::ZERO, Hertz::new(1e9), Hertz::new(1e6), 10).is_err()
+        );
     }
 
     #[test]

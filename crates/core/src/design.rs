@@ -9,16 +9,30 @@
 //! how should switching be staggered?*
 
 use crate::error::SsnError;
+use crate::hooks;
 use crate::lcmodel;
 use crate::lcmodel::MaxSsnCase;
-use crate::parallel::{run_chunked, ExecPolicy, ExecStats};
+use crate::parallel::{try_run_chunked, ExecPolicy, ExecStats};
 use crate::scenario::SsnScenario;
 use ssn_numeric::optimize::golden_section;
-use ssn_numeric::roots::{brent, RootOptions};
+use ssn_numeric::roots::RootOptions;
+use ssn_numeric::solve::{solve_bracketed, SolveOptions, SolveReport};
 use ssn_units::{Henrys, Seconds, Volts};
 
 /// Hard cap on driver counts considered by the search helpers.
 const MAX_DRIVERS: usize = 65_536;
+
+/// Rejects a noise budget that is not a positive finite voltage.
+fn validate_budget(budget: Volts) -> Result<(), SsnError> {
+    if !(budget.value() > 0.0) || !budget.value().is_finite() {
+        return Err(SsnError::invalid(
+            "noise budget",
+            budget.value(),
+            "must be a positive finite voltage",
+        ));
+    }
+    Ok(())
+}
 
 /// The largest number of simultaneously switching drivers whose maximum SSN
 /// (full LC model) stays within `budget`, holding everything else in
@@ -28,7 +42,8 @@ const MAX_DRIVERS: usize = 65_536;
 ///
 /// # Errors
 ///
-/// Returns [`SsnError::InvalidScenario`] when the budget is not positive.
+/// Returns [`SsnError::InvalidInput`] when the budget is not a positive
+/// finite voltage.
 ///
 /// # Examples
 ///
@@ -46,9 +61,7 @@ const MAX_DRIVERS: usize = 65_536;
 /// # }
 /// ```
 pub fn max_simultaneous_drivers(template: &SsnScenario, budget: Volts) -> Result<usize, SsnError> {
-    if !(budget.value() > 0.0) {
-        return Err(SsnError::scenario("noise budget must be positive"));
-    }
+    validate_budget(budget)?;
     let fits = |n: usize| -> bool {
         match template.with_drivers(n) {
             Ok(s) => lcmodel::vn_max(&s).0 <= budget,
@@ -96,12 +109,30 @@ pub fn max_simultaneous_drivers(template: &SsnScenario, budget: Volts) -> Result
 ///
 /// # Errors
 ///
-/// * [`SsnError::InvalidScenario`] when the budget is not positive or is
-///   unreachable even at a 1 us rise time.
+/// * [`SsnError::InvalidInput`] when the budget is not a positive finite
+///   voltage.
+/// * [`SsnError::InvalidScenario`] when the budget is unreachable even at
+///   a 1 us rise time.
 pub fn required_rise_time(template: &SsnScenario, budget: Volts) -> Result<Seconds, SsnError> {
-    if !(budget.value() > 0.0) {
-        return Err(SsnError::scenario("noise budget must be positive"));
-    }
+    required_rise_time_with_report(template, budget).map(|(tr, _)| tr)
+}
+
+/// [`required_rise_time`] plus the [`SolveReport`] describing which rung of
+/// the `ssn_numeric::solve` fallback ladder produced the root (and how many
+/// bracket expansions it needed). A clean run reports `brent` after one
+/// rung; a degraded-but-successful run is visible here rather than silent.
+///
+/// When the budget is so loose that no rise time in range violates it, no
+/// root solve happens and the report shows zero rungs tried.
+///
+/// # Errors
+///
+/// Same contract as [`required_rise_time`].
+pub fn required_rise_time_with_report(
+    template: &SsnScenario,
+    budget: Volts,
+) -> Result<(Seconds, SolveReport), SsnError> {
+    validate_budget(budget)?;
     let vn = |tr: f64| -> f64 {
         template
             .with_rise_time(Seconds::new(tr))
@@ -128,20 +159,30 @@ pub fn required_rise_time(template: &SsnScenario, budget: Volts) -> Result<Secon
     let tr_peak = 10f64.powf(log_peak);
     if vn(tr_peak) <= budget.value() {
         // No rise time in range ever violates the budget.
-        return Ok(Seconds::new(t_fast));
+        return Ok((
+            Seconds::new(t_fast),
+            SolveReport {
+                method: "none needed",
+                rungs_tried: 0,
+                expansions: 0,
+            },
+        ));
     }
-    let root = brent(
-        |tr| vn(tr) - budget.value(),
-        tr_peak,
-        t_slow,
-        RootOptions {
+    // The fallback ladder: the first rung is `brent` over the same bracket
+    // with the same tolerances as before, so a clean run is bit-identical
+    // to the old direct call; a failing rung degrades to bisection.
+    let opts = SolveOptions {
+        domain: (tr_peak, t_slow),
+        disabled_rungs: hooks::solver_disabled_rungs(),
+        ..SolveOptions::with_root(RootOptions {
             x_tol: 1e-16,
             f_tol: 1e-9,
             max_iter: 200,
-        },
-    )
-    .map_err(SsnError::from)?;
-    Ok(Seconds::new(root))
+        })
+    };
+    let (root, report) = solve_bracketed(|tr| vn(tr) - budget.value(), tr_peak, t_slow, opts)
+        .map_err(SsnError::from)?;
+    Ok((Seconds::new(root), report))
 }
 
 /// A switching-skew plan: split the bank into groups fired `group_delay`
@@ -216,21 +257,57 @@ const GRID_CHUNK: usize = 64;
 /// The evaluation is deterministic: point order and values are identical
 /// for every `policy.threads()`.
 ///
+/// Worker panics are isolated per chunk: a poisoned chunk drops only its
+/// own points (each [`GridPoint`] names its `(N, L)` pair, so the survivors
+/// stay attributable) and is counted in [`ExecStats::failed_chunks`]. The
+/// row-major order of the surviving points is preserved.
+///
 /// # Errors
 ///
-/// Returns [`SsnError::InvalidScenario`] when the grid is empty or any
-/// point is invalid (`N == 0`, non-positive `L`).
+/// * [`SsnError::InvalidInput`] when the grid is empty or any entry is
+///   invalid (`N == 0`, non-positive or non-finite `L`) — the grid is
+///   validated up front, before any evaluation.
+/// * [`SsnError::AllChunksFailed`] when every chunk failed.
 pub fn sweep_design_grid(
     template: &SsnScenario,
     drivers: &[usize],
     inductances: &[Henrys],
     policy: &ExecPolicy,
 ) -> Result<(Vec<GridPoint>, ExecStats), SsnError> {
-    if drivers.is_empty() || inductances.is_empty() {
-        return Err(SsnError::scenario("design grid must be non-empty"));
+    if drivers.is_empty() {
+        return Err(SsnError::invalid(
+            "drivers grid",
+            0.0,
+            "design grid must be non-empty",
+        ));
+    }
+    if inductances.is_empty() {
+        return Err(SsnError::invalid(
+            "inductance grid",
+            0.0,
+            "design grid must be non-empty",
+        ));
+    }
+    if drivers.contains(&0) {
+        return Err(SsnError::invalid(
+            "drivers grid",
+            0.0,
+            "every grid point needs at least one driver",
+        ));
+    }
+    if let Some(l) = inductances
+        .iter()
+        .find(|l| !(l.value() > 0.0) || !l.value().is_finite())
+    {
+        return Err(SsnError::invalid(
+            "inductance grid",
+            l.value(),
+            "every grid inductance must be positive and finite",
+        ));
     }
     let n_points = drivers.len() * inductances.len();
-    let (chunks, stats) = run_chunked(n_points, GRID_CHUNK, policy, |_, range| {
+    let (chunks, mut stats) = try_run_chunked(n_points, GRID_CHUNK, policy, |c, range| {
+        hooks::inject_chunk_panic(c);
         range
             .map(|i| {
                 let n = drivers[i / inductances.len()];
@@ -249,9 +326,30 @@ pub fn sweep_design_grid(
             })
             .collect::<Result<Vec<GridPoint>, SsnError>>()
     });
+    let total = chunks.len();
     let mut points = Vec::with_capacity(n_points);
+    let mut failed = 0usize;
+    let mut first_cause: Option<String> = None;
     for chunk in chunks {
-        points.extend(chunk?);
+        match chunk {
+            Ok(Ok(ps)) => points.extend(ps),
+            Ok(Err(e)) => {
+                failed += 1;
+                first_cause.get_or_insert_with(|| e.to_string());
+            }
+            Err(e) => {
+                failed += 1;
+                first_cause.get_or_insert_with(|| e.to_string());
+            }
+        }
+    }
+    stats.failed_chunks = failed;
+    if points.is_empty() {
+        return Err(SsnError::AllChunksFailed {
+            failed,
+            total,
+            first_cause: first_cause.unwrap_or_else(|| "unknown".into()),
+        });
     }
     Ok((points, stats))
 }
@@ -313,6 +411,29 @@ mod tests {
         let faster = lcmodel::vn_max(&t.with_rise_time(tr * 0.8).unwrap()).0;
         assert!(faster > budget);
         assert!(required_rise_time(&t, Volts::ZERO).is_err());
+    }
+
+    #[test]
+    fn rise_time_report_names_the_clean_rung() {
+        let t = template(8);
+        let budget = Volts::new(0.4);
+        let (tr, report) = required_rise_time_with_report(&t, budget).unwrap();
+        assert_eq!(report.method, "brent");
+        assert!(report.is_clean(), "clean run degraded: {report}");
+        assert_eq!(tr, required_rise_time(&t, budget).unwrap());
+    }
+
+    #[test]
+    fn non_finite_budgets_are_invalid_inputs() {
+        let t = template(8);
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let err = max_simultaneous_drivers(&t, Volts::new(bad)).unwrap_err();
+            assert!(
+                matches!(err, SsnError::InvalidInput { field, .. } if field == "noise budget"),
+                "unexpected error for budget {bad}: {err}"
+            );
+            assert!(required_rise_time(&t, Volts::new(bad)).is_err());
+        }
     }
 
     #[test]

@@ -15,6 +15,29 @@ pub enum SsnError {
         /// Human-readable description.
         context: String,
     },
+    /// A single named input failed validation at a public entry point.
+    ///
+    /// Unlike [`SsnError::InvalidScenario`] (free-form context), this
+    /// variant is structured so callers — and the CLI's exit-code mapping —
+    /// can report exactly which field was rejected and why.
+    InvalidInput {
+        /// Human-readable field name (e.g. `"inductance"`, `"rise time"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+        /// The constraint it violated (e.g. `"must be positive and finite"`).
+        constraint: &'static str,
+    },
+    /// A parallel run lost every chunk to injected or real faults: there is
+    /// no partial result to return.
+    AllChunksFailed {
+        /// Chunks that failed.
+        failed: usize,
+        /// Total chunks attempted.
+        total: usize,
+        /// The first chunk's failure description.
+        first_cause: String,
+    },
     /// Device-model fitting failed.
     Fit(NumericError),
     /// The validation simulator failed.
@@ -29,12 +52,43 @@ impl SsnError {
             context: context.into(),
         }
     }
+
+    pub(crate) fn invalid(field: &'static str, value: f64, constraint: &'static str) -> Self {
+        Self::InvalidInput {
+            field,
+            value,
+            constraint,
+        }
+    }
 }
 
 impl fmt::Display for SsnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidScenario { context } => write!(f, "invalid SSN scenario: {context}"),
+            Self::InvalidInput {
+                field,
+                value,
+                constraint,
+            } => {
+                // Long decimal expansions (e.g. a parsed `-3n` rise time)
+                // are unreadable; fall back to scientific notation.
+                let plain = format!("{value}");
+                let shown = if plain.len() <= 8 {
+                    plain
+                } else {
+                    format!("{value:.4e}")
+                };
+                write!(f, "invalid input: {field} = {shown} ({constraint})")
+            }
+            Self::AllChunksFailed {
+                failed,
+                total,
+                first_cause,
+            } => write!(
+                f,
+                "all {failed} of {total} parallel chunks failed; first cause: {first_cause}"
+            ),
             Self::Fit(e) => write!(f, "model fit failed: {e}"),
             Self::Simulation(e) => write!(f, "validation simulation failed: {e}"),
             Self::Waveform(e) => write!(f, "waveform operation failed: {e}"),
@@ -46,6 +100,8 @@ impl Error for SsnError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::InvalidScenario { .. } => None,
+            Self::InvalidInput { .. } => None,
+            Self::AllChunksFailed { .. } => None,
             Self::Fit(e) => Some(e),
             Self::Simulation(e) => Some(e),
             Self::Waveform(e) => Some(e),
@@ -85,5 +141,17 @@ mod tests {
         assert!(e.source().is_some());
         let e: SsnError = WaveformError::InvalidTimeGrid.into();
         assert!(e.to_string().contains("waveform"));
+        let e = SsnError::invalid("rise time", -1.0, "must be positive and finite");
+        assert!(e.to_string().contains("rise time"));
+        assert!(e.to_string().contains("-1"));
+        assert!(e.to_string().contains("positive"));
+        assert!(e.source().is_none());
+        let e = SsnError::AllChunksFailed {
+            failed: 4,
+            total: 4,
+            first_cause: "worker panicked".into(),
+        };
+        assert!(e.to_string().contains("4 of 4"));
+        assert!(e.to_string().contains("worker panicked"));
     }
 }

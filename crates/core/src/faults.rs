@@ -1,0 +1,254 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Compiled in only under the `fault-injection` cargo feature, and even then
+//! every hook is a disarmed no-op until a test activates a [`FaultPlan`]
+//! through [`with_faults`]. The hooks sit at three sites:
+//!
+//! * **Model outputs** — [`corrupt_model_output`] turns a sampled `vn_max`
+//!   into NaN with a configured probability (exercises the NaN-tolerant
+//!   aggregation paths),
+//! * **Workers** — [`maybe_panic_chunk`] panics inside a parallel chunk
+//!   (exercises the `catch_unwind` isolation in
+//!   [`crate::parallel::try_run_chunked`]),
+//! * **Solvers** — [`solver_disabled_rungs`] force-disables rungs of the
+//!   `ssn_numeric::solve` fallback ladder (exercises the fallback paths).
+//!
+//! Every decision is drawn from [`ssn_numeric::rng::Rng`] streams keyed by
+//! the *item or chunk index*, never by thread or wall clock, so an injected
+//! fault pattern is bit-identical at any `--threads` setting — determinism
+//! holds fault-on and fault-off.
+//!
+//! Plans are process-global; [`with_faults`] serializes activations behind a
+//! mutex so concurrently running tests cannot observe each other's faults.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use ssn_numeric::rng::Rng;
+
+/// What to inject, and how often.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every injection decision (different sites derive different
+    /// streams from it).
+    pub seed: u64,
+    /// Probability that a model output is replaced by NaN, per item.
+    pub nan_probability: f64,
+    /// Probability that a worker panics, per chunk.
+    pub panic_probability: f64,
+    /// When true, each chunk panics at most once — a retried chunk
+    /// succeeds, which is how the retry budget is tested.
+    pub panic_once: bool,
+    /// Rungs of the solver fallback ladder to force-fail, as a
+    /// `ssn_numeric::solve::rung` bitmask.
+    pub disable_solver_rungs: u8,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            nan_probability: 0.0,
+            panic_probability: 0.0,
+            panic_once: false,
+            disable_solver_rungs: 0,
+        }
+    }
+}
+
+// Distinct stream keys per injection site, so "NaN at item 7" and "panic in
+// chunk 7" are independent decisions.
+const SITE_NAN: u64 = 0x5153_4e5f_4e61_4e00;
+const SITE_PANIC: u64 = 0x5153_4e5f_7061_6e00;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+struct State {
+    plan: FaultPlan,
+    fired_chunks: HashSet<usize>,
+}
+
+fn state() -> MutexGuard<'static, Option<State>> {
+    static STATE: OnceLock<Mutex<Option<State>>> = OnceLock::new();
+    STATE
+        .get_or_init(|| Mutex::new(None))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serializes fault-armed sections across test threads.
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with `plan` armed, then disarms.
+///
+/// Activations are serialized process-wide, so parallel tests using faults
+/// do not interfere. The default panic hook is silenced for the duration —
+/// injected worker panics are expected and caught, and their backtraces
+/// would otherwise spam test output.
+///
+/// The body runs under `catch_unwind` (not a drop guard) because restoring
+/// the panic hook from a panicking thread would abort the process; a
+/// panicking body is disarmed, the hook restored, and the panic resumed.
+pub fn with_faults<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    let _serialized = gate();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    *state() = Some(State {
+        plan,
+        fired_chunks: HashSet::new(),
+    });
+    ARMED.store(true, Ordering::SeqCst);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    ARMED.store(false, Ordering::SeqCst);
+    *state() = None;
+    std::panic::set_hook(prev_hook);
+    match result {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// True while a [`FaultPlan`] is armed.
+pub fn active() -> bool {
+    ARMED.load(Ordering::SeqCst)
+}
+
+/// Fault site: replaces a model output with NaN according to the armed
+/// plan. `item` is the global item index (e.g. the Monte Carlo sample
+/// number), which keys the decision deterministically.
+pub fn corrupt_model_output(item: u64, value: f64) -> f64 {
+    if !active() {
+        return value;
+    }
+    let guard = state();
+    let Some(st) = guard.as_ref() else {
+        return value;
+    };
+    if st.plan.nan_probability <= 0.0 {
+        return value;
+    }
+    let mut rng = Rng::from_seed_and_stream(st.plan.seed ^ SITE_NAN, item);
+    if rng.uniform() < st.plan.nan_probability {
+        f64::NAN
+    } else {
+        value
+    }
+}
+
+/// Fault site: panics according to the armed plan. Call at the top of a
+/// parallel chunk evaluation; `chunk` keys the decision deterministically.
+pub fn maybe_panic_chunk(chunk: usize) {
+    if !active() {
+        return;
+    }
+    let should_fire = {
+        let mut guard = state();
+        let Some(st) = guard.as_mut() else {
+            return;
+        };
+        if st.plan.panic_probability <= 0.0 {
+            return;
+        }
+        let mut rng = Rng::from_seed_and_stream(st.plan.seed ^ SITE_PANIC, chunk as u64);
+        let hit = rng.uniform() < st.plan.panic_probability;
+        // `insert` returns false when the chunk already fired; under
+        // `panic_once` that second attempt is allowed to succeed.
+        hit && (!st.plan.panic_once || st.fired_chunks.insert(chunk))
+    };
+    if should_fire {
+        panic!("injected fault: worker panic in chunk {chunk}");
+    }
+}
+
+/// Fault site: the solver-ladder rungs the armed plan disables (0 when
+/// disarmed).
+pub fn solver_disabled_rungs() -> u8 {
+    if !active() {
+        return 0;
+    }
+    state()
+        .as_ref()
+        .map_or(0, |st| st.plan.disable_solver_rungs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_hooks_are_transparent() {
+        assert!(!active());
+        assert_eq!(corrupt_model_output(7, 1.25).to_bits(), 1.25f64.to_bits());
+        maybe_panic_chunk(3); // must not panic
+        assert_eq!(solver_disabled_rungs(), 0);
+    }
+
+    #[test]
+    fn nan_injection_is_deterministic_per_item() {
+        let plan = FaultPlan {
+            seed: 42,
+            nan_probability: 0.5,
+            ..FaultPlan::default()
+        };
+        let a: Vec<bool> = with_faults(plan, || {
+            (0..64)
+                .map(|i| corrupt_model_output(i, 1.0).is_nan())
+                .collect()
+        });
+        let b: Vec<bool> = with_faults(plan, || {
+            (0..64)
+                .map(|i| corrupt_model_output(i, 1.0).is_nan())
+                .collect()
+        });
+        assert_eq!(a, b);
+        assert!(a.iter().any(|x| *x));
+        assert!(a.iter().any(|x| !*x));
+        // Different seeds give different patterns.
+        let c: Vec<bool> = with_faults(FaultPlan { seed: 43, ..plan }, || {
+            (0..64)
+                .map(|i| corrupt_model_output(i, 1.0).is_nan())
+                .collect()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn panic_once_lets_the_second_attempt_through() {
+        let plan = FaultPlan {
+            seed: 7,
+            panic_probability: 1.0,
+            panic_once: true,
+            ..FaultPlan::default()
+        };
+        with_faults(plan, || {
+            let first = std::panic::catch_unwind(|| maybe_panic_chunk(5));
+            assert!(first.is_err());
+            let second = std::panic::catch_unwind(|| maybe_panic_chunk(5));
+            assert!(second.is_ok());
+        });
+    }
+
+    #[test]
+    fn disarm_survives_a_panicking_body() {
+        let plan = FaultPlan {
+            seed: 1,
+            disable_solver_rungs: 0b10,
+            ..FaultPlan::default()
+        };
+        let res = std::panic::catch_unwind(|| {
+            with_faults(plan, || {
+                assert_eq!(solver_disabled_rungs(), 0b10);
+                panic!("body dies");
+            })
+        });
+        assert!(res.is_err());
+        assert!(!active());
+        assert_eq!(solver_disabled_rungs(), 0);
+    }
+}

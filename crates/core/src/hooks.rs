@@ -1,0 +1,40 @@
+//! Feature-neutral shims over the `faults` injection sites.
+//!
+//! Call sites in the estimation pipeline go through these so they need no
+//! `#[cfg]` clutter of their own; without the `fault-injection` feature each
+//! shim compiles to the identity.
+
+#[inline]
+pub(crate) fn inject_nan(item: usize, value: f64) -> f64 {
+    #[cfg(feature = "fault-injection")]
+    {
+        crate::faults::corrupt_model_output(item as u64, value)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = item;
+        value
+    }
+}
+
+#[inline]
+pub(crate) fn inject_chunk_panic(chunk: usize) {
+    #[cfg(feature = "fault-injection")]
+    crate::faults::maybe_panic_chunk(chunk);
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = chunk;
+    }
+}
+
+#[inline]
+pub(crate) fn solver_disabled_rungs() -> u8 {
+    #[cfg(feature = "fault-injection")]
+    {
+        crate::faults::solver_disabled_rungs()
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        0
+    }
+}

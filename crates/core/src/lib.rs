@@ -24,7 +24,11 @@
 //! * [`design`] — the design-space utilities implied by Section 3
 //!   (noise-budget sizing, slew targets, switching-skew scheduling),
 //! * [`parallel`] — the deterministic chunked thread-pool engine behind
-//!   Monte Carlo margining and design-space sweeps.
+//!   Monte Carlo margining and design-space sweeps, with per-chunk panic
+//!   isolation,
+//! * `faults` — deterministic fault-injection hooks (NaN model outputs,
+//!   worker panics, forced solver failures), compiled in behind the
+//!   `fault-injection` cargo feature and disarmed by default.
 //!
 //! # Examples
 //!
@@ -55,6 +59,9 @@ pub mod baselines;
 pub mod bridge;
 pub mod design;
 pub mod error;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
+mod hooks;
 pub mod lcmodel;
 pub mod lmodel;
 pub mod montecarlo;

@@ -14,8 +14,9 @@
 //! the workspace determinism tests pin down.
 
 use crate::error::SsnError;
+use crate::hooks;
 use crate::lcmodel;
-use crate::parallel::{run_chunked, ExecPolicy, ExecStats};
+use crate::parallel::{try_run_chunked, ExecPolicy, ExecStats};
 use crate::scenario::SsnScenario;
 use ssn_numeric::rng::Rng;
 use ssn_units::{Farads, Henrys, Siemens, Volts};
@@ -63,6 +64,31 @@ impl VariationSpec {
             l_frac: 0.0,
             c_frac: 0.0,
         }
+    }
+
+    /// Checks every sigma is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsnError::InvalidInput`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SsnError> {
+        let fields = [
+            ("K variation", self.k_frac),
+            ("sigma variation", self.sigma_abs),
+            ("V0 variation", self.v0_abs),
+            ("L variation", self.l_frac),
+            ("C variation", self.c_frac),
+        ];
+        for (name, value) in fields {
+            if !(value >= 0.0) || !value.is_finite() {
+                return Err(SsnError::invalid(
+                    name,
+                    value,
+                    "must be non-negative and finite",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -212,7 +238,8 @@ fn sample_vn_max(
 ///
 /// # Errors
 ///
-/// Returns [`SsnError::InvalidScenario`] when `n_samples == 0`.
+/// Returns [`SsnError::InvalidInput`] when `n_samples == 0` or the
+/// variation spec is malformed.
 ///
 /// # Examples
 ///
@@ -247,9 +274,18 @@ pub fn run_monte_carlo(
 /// RNG stream `(seed, c)`; the result is bit-identical for every
 /// `policy.threads()`.
 ///
+/// **Degradation contract:** each chunk is panic-isolated
+/// ([`crate::parallel::try_run_chunked`]). A chunk that panics or produces
+/// a non-finite sample is dropped and counted in
+/// [`ExecStats::failed_chunks`]; the surviving samples are returned as a
+/// *partial* [`McResult`] (`len() < n_samples`). Callers that cannot accept
+/// partial data must check `stats.failed_chunks == 0`.
+///
 /// # Errors
 ///
-/// Returns [`SsnError::InvalidScenario`] when `n_samples == 0`.
+/// * [`SsnError::InvalidInput`] when `n_samples == 0` or `spec` holds a
+///   negative or non-finite sigma.
+/// * [`SsnError::AllChunksFailed`] when not a single chunk survived.
 pub fn run_monte_carlo_with(
     nominal: &SsnScenario,
     spec: &VariationSpec,
@@ -258,19 +294,58 @@ pub fn run_monte_carlo_with(
     policy: &ExecPolicy,
 ) -> Result<(McResult, ExecStats), SsnError> {
     if n_samples == 0 {
-        return Err(SsnError::scenario("need at least one Monte Carlo sample"));
+        return Err(SsnError::invalid(
+            "samples",
+            0.0,
+            "need at least one Monte Carlo sample",
+        ));
     }
-    let (chunks, stats) = run_chunked(n_samples, MC_CHUNK, policy, |c, range| {
+    spec.validate()?;
+    let (chunks, mut stats) = try_run_chunked(n_samples, MC_CHUNK, policy, |c, range| {
+        hooks::inject_chunk_panic(c);
         let mut rng = Rng::from_seed_and_stream(seed, c as u64);
         range
-            .map(|_| sample_vn_max(nominal, spec, &mut rng))
+            .map(|i| {
+                let v = hooks::inject_nan(i, sample_vn_max(nominal, spec, &mut rng)?);
+                if !v.is_finite() {
+                    return Err(SsnError::invalid(
+                        "vn_max",
+                        v,
+                        "model output must be finite",
+                    ));
+                }
+                Ok(v)
+            })
             .collect::<Result<Vec<f64>, SsnError>>()
     });
+    let total = stats.chunks;
     let mut samples = Vec::with_capacity(n_samples);
+    let mut failed = 0usize;
+    let mut first_cause: Option<String> = None;
     for chunk in chunks {
-        samples.extend(chunk?);
+        match chunk {
+            Ok(Ok(vs)) => samples.extend(vs),
+            Ok(Err(e)) => {
+                failed += 1;
+                first_cause.get_or_insert_with(|| e.to_string());
+            }
+            Err(e) => {
+                failed += 1;
+                first_cause.get_or_insert_with(|| e.to_string());
+            }
+        }
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite noise values"));
+    stats.failed_chunks = failed;
+    if samples.is_empty() {
+        return Err(SsnError::AllChunksFailed {
+            failed,
+            total,
+            first_cause: first_cause.unwrap_or_default(),
+        });
+    }
+    // total_cmp, not partial_cmp: every sample is checked finite above, but
+    // a total order keeps the sort panic-free by construction.
+    samples.sort_by(|a, b| a.total_cmp(b));
     Ok((McResult { samples }, stats))
 }
 
@@ -388,6 +463,23 @@ mod tests {
             &ExecPolicy::auto()
         )
         .is_err());
+    }
+
+    #[test]
+    fn malformed_variation_spec_is_rejected() {
+        let bad = VariationSpec {
+            k_frac: f64::NAN,
+            ..VariationSpec::typical()
+        };
+        match run_monte_carlo(&nominal(), &bad, 10, 1) {
+            Err(SsnError::InvalidInput { field, .. }) => assert_eq!(field, "K variation"),
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        let neg = VariationSpec {
+            l_frac: -0.1,
+            ..VariationSpec::typical()
+        };
+        assert!(run_monte_carlo(&nominal(), &neg, 10, 1).is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! ```
 
 use std::ops::Range;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -44,18 +45,23 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecPolicy {
     threads: usize,
+    chunk_retries: usize,
 }
 
 impl ExecPolicy {
     /// One worker: the exact serial evaluation order, no threads spawned.
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            chunk_retries: 0,
+        }
     }
 
     /// One worker per available hardware thread.
     pub fn auto() -> Self {
         Self {
             threads: std::thread::available_parallelism().map_or(1, usize::from),
+            chunk_retries: 0,
         }
     }
 
@@ -63,12 +69,26 @@ impl ExecPolicy {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            chunk_retries: 0,
         }
+    }
+
+    /// Allows each panicked chunk to be re-evaluated up to `retries` extra
+    /// times before it is recorded as failed. The default is 0 — a chunk
+    /// gets exactly one attempt, the engine's historical behavior.
+    pub fn with_chunk_retries(mut self, retries: usize) -> Self {
+        self.chunk_retries = retries;
+        self
     }
 
     /// The worker count this policy resolves to.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Extra attempts allowed per panicked chunk.
+    pub fn chunk_retries(&self) -> usize {
+        self.chunk_retries
     }
 }
 
@@ -91,6 +111,13 @@ pub struct ExecStats {
     pub items: usize,
     /// Work-queue chunks the items were split into.
     pub chunks: usize,
+    /// Chunks that panicked past their retry budget and were recorded as
+    /// [`ChunkError`]s (always 0 for the panicking [`run_chunked`] path).
+    pub failed_chunks: usize,
+    /// Chunks that panicked at least once but were re-attempted under
+    /// [`ExecPolicy::with_chunk_retries`] (whether or not they eventually
+    /// succeeded).
+    pub retried_chunks: usize,
 }
 
 impl ExecStats {
@@ -126,7 +153,48 @@ impl std::fmt::Display for ExecStats {
             if self.threads == 1 { "" } else { "s" },
             self.items_per_sec(),
             self.utilization() * 100.0
+        )?;
+        if self.failed_chunks > 0 {
+            write!(f, ", {} failed chunk(s)", self.failed_chunks)?;
+        }
+        if self.retried_chunks > 0 {
+            write!(f, ", {} retried chunk(s)", self.retried_chunks)?;
+        }
+        Ok(())
+    }
+}
+
+/// One chunk's failure: the worker evaluating it panicked (past any retry
+/// budget). The remaining chunks are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkError {
+    /// Index of the failed chunk.
+    pub chunk: usize,
+    /// The item range the chunk covered.
+    pub range: Range<usize>,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chunk {} (items {}..{}) failed: {}",
+            self.chunk, self.range.start, self.range.end, self.message
         )
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
     }
 }
 
@@ -150,6 +218,10 @@ fn chunk_ranges(n_items: usize, chunk_size: usize) -> Vec<Range<usize>> {
 ///
 /// With one thread (or one chunk) everything runs inline on the calling
 /// thread — the exact serial path, no spawns.
+///
+/// A panic inside `eval` propagates to the caller (after the other chunks
+/// finish); use [`try_run_chunked`] to turn per-chunk panics into
+/// [`ChunkError`]s instead.
 pub fn run_chunked<T, F>(
     n_items: usize,
     chunk_size: usize,
@@ -160,21 +232,82 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
+    let (results, stats) = try_run_chunked(n_items, chunk_size, policy, eval);
+    let results = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        })
+        .collect();
+    (results, stats)
+}
+
+/// [`run_chunked`] with per-chunk panic isolation.
+///
+/// Each chunk evaluation runs under [`std::panic::catch_unwind`]: a chunk
+/// that panics yields `Err(`[`ChunkError`]`)` in its slot while every other
+/// chunk completes normally. [`ExecStats::failed_chunks`] counts the
+/// failures and [`ExecStats::retried_chunks`] the chunks that consumed
+/// retry budget ([`ExecPolicy::with_chunk_retries`]).
+///
+/// When nothing panics, the results — and the evaluation order — are
+/// identical to [`run_chunked`], bit for bit.
+pub fn try_run_chunked<T, F>(
+    n_items: usize,
+    chunk_size: usize,
+    policy: &ExecPolicy,
+    eval: F,
+) -> (Vec<Result<T, ChunkError>>, ExecStats)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
     let ranges = chunk_ranges(n_items, chunk_size);
     let n_chunks = ranges.len();
     let workers = policy.threads().min(n_chunks.max(1));
     let started = Instant::now();
+    let retried = AtomicUsize::new(0);
+
+    let attempt = |c: usize, r: Range<usize>| -> Result<T, ChunkError> {
+        let mut tries = 0usize;
+        loop {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| eval(c, r.clone()))) {
+                Ok(v) => {
+                    if tries > 0 {
+                        retried.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(v);
+                }
+                Err(payload) => {
+                    if tries < policy.chunk_retries() {
+                        tries += 1;
+                        continue;
+                    }
+                    if tries > 0 {
+                        retried.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(ChunkError {
+                        chunk: c,
+                        range: r,
+                        message: panic_message(payload),
+                    });
+                }
+            }
+        }
+    };
 
     let (results, busy) = if workers <= 1 {
         let t0 = Instant::now();
-        let results: Vec<T> = ranges
+        let results: Vec<Result<T, ChunkError>> = ranges
             .iter()
             .enumerate()
-            .map(|(c, r)| eval(c, r.clone()))
+            .map(|(c, r)| attempt(c, r.clone()))
             .collect();
         (results, t0.elapsed())
     } else {
-        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+        let slots: Mutex<Vec<Option<Result<T, ChunkError>>>> =
+            Mutex::new((0..n_chunks).map(|_| None).collect());
         let cursor = AtomicUsize::new(0);
         let busy_ns = AtomicU64::new(0);
         std::thread::scope(|scope| {
@@ -185,13 +318,13 @@ where
                         break;
                     }
                     let t0 = Instant::now();
-                    let out = eval(c, ranges[c].clone());
+                    let out = attempt(c, ranges[c].clone());
                     busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     slots.lock().expect("no poisoned workers")[c] = Some(out);
                 });
             }
         });
-        let results = slots
+        let results: Vec<Result<T, ChunkError>> = slots
             .into_inner()
             .expect("scope joined all workers")
             .into_iter()
@@ -209,6 +342,8 @@ where
         threads: workers.max(1),
         items: n_items,
         chunks: n_chunks,
+        failed_chunks: results.iter().filter(|r| r.is_err()).count(),
+        retried_chunks: retried.load(Ordering::Relaxed),
     };
     (results, stats)
 }
@@ -226,6 +361,21 @@ where
 {
     let (results, stats) = run_chunked(items.len(), 1, policy, |_, range| f(&items[range.start]));
     (results, stats)
+}
+
+/// [`par_map`] with per-chunk panic isolation: an item whose evaluation
+/// panics yields `Err(`[`ChunkError`]`)` in its slot; the others complete.
+pub fn try_par_map<I, O, F>(
+    items: &[I],
+    policy: &ExecPolicy,
+    f: F,
+) -> (Vec<Result<O, ChunkError>>, ExecStats)
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    try_run_chunked(items.len(), 1, policy, |_, range| f(&items[range.start]))
 }
 
 #[cfg(test)]
@@ -305,5 +455,107 @@ mod tests {
         let (_, stats) = run_chunked(3, 1, &ExecPolicy::with_threads(16), |c, _| c);
         assert_eq!(stats.threads, 3);
         assert_eq!(stats.chunks, 3);
+    }
+
+    /// Silences the default panic hook for the duration of a closure so
+    /// intentionally-panicking tests don't spam stderr.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn poisoned_chunk_is_isolated_and_the_rest_complete() {
+        quiet_panics(|| {
+            for threads in [1, 4] {
+                let (results, stats) =
+                    try_run_chunked(100, 10, &ExecPolicy::with_threads(threads), |c, range| {
+                        if c == 3 {
+                            panic!("chunk 3 poisoned");
+                        }
+                        range.sum::<usize>()
+                    });
+                assert_eq!(results.len(), 10);
+                assert_eq!(stats.failed_chunks, 1);
+                assert_eq!(stats.retried_chunks, 0);
+                for (c, r) in results.iter().enumerate() {
+                    if c == 3 {
+                        let e = r.as_ref().unwrap_err();
+                        assert_eq!(e.chunk, 3);
+                        assert_eq!(e.range, 30..40);
+                        assert!(e.message.contains("poisoned"), "{e}");
+                        assert!(e.to_string().contains("chunk 3"));
+                    } else {
+                        assert_eq!(*r.as_ref().unwrap(), (c * 10..c * 10 + 10).sum());
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn retry_budget_rescues_transient_panics() {
+        use std::sync::atomic::AtomicBool;
+        quiet_panics(|| {
+            let fired = AtomicBool::new(false);
+            let policy = ExecPolicy::serial().with_chunk_retries(1);
+            let (results, stats) = try_run_chunked(40, 10, &policy, |c, range| {
+                if c == 2 && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("transient");
+                }
+                range.len()
+            });
+            assert!(results.iter().all(|r| r.is_ok()));
+            assert_eq!(stats.failed_chunks, 0);
+            assert_eq!(stats.retried_chunks, 1);
+        });
+    }
+
+    #[test]
+    fn persistent_panics_exhaust_the_retry_budget() {
+        quiet_panics(|| {
+            let policy = ExecPolicy::with_threads(2).with_chunk_retries(2);
+            let (results, stats) = try_run_chunked(40, 10, &policy, |c, _| {
+                if c == 1 {
+                    panic!("always");
+                }
+                c
+            });
+            assert_eq!(stats.failed_chunks, 1);
+            assert_eq!(stats.retried_chunks, 1);
+            assert!(results[1].is_err());
+        });
+    }
+
+    #[test]
+    fn run_chunked_still_propagates_panics() {
+        quiet_panics(|| {
+            let caught = std::panic::catch_unwind(|| {
+                run_chunked(10, 5, &ExecPolicy::serial(), |c, _| {
+                    if c == 1 {
+                        panic!("boom");
+                    }
+                    c
+                })
+            });
+            assert!(caught.is_err());
+        });
+    }
+
+    #[test]
+    fn failed_chunks_show_up_in_telemetry_text() {
+        quiet_panics(|| {
+            let (_, stats) = try_run_chunked(20, 10, &ExecPolicy::serial(), |c, _| {
+                if c == 0 {
+                    panic!("no");
+                }
+                c
+            });
+            let text = stats.to_string();
+            assert!(text.contains("1 failed chunk(s)"), "{text}");
+        });
     }
 }

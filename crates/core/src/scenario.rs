@@ -31,11 +31,152 @@ impl std::fmt::Display for Rail {
     }
 }
 
+/// Raw, unvalidated scenario parameters as plain numbers.
+///
+/// This is the boundary type for untrusted input (CLI flags, config files,
+/// Monte Carlo perturbations): every field can hold any bit pattern, and
+/// [`ScenarioConfig::validate`] is the *only* way to turn one into a
+/// [`ValidatedScenario`]. All physical checks live there, so every public
+/// entry point shares one validation contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// ASDM transconductance `K` in A/V.
+    pub k: f64,
+    /// ASDM source-sensitivity factor `sigma` (dimensionless, ≥ 1).
+    pub sigma: f64,
+    /// ASDM displacement voltage `V_0` in volts.
+    pub v0: f64,
+    /// Number of simultaneously switching drivers `N`.
+    pub n_drivers: usize,
+    /// Ground-path inductance `L` in henrys.
+    pub inductance: f64,
+    /// Ground-path parasitic capacitance `C` in farads.
+    pub capacitance: f64,
+    /// Supply voltage `V_dd` in volts.
+    pub vdd: f64,
+    /// Input rise time `t_r` in seconds.
+    pub rise_time: f64,
+    /// The rail under analysis.
+    pub rail: Rail,
+}
+
+/// An [`SsnScenario`] whose parameters have passed validation.
+///
+/// `SsnScenario` can only be constructed through a validating path
+/// ([`ScenarioConfig::validate`] or the builder), so the two names are the
+/// same type; the alias marks APIs that rely on the guarantee.
+pub type ValidatedScenario = SsnScenario;
+
+impl ScenarioConfig {
+    /// Captures the parameters of an already-validated scenario (useful for
+    /// perturb-and-revalidate loops).
+    pub fn from_scenario(s: &SsnScenario) -> Self {
+        Self {
+            k: s.asdm.k().value(),
+            sigma: s.asdm.sigma(),
+            v0: s.asdm.v0().value(),
+            n_drivers: s.n_drivers,
+            inductance: s.inductance.value(),
+            capacitance: s.capacitance.value(),
+            vdd: s.vdd.value(),
+            rise_time: s.rise_time.value(),
+            rail: s.rail,
+        }
+    }
+
+    /// Validates every field and constructs the scenario.
+    ///
+    /// The checks are written in the `!(x > 0.0)` form on purpose: NaN fails
+    /// every comparison, so a NaN field is rejected by the same branch as an
+    /// out-of-range one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsnError::InvalidInput`] naming the first offending field:
+    /// `N < 1`, non-finite or non-positive `K`, `sigma < 1`, non-finite
+    /// `V_0`, non-positive `L`, negative `C`, non-positive `t_r` or `V_dd`,
+    /// or `V_0 >= V_dd` (the drivers would never conduct during the ramp).
+    pub fn validate(&self) -> Result<ValidatedScenario, SsnError> {
+        if self.n_drivers == 0 {
+            return Err(SsnError::invalid(
+                "drivers",
+                self.n_drivers as f64,
+                "need at least one driver",
+            ));
+        }
+        if !(self.k > 0.0) || !self.k.is_finite() {
+            return Err(SsnError::invalid(
+                "K",
+                self.k,
+                "must be positive and finite",
+            ));
+        }
+        if !(self.sigma >= 1.0) || !self.sigma.is_finite() {
+            return Err(SsnError::invalid(
+                "sigma",
+                self.sigma,
+                "must be at least 1 and finite",
+            ));
+        }
+        if !self.v0.is_finite() {
+            return Err(SsnError::invalid("V0", self.v0, "must be finite"));
+        }
+        if !(self.inductance > 0.0) || !self.inductance.is_finite() {
+            return Err(SsnError::invalid(
+                "inductance",
+                self.inductance,
+                "must be positive and finite",
+            ));
+        }
+        if !(self.capacitance >= 0.0) || !self.capacitance.is_finite() {
+            return Err(SsnError::invalid(
+                "capacitance",
+                self.capacitance,
+                "must be non-negative and finite",
+            ));
+        }
+        if !(self.rise_time > 0.0) || !self.rise_time.is_finite() {
+            return Err(SsnError::invalid(
+                "rise time",
+                self.rise_time,
+                "must be positive and finite",
+            ));
+        }
+        if !(self.vdd > 0.0) || !self.vdd.is_finite() {
+            return Err(SsnError::invalid(
+                "Vdd",
+                self.vdd,
+                "must be positive and finite",
+            ));
+        }
+        if self.v0 >= self.vdd {
+            return Err(SsnError::invalid(
+                "V0",
+                self.v0,
+                "must be below Vdd, or the drivers never conduct",
+            ));
+        }
+        Ok(SsnScenario {
+            asdm: Asdm::new(
+                ssn_units::Siemens::new(self.k),
+                self.sigma,
+                Volts::new(self.v0),
+            ),
+            n_drivers: self.n_drivers,
+            inductance: Henrys::new(self.inductance),
+            capacitance: Farads::new(self.capacitance),
+            vdd: Volts::new(self.vdd),
+            rise_time: Seconds::new(self.rise_time),
+            rail: self.rail,
+        })
+    }
+}
+
 /// A fully specified SSN estimation problem.
 ///
 /// Build one with [`SsnScenario::builder`] (fits the ASDM from the process's
-/// golden device) or [`SsnScenario::from_asdm`] (uses explicit model
-/// parameters).
+/// golden device), [`SsnScenario::from_asdm`] (uses explicit model
+/// parameters), or [`ScenarioConfig::validate`] (raw numbers).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SsnScenario {
     asdm: Asdm,
@@ -100,41 +241,23 @@ impl SsnScenarioBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`SsnError::InvalidScenario`] when `N == 0`, any quantity is
-    /// non-positive where positivity is required, or `V_0 >= V_dd` (the
-    /// drivers would never conduct during the ramp).
+    /// Returns [`SsnError::InvalidInput`] when `N == 0`, any quantity is
+    /// non-finite or non-positive where positivity is required, or
+    /// `V_0 >= V_dd` (the drivers would never conduct during the ramp).
+    /// All checks are delegated to [`ScenarioConfig::validate`].
     pub fn build(self) -> Result<SsnScenario, SsnError> {
-        if self.n_drivers == 0 {
-            return Err(SsnError::scenario("need at least one driver"));
-        }
-        if !(self.inductance.value() > 0.0) {
-            return Err(SsnError::scenario("inductance must be positive"));
-        }
-        if self.capacitance.value() < 0.0 {
-            return Err(SsnError::scenario("capacitance must be non-negative"));
-        }
-        if !(self.rise_time.value() > 0.0) {
-            return Err(SsnError::scenario("rise time must be positive"));
-        }
-        if !(self.vdd.value() > 0.0) {
-            return Err(SsnError::scenario("vdd must be positive"));
-        }
-        if self.asdm.v0() >= self.vdd {
-            return Err(SsnError::scenario(format!(
-                "V0 ({}) must be below Vdd ({})",
-                self.asdm.v0(),
-                self.vdd
-            )));
-        }
-        Ok(SsnScenario {
-            asdm: self.asdm,
+        ScenarioConfig {
+            k: self.asdm.k().value(),
+            sigma: self.asdm.sigma(),
+            v0: self.asdm.v0().value(),
             n_drivers: self.n_drivers,
-            inductance: self.inductance,
-            capacitance: self.capacitance,
-            vdd: self.vdd,
-            rise_time: self.rise_time,
+            inductance: self.inductance.value(),
+            capacitance: self.capacitance.value(),
+            vdd: self.vdd.value(),
+            rise_time: self.rise_time.value(),
             rail: self.rail,
-        })
+        }
+        .validate()
     }
 }
 
@@ -308,10 +431,14 @@ impl SsnScenario {
     ///
     /// # Errors
     ///
-    /// Returns [`SsnError::InvalidScenario`] when `n == 0`.
+    /// Returns [`SsnError::InvalidInput`] when `n == 0`.
     pub fn with_drivers(&self, n: usize) -> Result<Self, SsnError> {
         if n == 0 {
-            return Err(SsnError::scenario("need at least one driver"));
+            return Err(SsnError::invalid(
+                "drivers",
+                n as f64,
+                "need at least one driver",
+            ));
         }
         let mut s = self.clone();
         s.n_drivers = n;
@@ -322,14 +449,22 @@ impl SsnScenario {
     ///
     /// # Errors
     ///
-    /// Returns [`SsnError::InvalidScenario`] for non-positive `L` or
-    /// negative `C`.
+    /// Returns [`SsnError::InvalidInput`] for non-positive or non-finite
+    /// `L`, or negative or non-finite `C`.
     pub fn with_package(&self, l: Henrys, c: Farads) -> Result<Self, SsnError> {
-        if !(l.value() > 0.0) {
-            return Err(SsnError::scenario("inductance must be positive"));
+        if !(l.value() > 0.0) || !l.value().is_finite() {
+            return Err(SsnError::invalid(
+                "inductance",
+                l.value(),
+                "must be positive and finite",
+            ));
         }
-        if c.value() < 0.0 {
-            return Err(SsnError::scenario("capacitance must be non-negative"));
+        if !(c.value() >= 0.0) || !c.value().is_finite() {
+            return Err(SsnError::invalid(
+                "capacitance",
+                c.value(),
+                "must be non-negative and finite",
+            ));
         }
         let mut s = self.clone();
         s.inductance = l;
@@ -341,10 +476,15 @@ impl SsnScenario {
     ///
     /// # Errors
     ///
-    /// Returns [`SsnError::InvalidScenario`] for a non-positive rise time.
+    /// Returns [`SsnError::InvalidInput`] for a non-positive or non-finite
+    /// rise time.
     pub fn with_rise_time(&self, tr: Seconds) -> Result<Self, SsnError> {
-        if !(tr.value() > 0.0) {
-            return Err(SsnError::scenario("rise time must be positive"));
+        if !(tr.value() > 0.0) || !tr.value().is_finite() {
+            return Err(SsnError::invalid(
+                "rise time",
+                tr.value(),
+                "must be positive and finite",
+            ));
         }
         let mut s = self.clone();
         s.rise_time = tr;
@@ -419,6 +559,103 @@ mod tests {
         assert!(SsnScenario::from_asdm(hot, Volts::new(1.8))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn config_validation_rejects_non_finite_and_non_physical_fields() {
+        use crate::SsnError;
+        let good = ScenarioConfig {
+            k: 7.5e-3,
+            sigma: 1.25,
+            v0: 0.6,
+            n_drivers: 8,
+            inductance: 5e-9,
+            capacitance: 1e-12,
+            vdd: 1.8,
+            rise_time: 0.5e-9,
+            rail: Rail::Ground,
+        };
+        assert!(good.validate().is_ok());
+        let cases: &[(&str, ScenarioConfig)] = &[
+            (
+                "drivers",
+                ScenarioConfig {
+                    n_drivers: 0,
+                    ..good
+                },
+            ),
+            (
+                "K",
+                ScenarioConfig {
+                    k: f64::NAN,
+                    ..good
+                },
+            ),
+            ("K", ScenarioConfig { k: -1.0, ..good }),
+            ("sigma", ScenarioConfig { sigma: 0.5, ..good }),
+            (
+                "sigma",
+                ScenarioConfig {
+                    sigma: f64::INFINITY,
+                    ..good
+                },
+            ),
+            (
+                "V0",
+                ScenarioConfig {
+                    v0: f64::NAN,
+                    ..good
+                },
+            ),
+            (
+                "inductance",
+                ScenarioConfig {
+                    inductance: 0.0,
+                    ..good
+                },
+            ),
+            (
+                "inductance",
+                ScenarioConfig {
+                    inductance: f64::NAN,
+                    ..good
+                },
+            ),
+            (
+                "capacitance",
+                ScenarioConfig {
+                    capacitance: -1e-12,
+                    ..good
+                },
+            ),
+            (
+                "rise time",
+                ScenarioConfig {
+                    rise_time: f64::NAN,
+                    ..good
+                },
+            ),
+            ("Vdd", ScenarioConfig { vdd: -1.8, ..good }),
+            ("V0", ScenarioConfig { v0: 2.5, ..good }),
+        ];
+        for (field, cfg) in cases {
+            match cfg.validate() {
+                Err(SsnError::InvalidInput { field: f, .. }) => {
+                    assert_eq!(f, *field, "wrong field for {cfg:?}")
+                }
+                other => panic!("expected InvalidInput({field}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn config_round_trips_a_validated_scenario() {
+        let s = SsnScenario::from_asdm(asdm(), Volts::new(1.8))
+            .drivers(12)
+            .build()
+            .unwrap();
+        let back = ScenarioConfig::from_scenario(&s).validate().unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

@@ -85,6 +85,31 @@ fn fit_threshold(samples: &[IvSample], frac: f64) -> f64 {
     imax * frac
 }
 
+/// Rejects sample sets no fit can make sense of: non-finite entries
+/// (which would silently poison the least squares) and a constant current
+/// surface (the design is consistent only with `K = 0`, which is not a
+/// transistor).
+fn validate_samples(samples: &[IvSample]) -> Result<(), NumericError> {
+    for (i, s) in samples.iter().enumerate() {
+        if !s.vg.is_finite() || !s.vs.is_finite() || !s.id.is_finite() {
+            return Err(NumericError::argument(format!(
+                "fit: sample {i} is non-finite (vg = {}, vs = {}, id = {})",
+                s.vg, s.vs, s.id
+            )));
+        }
+    }
+    if let Some(first) = samples.first() {
+        if samples.len() >= 3 && samples.iter().all(|s| s.id == first.id) {
+            return Err(NumericError::argument(format!(
+                "fit: constant I-V surface (every sample reads id = {:.3e}); \
+                 the device never modulates",
+                first.id
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Fits an [`Asdm`] to SSN-region samples by linear least squares.
 ///
 /// Samples below 8% of the maximum sampled current are excluded (the paper's
@@ -111,6 +136,7 @@ pub fn fit_asdm_with_threshold(
     samples: &[IvSample],
     min_current_frac: f64,
 ) -> Result<Asdm, NumericError> {
+    validate_samples(samples)?;
     let cutoff = fit_threshold(samples, min_current_frac);
     let kept: Vec<&IvSample> = samples.iter().filter(|s| s.id > cutoff).collect();
     if kept.len() < 3 {
@@ -163,6 +189,7 @@ pub fn fit_asdm_weighted(samples: &[IvSample], weight_exponent: f64) -> Result<A
             "weight exponent must be finite and non-negative, got {weight_exponent}"
         )));
     }
+    validate_samples(samples)?;
     let cutoff = fit_threshold(samples, 0.08);
     let kept: Vec<&IvSample> = samples.iter().filter(|s| s.id > cutoff).collect();
     if kept.len() < 3 {
@@ -253,6 +280,7 @@ pub fn asdm_fit_report(asdm: &Asdm, samples: &[IvSample]) -> Result<FitReport, N
 ///   exist (a 3-parameter fit needs at least that).
 /// * Propagates LM failures.
 pub fn fit_alpha_power(samples: &[IvSample], vth_guess: f64) -> Result<AlphaPower, NumericError> {
+    validate_samples(samples)?;
     let usable: Vec<&IvSample> = samples
         .iter()
         .filter(|s| s.vs == 0.0 && s.id > 0.0)
@@ -401,6 +429,53 @@ mod tests {
         ];
         // Rank-deficient design (vg and vs constant).
         assert!(fit_asdm(&flat).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_nan_samples_with_a_descriptive_error() {
+        let mut samples = golden_samples();
+        samples[17].id = f64::NAN;
+        let err = fit_asdm(&samples).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("sample 17"), "{text}");
+        assert!(text.contains("non-finite"), "{text}");
+        // Infinite voltages are caught too, on every fit entry point.
+        let mut samples = golden_samples();
+        samples[3].vg = f64::INFINITY;
+        assert!(fit_asdm_weighted(&samples, 1.0).is_err());
+        assert!(fit_alpha_power(&samples, 0.4).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_a_constant_current_surface() {
+        // Voltages vary but the current never moves: no transistor, and the
+        // error should say so rather than report a singular matrix.
+        let samples: Vec<IvSample> = (0..12)
+            .map(|i| IvSample {
+                vg: 0.5 + 0.1 * f64::from(i),
+                vs: 0.02 * f64::from(i),
+                id: 2e-3,
+            })
+            .collect();
+        let err = fit_asdm(&samples).unwrap_err();
+        assert!(err.to_string().contains("constant I-V"), "{err}");
+        let err = fit_asdm_weighted(&samples, 1.0).unwrap_err();
+        assert!(err.to_string().contains("constant I-V"), "{err}");
+    }
+
+    #[test]
+    fn fit_rejects_too_few_samples_by_name() {
+        let truth = Asdm::new(Siemens::from_millis(5.0), 1.2, Volts::new(0.6));
+        let two: Vec<IvSample> = [(1.4, 0.0), (1.8, 0.2)]
+            .iter()
+            .map(|&(vg, vs)| IvSample {
+                vg,
+                vs,
+                id: truth.drain_current(Volts::new(vg), Volts::new(vs)).value(),
+            })
+            .collect();
+        let err = fit_asdm(&two).unwrap_err();
+        assert!(err.to_string().contains("2 samples"), "{err}");
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub enum NumericError {
         /// Human-readable description of the violation.
         context: String,
     },
+    /// A user-supplied callback returned NaN or an infinity, so the method
+    /// cannot make progress (and must not loop forever trying).
+    NonFiniteEvaluation {
+        /// Which method observed the non-finite value.
+        method: &'static str,
+        /// The abscissa (or time) at which the evaluation went non-finite.
+        at: f64,
+    },
 }
 
 impl NumericError {
@@ -79,6 +87,10 @@ impl fmt::Display for NumericError {
                 "interval does not bracket a root: f(lo) = {f_lo:.3e}, f(hi) = {f_hi:.3e}"
             ),
             Self::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+            Self::NonFiniteEvaluation { method, at } => write!(
+                f,
+                "{method} aborted: function evaluation went non-finite at x = {at:.6e}"
+            ),
         }
     }
 }
@@ -109,5 +121,11 @@ mod tests {
             f_hi: 2.0,
         };
         assert!(e.to_string().contains("bracket"));
+        let e = NumericError::NonFiniteEvaluation {
+            method: "brent",
+            at: 0.5,
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("brent"));
     }
 }

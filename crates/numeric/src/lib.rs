@@ -11,6 +11,9 @@
 //! * [`matrix`] — dense row-major matrices,
 //! * [`lu`] — LU factorization with partial pivoting (the MNA solver),
 //! * [`roots`] — bracketing and derivative-based 1-D root finders,
+//! * [`solve`] — a fallback ladder over the root finders
+//!   (`newton` → `brent` → `bisect` with bracket expansion) that reports
+//!   which rung succeeded,
 //! * [`optimize`] — linear least squares and Levenberg–Marquardt,
 //! * [`interp`] — linear and monotone-cubic interpolation,
 //! * [`ode`] — reference ODE integrators (RK4, adaptive RKF45) used to
@@ -46,6 +49,7 @@ pub mod optimize;
 pub mod quadrature;
 pub mod rng;
 pub mod roots;
+pub mod solve;
 pub mod stats;
 
 mod error;

@@ -140,6 +140,11 @@ pub struct Rkf45Options {
     pub h_max: f64,
     /// Hard cap on accepted steps.
     pub max_steps: usize,
+    /// How many non-finite step evaluations may be recovered (by halving
+    /// the step and retrying) before the integration is abandoned with a
+    /// typed error. Without this budget a NaN derivative would poison the
+    /// step-size controller and loop forever.
+    pub max_recoveries: usize,
 }
 
 impl Default for Rkf45Options {
@@ -151,8 +156,21 @@ impl Default for Rkf45Options {
             h_min: 1e-18,
             h_max: 0.0,
             max_steps: 1_000_000,
+            max_recoveries: 40,
         }
     }
+}
+
+/// Telemetry from an adaptive integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OdeReport {
+    /// Steps accepted into the trajectory.
+    pub accepted: usize,
+    /// Steps rejected by the error controller (finite error > tolerance).
+    pub rejected: usize,
+    /// Steps abandoned because an evaluation went non-finite, then retried
+    /// at half the step size.
+    pub recoveries: usize,
 }
 
 /// Fehlberg 4(5) adaptive integrator for `y' = f(t, y)`.
@@ -162,13 +180,39 @@ impl Default for Rkf45Options {
 /// * [`NumericError::InvalidArgument`] for a reversed interval.
 /// * [`NumericError::ConvergenceFailed`] when the step size underflows
 ///   `h_min` or the step budget is exhausted.
+/// * [`NumericError::NonFiniteEvaluation`] when `f` keeps producing NaN or
+///   infinite derivatives past the recovery budget.
 pub fn rkf45<F>(
-    mut f: F,
+    f: F,
     t0: f64,
     t1: f64,
     y0: &[f64],
     opts: Rkf45Options,
 ) -> Result<Trajectory, NumericError>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    rkf45_with_report(f, t0, t1, y0, opts).map(|(traj, _)| traj)
+}
+
+/// [`rkf45`] returning step telemetry alongside the trajectory.
+///
+/// A non-finite local error estimate (NaN derivative, overflow inside a
+/// stage) no longer poisons the step-size controller: the step is abandoned,
+/// `h` is halved, and the attempt is retried up to
+/// [`Rkf45Options::max_recoveries`] times. The integration path — and thus
+/// the trajectory, bit for bit — is unchanged whenever no recovery fires.
+///
+/// # Errors
+///
+/// Same contract as [`rkf45`].
+pub fn rkf45_with_report<F>(
+    mut f: F,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    opts: Rkf45Options,
+) -> Result<(Trajectory, OdeReport), NumericError>
 where
     F: FnMut(f64, &[f64], &mut [f64]),
 {
@@ -227,6 +271,7 @@ where
 
     let span = t1 - t0;
     let mut steps = 0usize;
+    let mut report = OdeReport::default();
     while t1 - t > span * 1e-12 {
         if steps >= opts.max_steps {
             return Err(NumericError::ConvergenceFailed {
@@ -252,6 +297,7 @@ where
         }
         // 4th/5th order solutions and the error estimate.
         let mut err = 0.0f64;
+        let mut finite = true;
         let mut y5 = vec![0.0; n];
         for i in 0..n {
             let mut s4 = y[i];
@@ -261,8 +307,31 @@ where
                 s5 += h * B5[j] * kj[i];
             }
             y5[i] = s5;
+            // An explicit check: `f64::max` would silently discard a NaN
+            // error estimate and accept the poisoned step.
+            finite &= s4.is_finite() && s5.is_finite();
             let scale = opts.abs_tol + opts.rel_tol * y[i].abs().max(s5.abs());
             err = err.max(((s5 - s4) / scale).abs());
+        }
+        if !finite || !err.is_finite() {
+            // A NaN or infinite derivative reached the error estimate. The
+            // usual controller would turn `h` into NaN and loop forever;
+            // instead abandon the attempt and retry at half the step.
+            report.recoveries += 1;
+            if report.recoveries > opts.max_recoveries {
+                return Err(NumericError::NonFiniteEvaluation {
+                    method: "rkf45",
+                    at: t,
+                });
+            }
+            h *= 0.5;
+            if h < opts.h_min {
+                return Err(NumericError::NonFiniteEvaluation {
+                    method: "rkf45",
+                    at: t,
+                });
+            }
+            continue;
         }
         if err <= 1.0 {
             t += h;
@@ -270,6 +339,9 @@ where
             traj.t.push(t);
             traj.y.push(y.clone());
             steps += 1;
+            report.accepted += 1;
+        } else {
+            report.rejected += 1;
         }
         // Step adaptation with the usual safety factor.
         let factor = if err > 0.0 {
@@ -289,7 +361,7 @@ where
             });
         }
     }
-    Ok(traj)
+    Ok((traj, report))
 }
 
 #[cfg(test)]
@@ -357,6 +429,64 @@ mod tests {
     #[test]
     fn rkf45_validates_interval() {
         assert!(rkf45(|_, _, _| {}, 1.0, 0.0, &[0.0], Rkf45Options::default()).is_err());
+    }
+
+    #[test]
+    fn rkf45_recovers_from_transient_nan_derivatives() {
+        // The first few derivative calls return NaN (a transient glitch);
+        // the halve-and-retry path must absorb them and still integrate
+        // y' = -y accurately.
+        let mut poisoned_calls = 3;
+        let (traj, report) = rkf45_with_report(
+            move |_, y, dy| {
+                if poisoned_calls > 0 {
+                    poisoned_calls -= 1;
+                    dy[0] = f64::NAN;
+                } else {
+                    dy[0] = -y[0];
+                }
+            },
+            0.0,
+            1.0,
+            &[1.0],
+            Rkf45Options::default(),
+        )
+        .unwrap();
+        assert!(report.recoveries > 0, "{report:?}");
+        let exact = (-1.0f64).exp();
+        assert!((traj.last()[0] - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rkf45_persistent_nan_is_a_typed_error_not_a_hang() {
+        let res = rkf45(
+            |_, _, dy| dy[0] = f64::NAN,
+            0.0,
+            1.0,
+            &[1.0],
+            Rkf45Options::default(),
+        );
+        assert!(matches!(
+            res,
+            Err(NumericError::NonFiniteEvaluation {
+                method: "rkf45",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rkf45_report_counts_accepted_steps() {
+        let (traj, report) = rkf45_with_report(
+            |_, y, dy| dy[0] = -y[0],
+            0.0,
+            1.0,
+            &[1.0],
+            Rkf45Options::default(),
+        )
+        .unwrap();
+        assert_eq!(report.accepted + 1, traj.t.len());
+        assert_eq!(report.recoveries, 0);
     }
 
     #[test]

@@ -38,6 +38,12 @@ where
 {
     let (mut a, mut b) = (lo, hi);
     let (mut fa, fb) = (f(a), f(b));
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumericError::NonFiniteEvaluation {
+            method: "bisect",
+            at: if fa.is_finite() { b } else { a },
+        });
+    }
     if fa == 0.0 {
         return Ok(a);
     }
@@ -50,6 +56,12 @@ where
     for _ in 0..opts.max_iter {
         let m = 0.5 * (a + b);
         let fm = f(m);
+        if !fm.is_finite() {
+            return Err(NumericError::NonFiniteEvaluation {
+                method: "bisect",
+                at: m,
+            });
+        }
         if fm == 0.0 || (b - a).abs() < opts.x_tol {
             return Ok(m);
         }
@@ -93,6 +105,12 @@ where
 {
     let (mut a, mut b) = (lo, hi);
     let (mut fa, mut fb) = (f(a), f(b));
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumericError::NonFiniteEvaluation {
+            method: "brent",
+            at: if fa.is_finite() { b } else { a },
+        });
+    }
     if fa == 0.0 {
         return Ok(a);
     }
@@ -144,6 +162,12 @@ where
         }
 
         let fs = f(s);
+        if !fs.is_finite() {
+            return Err(NumericError::NonFiniteEvaluation {
+                method: "brent",
+                at: s,
+            });
+        }
         d = b - c;
         c = b;
         fc = fb;
@@ -199,6 +223,12 @@ where
     let mut x = x0;
     for _ in 0..opts.max_iter {
         let (fx, dfx) = fdf(x);
+        if fx.is_nan() {
+            return Err(NumericError::NonFiniteEvaluation {
+                method: "newton",
+                at: x,
+            });
+        }
         if fx.abs() < opts.f_tol {
             return Ok(x);
         }
@@ -312,6 +342,54 @@ mod tests {
     fn newton_validates_arguments() {
         assert!(newton_bracketed(|x| (x, 1.0), 0.5, 1.0, 0.0, RootOptions::default()).is_err());
         assert!(newton_bracketed(|x| (x, 1.0), 5.0, 0.0, 1.0, RootOptions::default()).is_err());
+    }
+
+    #[test]
+    fn nan_evaluations_yield_typed_errors_not_loops() {
+        // NaN at an endpoint.
+        let err = bisect(
+            |x| if x == 0.0 { f64::NAN } else { x - 0.5 },
+            0.0,
+            1.0,
+            RootOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NumericError::NonFiniteEvaluation { .. }));
+        // NaN in the interior: f flips sign but is NaN near the root.
+        let poisoned = |x: f64| {
+            if (0.4..0.6).contains(&x) {
+                f64::NAN
+            } else {
+                x - 0.5
+            }
+        };
+        assert!(matches!(
+            bisect(poisoned, 0.0, 1.0, RootOptions::default()),
+            Err(NumericError::NonFiniteEvaluation {
+                method: "bisect",
+                ..
+            })
+        ));
+        assert!(matches!(
+            brent(poisoned, 0.0, 1.0, RootOptions::default()),
+            Err(NumericError::NonFiniteEvaluation {
+                method: "brent",
+                ..
+            })
+        ));
+        assert!(matches!(
+            newton_bracketed(
+                |x| (poisoned(x), 1.0),
+                0.1,
+                0.0,
+                1.0,
+                RootOptions::default()
+            ),
+            Err(NumericError::NonFiniteEvaluation {
+                method: "newton",
+                ..
+            })
+        ));
     }
 
     #[test]

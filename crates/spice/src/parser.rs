@@ -374,7 +374,9 @@ pub fn parse_deck(text: &str) -> Result<Deck, SpiceError> {
             continue;
         }
 
-        let kind = upper.chars().next().expect("non-empty token");
+        let Some(kind) = upper.chars().next() else {
+            return Err(err(*line, "empty element card"));
+        };
         match kind {
             'R' => {
                 require(&toks, 4, *line, "R<name> n+ n- value")?;
@@ -616,11 +618,9 @@ fn expand_subcircuits(cards: Vec<(usize, String)>) -> Result<Vec<(usize, String)
                     format!("{prefix}{n}")
                 }
             };
-            let kind = first
-                .chars()
-                .next()
-                .expect("non-empty")
-                .to_ascii_uppercase();
+            let Some(kind) = first.chars().next().map(|c| c.to_ascii_uppercase()) else {
+                return Err(err(*line, "empty card in .subckt body"));
+            };
             if kind == 'X' {
                 if depth >= MAX_SUBCKT_DEPTH {
                     return Err(err(
@@ -631,7 +631,10 @@ fn expand_subcircuits(cards: Vec<(usize, String)>) -> Result<Vec<(usize, String)
                 if toks.len() < 3 {
                     return Err(err(*line, "X<name> needs nodes and a subckt name"));
                 }
-                let sub_name = toks.last().expect("len >= 3").to_ascii_lowercase();
+                let Some(last_tok) = toks.last() else {
+                    return Err(err(*line, "X<name> needs nodes and a subckt name"));
+                };
+                let sub_name = last_tok.to_ascii_lowercase();
                 let Some(def) = subckts.get(&sub_name) else {
                     return Err(err(*line, format!("unknown subcircuit {sub_name:?}")));
                 };

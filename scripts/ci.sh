@@ -14,6 +14,12 @@ cargo build --release
 echo "== tier-1: test suite =="
 cargo test -q
 
+echo "== fault injection =="
+cargo test -q --test fault_injection
+
+echo "== panic audit =="
+./scripts/panic_audit.sh
+
 echo "== formatting =="
 cargo fmt --check
 

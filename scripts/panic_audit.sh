@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Panic-site audit: counts unwrap()/expect()/panic!-family call sites in
+# NON-TEST library code and fails when any file exceeds its checked-in
+# baseline (scripts/panic_baseline.txt). New panic sites in production code
+# must either be converted to typed errors or deliberately admitted by
+# regenerating the baseline:
+#
+#   ./scripts/panic_audit.sh            # audit against the baseline
+#   ./scripts/panic_audit.sh --update   # rewrite the baseline
+#
+# Test modules are excluded by stripping each file from its first
+# `#[cfg(test)]` line to EOF (the repo convention keeps test modules last).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="scripts/panic_baseline.txt"
+PATTERN='\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\('
+
+count_file() {
+    # Print the number of panic-pattern lines in the non-test part of $1.
+    awk '/^#\[cfg\(test\)\]/{exit} {print}' "$1" | grep -cE "$PATTERN" || true
+}
+
+audit() {
+    while IFS= read -r f; do
+        n=$(count_file "$f")
+        if [ "$n" -gt 0 ]; then
+            printf '%s %s\n' "$f" "$n"
+        fi
+    done < <(find crates src -name '*.rs' -not -path '*/tests/*' 2>/dev/null | sort)
+}
+
+if [ "${1:-}" = "--update" ]; then
+    audit > "$BASELINE"
+    echo "panic_audit: baseline rewritten ($(wc -l < "$BASELINE") files with panic sites)"
+    exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "panic_audit: missing $BASELINE (run with --update to create it)" >&2
+    exit 1
+fi
+
+status=0
+current=$(audit)
+while IFS=' ' read -r f n; do
+    [ -z "$f" ] && continue
+    base=$(grep -F "$f " "$BASELINE" | awk '{print $2}')
+    base=${base:-0}
+    if [ "$n" -gt "$base" ]; then
+        echo "panic_audit: $f has $n non-test panic sites (baseline $base)" >&2
+        status=1
+    fi
+done <<< "$current"
+
+if [ "$status" -ne 0 ]; then
+    echo "panic_audit: FAILED — convert new unwrap/expect/panic sites to typed errors," >&2
+    echo "             or run ./scripts/panic_audit.sh --update to admit them." >&2
+    exit 1
+fi
+echo "panic_audit: ok (no file exceeds its baseline)"

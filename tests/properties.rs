@@ -75,6 +75,68 @@ fn vn_bounded_by_ring_limit() {
     });
 }
 
+/// Robustness contract: for every scenario the validated construction path
+/// accepts, `vn_max` is finite and physically sensible — non-negative and
+/// below the supply (a ground bounce cannot exceed the rail driving it).
+/// Both models, all damping regimes.
+#[test]
+fn vn_max_finite_and_within_supply() {
+    forall("vn_max finite and within [0, Vdd]", 256, |g| {
+        let s = gen_scenario(g);
+        let vdd = s.vdd().value();
+        let (lc, case) = lcmodel::vn_max(&s);
+        let l_only = lmodel::vn_max(&s);
+        for (name, v) in [("LC", lc.value()), ("L-only", l_only.value())] {
+            if !v.is_finite() {
+                return Err(format!("{name} vn_max non-finite ({case:?})"));
+            }
+            if v < 0.0 {
+                return Err(format!("{name} vn_max negative: {v} ({case:?})"));
+            }
+            if v > vdd {
+                return Err(format!("{name} vn_max {v} exceeds Vdd {vdd} ({case:?})"));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The maximum SSN is continuous across the damping-case boundary: shrinking
+/// or growing `C` through the critical capacitance must not jump the
+/// prediction (Table 1's cases meet at the boundary).
+#[test]
+fn vn_max_continuous_across_damping_boundary() {
+    use ssn_lab::core::lcmodel::critical_capacitance;
+
+    forall("vn_max continuous across damping boundary", 128, |g| {
+        let s = gen_scenario(g);
+        let c_crit = critical_capacitance(&s).value();
+        if !(c_crit > 1e-18) || !c_crit.is_finite() {
+            return Ok(()); // degenerate boundary for this draw
+        }
+        let eps = 1e-6;
+        let below = s
+            .with_package(s.inductance(), Farads::new(c_crit * (1.0 - eps)))
+            .expect("valid");
+        let above = s
+            .with_package(s.inductance(), Farads::new(c_crit * (1.0 + eps)))
+            .expect("valid");
+        let (v_under, _) = lcmodel::vn_max(&below);
+        let (v_over, _) = lcmodel::vn_max(&above);
+        let scale = v_under.value().abs().max(1e-9);
+        let jump = (v_under.value() - v_over.value()).abs() / scale;
+        if jump < 1e-3 {
+            Ok(())
+        } else {
+            Err(format!(
+                "vn jumps {:.3e} -> {:.3e} ({jump:.2e} rel) across C_crit = {c_crit:.3e}",
+                v_under.value(),
+                v_over.value()
+            ))
+        }
+    });
+}
+
 /// Monotonicity in the driver count (LC model): more simultaneous drivers
 /// never reduce the maximum noise.
 #[test]
