@@ -2,7 +2,7 @@
 //! regenerating Fig. 3 / Fig. 4 series (the simulated reference columns are
 //! measured separately in `transient.rs`).
 
-use ssn_bench::timing::BenchSet;
+use ssn_bench::timing::{profile, BenchSet};
 use ssn_core::baselines::{senthinathan_prince, song, vemuru, BaselineInputs};
 use ssn_core::scenario::SsnScenario;
 use ssn_core::{design, lcmodel, lmodel};
@@ -51,6 +51,12 @@ fn main() {
     });
     set.bench("sweeps/design_required_rise_time", || {
         design::required_rise_time(black_box(&wide), Volts::new(0.45)).expect("ok")
+    });
+
+    // One profiled run showing where the rise-time solve spends its time
+    // (peak search vs solver ladder), via the same spans as `--telemetry`.
+    let _ = profile("sweeps/design_required_rise_time", || {
+        design::required_rise_time(black_box(&wide), Volts::new(0.45))
     });
 
     let path = set.write_csv("bench_sweeps").expect("csv written");

@@ -88,6 +88,25 @@ pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) -> BenchResult {
     result
 }
 
+/// Runs `f` once under a telemetry [`ssn_telemetry::Session`] rooted at
+/// span `bench.profile`, prints the per-stage breakdown table labelled
+/// `name`, and returns the value plus the [`ssn_telemetry::Report`].
+///
+/// This is the profiling companion to [`bench`]: `bench` answers *how
+/// fast*, `profile` answers *where the time goes* (solver ladder vs device
+/// eval vs ODE), using the same spans the `--telemetry` CLI flag surfaces.
+pub fn profile<T, F: FnOnce() -> T>(name: &str, f: F) -> (T, ssn_telemetry::Report) {
+    let session = ssn_telemetry::Session::start();
+    let value = {
+        let _root = ssn_telemetry::span("bench.profile");
+        black_box(f())
+    };
+    let report = session.finish();
+    println!("profile: {name}");
+    print!("{}", report.table());
+    (value, report)
+}
+
 /// Collects a suite of results and writes them as one CSV artifact.
 #[derive(Debug, Default)]
 pub struct BenchSet {
@@ -140,6 +159,16 @@ mod tests {
         assert!(r.iters >= 1);
         assert!(r.per_sec() > 0.0);
         assert!(r.to_string().contains("test/noop_sum"));
+    }
+
+    #[test]
+    fn profile_reports_inner_spans() {
+        let ((), report) = profile("test/profile", || {
+            let _inner = ssn_telemetry::span("inner");
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert!(report.span("bench.profile").is_some(), "{report:?}");
+        assert!(report.span("bench.profile.inner").is_some(), "{report:?}");
     }
 
     #[test]

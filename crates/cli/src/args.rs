@@ -1,4 +1,4 @@
-//! A minimal `--key value` argument parser.
+//! A minimal `--key value` / `--key=value` argument parser.
 
 use crate::error::CliError;
 use std::collections::HashMap;
@@ -17,6 +17,11 @@ impl ParsedArgs {
     /// Parses `argv` given the sets of known value-taking options and known
     /// boolean flags (both written without the `--` prefix).
     ///
+    /// Values attach either as the next token (`--key value`) or inline
+    /// (`--key=value`). A boolean flag may also carry an inline value
+    /// (`--telemetry=json:out.jsonl`): it then counts as set *and* records
+    /// the value.
+    ///
     /// # Errors
     ///
     /// Returns [`CliError::Usage`] for unknown options or a missing value.
@@ -28,10 +33,25 @@ impl ParsedArgs {
         let mut out = Self::default();
         let mut it = argv.iter().peekable();
         while let Some(tok) = it.next() {
-            if let Some(name) = tok.strip_prefix("--") {
-                if bool_flags.contains(&name) {
+            if let Some(rest) = tok.strip_prefix("--") {
+                let (name, inline) = match rest.split_once('=') {
+                    Some((n, v)) => (n, Some(v)),
+                    None => (rest, None),
+                };
+                if !bool_flags.contains(&name) && !value_options.contains(&name) {
+                    return Err(CliError::usage(format!("unknown option --{name}")));
+                }
+                if let Some(value) = inline {
+                    if bool_flags.contains(&name) {
+                        out.flags.push(name.to_owned());
+                    }
+                    out.options
+                        .entry(name.to_owned())
+                        .or_default()
+                        .push(value.to_owned());
+                } else if bool_flags.contains(&name) {
                     out.flags.push(name.to_owned());
-                } else if value_options.contains(&name) {
+                } else {
                     let Some(value) = it.next() else {
                         return Err(CliError::usage(format!("--{name} needs a value")));
                     };
@@ -39,8 +59,6 @@ impl ParsedArgs {
                         .entry(name.to_owned())
                         .or_default()
                         .push(value.clone());
-                } else {
-                    return Err(CliError::usage(format!("unknown option --{name}")));
                 }
             } else {
                 out.positionals.push(tok.clone());
@@ -138,6 +156,32 @@ mod tests {
         assert_eq!(a.value("n"), Some("8"));
         assert_eq!(a.parsed::<usize>("n").unwrap(), Some(8));
         assert_eq!(a.parsed_or::<usize>("m", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn inline_equals_values_parse() {
+        let a = ParsedArgs::parse(
+            &argv(&["--n=8", "--probe=ng", "--probe", "out0"]),
+            &["probe", "n"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(a.parsed::<usize>("n").unwrap(), Some(8));
+        assert_eq!(a.values("probe"), &["ng".to_owned(), "out0".to_owned()]);
+        // A bool flag with an inline value is set AND carries the value.
+        let b =
+            ParsedArgs::parse(&argv(&["--telemetry=json:out.jsonl"]), &[], &["telemetry"]).unwrap();
+        assert!(b.flag("telemetry"));
+        assert_eq!(b.value("telemetry"), Some("json:out.jsonl"));
+        // Bare bool flag still has no value.
+        let c = ParsedArgs::parse(&argv(&["--telemetry"]), &[], &["telemetry"]).unwrap();
+        assert!(c.flag("telemetry"));
+        assert_eq!(c.value("telemetry"), None);
+        // An empty inline value is preserved verbatim.
+        let d = ParsedArgs::parse(&argv(&["--probe="]), &["probe"], &[]).unwrap();
+        assert_eq!(d.value("probe"), Some(""));
+        // Unknown names are rejected in inline form too.
+        assert!(ParsedArgs::parse(&argv(&["--nope=1"]), &["n"], &[]).is_err());
     }
 
     #[test]

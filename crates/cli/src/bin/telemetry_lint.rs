@@ -1,0 +1,46 @@
+//! `telemetry-lint` — validates a `--telemetry=json:<path>` stream.
+//!
+//! Reads one JSON-lines file, parses every line with the in-repo JSON
+//! parser (no external dependencies), and checks the schema contract:
+//! every line has a known `type` with its required keys, and the stream
+//! contains at least one meta line, one span, and one counter. CI runs
+//! this against a fresh `ssn montecarlo --telemetry=json:...` smoke run.
+//!
+//! Exit status: 0 when the stream validates, 1 otherwise.
+
+use std::process::ExitCode;
+
+fn run() -> Result<String, String> {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .ok_or_else(|| "usage: telemetry-lint <file.jsonl>".to_owned())?;
+    if args.next().is_some() {
+        return Err("usage: telemetry-lint <file.jsonl>".to_owned());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let stats = ssn_telemetry::json::validate_lines(&text).map_err(|e| format!("{path}: {e}"))?;
+    if stats.meta == 0 {
+        return Err(format!("{path}: no meta line"));
+    }
+    if stats.spans == 0 {
+        return Err(format!("{path}: no span lines — was the session empty?"));
+    }
+    if stats.counters == 0 {
+        return Err(format!("{path}: no counter lines"));
+    }
+    Ok(format!("{path}: ok ({stats})"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("telemetry-lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

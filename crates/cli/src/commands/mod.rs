@@ -8,8 +8,86 @@ pub mod montecarlo;
 pub mod simulate;
 pub mod sweep;
 
+use crate::args::ParsedArgs;
 use crate::error::CliError;
 use ssn_devices::process::Process;
+use std::io::Write;
+
+/// What `--telemetry[=json:<path>]` asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TelemetryMode {
+    /// No `--telemetry` flag: recording stays off.
+    Off,
+    /// Bare `--telemetry`: print the per-stage breakdown table.
+    Table,
+    /// `--telemetry=json:<path>`: write the JSON-lines stream to `path`.
+    Json(String),
+}
+
+impl TelemetryMode {
+    /// Reads the `--telemetry` flag (register `"telemetry"` in the command's
+    /// bool flags).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for an inline value that is not
+    /// `json:<path>`.
+    pub(crate) fn from_args(args: &ParsedArgs) -> Result<Self, CliError> {
+        if !args.flag("telemetry") {
+            return Ok(Self::Off);
+        }
+        match args.value("telemetry") {
+            None => Ok(Self::Table),
+            Some(v) => match v.strip_prefix("json:") {
+                Some(path) if !path.is_empty() => Ok(Self::Json(path.to_owned())),
+                _ => Err(CliError::usage(format!(
+                    "--telemetry={v}: expected --telemetry or --telemetry=json:<path>"
+                ))),
+            },
+        }
+    }
+}
+
+/// Runs `f` under a telemetry session rooted at span `root`, then emits the
+/// report per `mode`. With [`TelemetryMode::Off`] this is exactly `f(out)` —
+/// recording stays disabled and results are bit-identical either way (pinned
+/// by `tests/determinism.rs`).
+pub(crate) fn with_telemetry<W, F>(
+    mode: &TelemetryMode,
+    root: &'static str,
+    out: &mut W,
+    f: F,
+) -> Result<(), CliError>
+where
+    W: Write,
+    F: FnOnce(&mut W) -> Result<(), CliError>,
+{
+    if *mode == TelemetryMode::Off {
+        return f(out);
+    }
+    let session = ssn_telemetry::Session::start();
+    let result = {
+        let _root = ssn_telemetry::span(root);
+        f(out)
+    };
+    let report = session.finish();
+    result?;
+    match mode {
+        // Off returned early; nothing to emit.
+        TelemetryMode::Off => {}
+        TelemetryMode::Table => write!(out, "\n{}", report.table())?,
+        TelemetryMode::Json(path) => {
+            std::fs::write(path, report.to_json_lines())?;
+            writeln!(
+                out,
+                "telemetry: wrote {} span(s), {} counter(s) to {path}",
+                report.spans.len(),
+                report.counters.len()
+            )?;
+        }
+    }
+    Ok(())
+}
 
 /// Resolves a `--process` name to a library process.
 pub(crate) fn resolve_process(name: &str) -> Result<Process, CliError> {

@@ -1,6 +1,6 @@
 //! `ssn montecarlo` — variation/yield analysis.
 
-use super::resolve_process;
+use super::{resolve_process, with_telemetry, TelemetryMode};
 use crate::args::ParsedArgs;
 use crate::error::CliError;
 use ssn_core::lcmodel;
@@ -23,6 +23,10 @@ options:
     --k-frac <x>        fractional sigma of K (default 0.08)
     --l-frac <x>        fractional sigma of L (default 0.10)
     --c-frac <x>        fractional sigma of C (default 0.15)
+    --telemetry[=json:<path>]
+                        profile the run: print a per-stage breakdown table,
+                        or write the span/counter stream as JSON lines to
+                        <path>; never changes the results
 ";
 
 /// Runs the command.
@@ -45,7 +49,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
             "l-frac",
             "c-frac",
         ],
-        &["help"],
+        &["help", "telemetry"],
     )?;
     if args.wants_help() {
         writeln!(out, "{HELP}")?;
@@ -74,34 +78,38 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         c_frac: args.parsed_or("c-frac", 0.15)?,
         ..VariationSpec::typical()
     };
-    let (mc, stats) = run_monte_carlo_with(&scenario, &spec, samples, seed, &policy)?;
+    let telemetry = TelemetryMode::from_args(&args)?;
+    let budget = args.parsed::<Volts>("budget")?;
+    with_telemetry(&telemetry, "cli.montecarlo", out, |out| {
+        let (mc, stats) = run_monte_carlo_with(&scenario, &spec, samples, seed, &policy)?;
 
-    writeln!(out, "nominal Vn_max: {}", lcmodel::vn_max(&scenario).0)?;
-    if stats.failed_chunks > 0 {
+        writeln!(out, "nominal Vn_max: {}", lcmodel::vn_max(&scenario).0)?;
+        if stats.failed_chunks > 0 {
+            writeln!(
+                out,
+                "warning: {} chunk(s) failed; statistics cover the {} surviving samples",
+                stats.failed_chunks,
+                mc.len()
+            )?;
+        }
         writeln!(
             out,
-            "warning: {} chunk(s) failed; statistics cover the {} surviving samples",
-            stats.failed_chunks,
-            mc.len()
+            "{} samples: mean {} sd {}",
+            mc.len(),
+            mc.mean(),
+            mc.std_dev()
         )?;
-    }
-    writeln!(
-        out,
-        "{} samples: mean {} sd {}",
-        mc.len(),
-        mc.mean(),
-        mc.std_dev()
-    )?;
-    for q in [0.5, 0.9, 0.95, 0.99] {
-        writeln!(out, "  q{:<4} {}", (q * 100.0) as u32, mc.quantile(q))?;
-    }
-    if let Some(budget) = args.parsed::<Volts>("budget")? {
-        writeln!(
-            out,
-            "yield within {budget}: {:.1}%",
-            mc.yield_within(budget) * 100.0
-        )?;
-    }
-    writeln!(out, "run: {stats}")?;
-    Ok(())
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            writeln!(out, "  q{:<4} {}", (q * 100.0) as u32, mc.quantile(q))?;
+        }
+        if let Some(budget) = budget {
+            writeln!(
+                out,
+                "yield within {budget}: {:.1}%",
+                mc.yield_within(budget) * 100.0
+            )?;
+        }
+        writeln!(out, "run: {stats}")?;
+        Ok(())
+    })
 }

@@ -1,6 +1,6 @@
 //! `ssn sweep` — maximum SSN vs. driver count, with the prior models.
 
-use super::resolve_process;
+use super::{resolve_process, with_telemetry, TelemetryMode};
 use crate::args::ParsedArgs;
 use crate::error::CliError;
 use ssn_core::baselines::{senthinathan_prince, song, vemuru, BaselineInputs};
@@ -23,6 +23,10 @@ options:
                         thread count)
     --no-simulation     skip the (slow) golden-device reference column
     --csv <path>        also write the table as CSV
+    --telemetry[=json:<path>]
+                        profile the run: print a per-stage breakdown table,
+                        or write the span/counter stream as JSON lines to
+                        <path>; never changes the results
 ";
 
 /// Runs the command.
@@ -34,7 +38,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     let args = ParsedArgs::parse(
         argv,
         &["process", "max-drivers", "rise-time", "threads", "csv"],
-        &["no-simulation", "help"],
+        &["no-simulation", "help", "telemetry"],
     )?;
     if args.wants_help() {
         writeln!(out, "{HELP}")?;
@@ -56,6 +60,8 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         None => ExecPolicy::auto(),
     };
 
+    let telemetry = TelemetryMode::from_args(&args)?;
+
     let base = SsnScenario::builder(&process).rise_time(tr).build()?;
     let mut header = vec!["N".to_owned(), "L-only".to_owned(), "LC".to_owned()];
     if simulate {
@@ -67,69 +73,72 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "SenPr91".to_owned(),
     ]);
 
-    // Each row is independent (the simulation column dominates the cost),
-    // so fan rows out over the engine; output order is the input order.
-    let ns: Vec<usize> = (1..=max_n).collect();
-    let (row_results, stats) = par_map(&ns, &policy, |&n| -> Result<Vec<String>, SsnError> {
-        let s = base.with_drivers(n)?;
-        let inputs = BaselineInputs::from_process(&process, n, s.inductance(), tr);
-        let mut row = vec![
-            n.to_string(),
-            format!("{:.1} mV", lmodel::vn_max(&s).value() * 1e3),
-            format!("{:.1} mV", lcmodel::vn_max(&s).0.value() * 1e3),
-        ];
-        if simulate {
-            let sim = measure(&DriverBankConfig::from_scenario(
-                &s,
-                Arc::new(process.output_driver()),
-            ))?;
-            row.push(format!("{:.1} mV", sim.vn_max.value() * 1e3));
-        }
-        row.push(format!("{:.1} mV", vemuru(&inputs).value() * 1e3));
-        row.push(format!("{:.1} mV", song(&inputs).value() * 1e3));
-        row.push(format!(
-            "{:.1} mV",
-            senthinathan_prince(&inputs).value() * 1e3
-        ));
-        Ok(row)
-    });
-    let rows = row_results
-        .into_iter()
-        .collect::<Result<Vec<Vec<String>>, SsnError>>()?;
+    with_telemetry(&telemetry, "cli.sweep", out, |out| {
+        // Each row is independent (the simulation column dominates the cost),
+        // so fan rows out over the engine; output order is the input order.
+        let ns: Vec<usize> = (1..=max_n).collect();
+        let (row_results, stats) = par_map(&ns, &policy, |&n| -> Result<Vec<String>, SsnError> {
+            let _row_span = ssn_core::telemetry::span("sweep.row");
+            let s = base.with_drivers(n)?;
+            let inputs = BaselineInputs::from_process(&process, n, s.inductance(), tr);
+            let mut row = vec![
+                n.to_string(),
+                format!("{:.1} mV", lmodel::vn_max(&s).value() * 1e3),
+                format!("{:.1} mV", lcmodel::vn_max(&s).0.value() * 1e3),
+            ];
+            if simulate {
+                let sim = measure(&DriverBankConfig::from_scenario(
+                    &s,
+                    Arc::new(process.output_driver()),
+                ))?;
+                row.push(format!("{:.1} mV", sim.vn_max.value() * 1e3));
+            }
+            row.push(format!("{:.1} mV", vemuru(&inputs).value() * 1e3));
+            row.push(format!("{:.1} mV", song(&inputs).value() * 1e3));
+            row.push(format!(
+                "{:.1} mV",
+                senthinathan_prince(&inputs).value() * 1e3
+            ));
+            Ok(row)
+        });
+        let rows = row_results
+            .into_iter()
+            .collect::<Result<Vec<Vec<String>>, SsnError>>()?;
 
-    // Render aligned.
-    let widths: Vec<usize> = (0..header.len())
-        .map(|i| {
-            rows.iter()
-                .map(|r| r[i].len())
-                .chain([header[i].len()])
-                .max()
-                .unwrap_or(0)
-        })
-        .collect();
-    let fmt = |cells: &[String]| -> String {
-        cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
-            .collect::<Vec<_>>()
-            .join("  ")
-    };
-    writeln!(out, "{}", fmt(&header))?;
-    for r in &rows {
-        writeln!(out, "{}", fmt(r))?;
-    }
-    writeln!(out, "run: {stats}")?;
-
-    if let Some(path) = args.value("csv") {
-        let mut text = header.join(",");
-        text.push('\n');
+        // Render aligned.
+        let widths: Vec<usize> = (0..header.len())
+            .map(|i| {
+                rows.iter()
+                    .map(|r| r[i].len())
+                    .chain([header[i].len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(out, "{}", fmt(&header))?;
         for r in &rows {
-            text.push_str(&r.join(","));
-            text.push('\n');
+            writeln!(out, "{}", fmt(r))?;
         }
-        std::fs::write(path, text)?;
-        writeln!(out, "csv written to {path}")?;
-    }
-    Ok(())
+        writeln!(out, "run: {stats}")?;
+
+        if let Some(path) = args.value("csv") {
+            let mut text = header.join(",");
+            text.push('\n');
+            for r in &rows {
+                text.push_str(&r.join(","));
+                text.push('\n');
+            }
+            std::fs::write(path, text)?;
+            writeln!(out, "csv written to {path}")?;
+        }
+        Ok(())
+    })
 }

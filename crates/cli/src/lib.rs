@@ -230,6 +230,103 @@ mod tests {
     }
 
     #[test]
+    fn montecarlo_telemetry_prints_stage_breakdown() {
+        let (res, text) = run_to_string(&[
+            "montecarlo",
+            "--process",
+            "p018",
+            "--drivers",
+            "8",
+            "--samples",
+            "300",
+            "--threads",
+            "1",
+            "--telemetry",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        // The normal report is still there ...
+        assert!(text.contains("q95"), "{text}");
+        // ... followed by the per-stage breakdown.
+        assert!(text.contains("per-stage breakdown"), "{text}");
+        assert!(text.contains("cli.montecarlo"), "{text}");
+        assert!(text.contains("mc.run"), "{text}");
+        assert!(text.contains("mc.sample"), "{text}");
+        assert!(text.contains("model.lc.vn_max"), "{text}");
+        assert!(text.contains("parallel.sched_wait"), "{text}");
+        assert!(text.contains("mc.samples"), "{text}");
+        assert!(text.contains("% wall"), "{text}");
+    }
+
+    #[test]
+    fn budget_telemetry_shows_the_solver_ladder() {
+        let (res, text) = run_to_string(&[
+            "budget",
+            "--process",
+            "p018",
+            "--drivers",
+            "32",
+            "--budget",
+            "450m",
+            "--telemetry",
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("per-stage breakdown"), "{text}");
+        assert!(text.contains("design.rise_time"), "{text}");
+        assert!(text.contains("design.peak_search"), "{text}");
+        assert!(text.contains("solve.ladder"), "{text}");
+        assert!(text.contains("solve.rung.brent"), "{text}");
+    }
+
+    #[test]
+    fn montecarlo_telemetry_json_stream_validates() {
+        let dir = std::env::temp_dir().join("ssn_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("mc_telemetry.jsonl");
+        let path_str = path.to_str().expect("utf8 path");
+        let (res, text) = run_to_string(&[
+            "montecarlo",
+            "--process",
+            "p018",
+            "--drivers",
+            "4",
+            "--samples",
+            "200",
+            "--threads",
+            "2",
+            &format!("--telemetry=json:{path_str}"),
+        ]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("telemetry: wrote"), "{text}");
+        // No table in JSON mode; the stream validates against the schema.
+        assert!(!text.contains("per-stage breakdown"), "{text}");
+        let stream = std::fs::read_to_string(&path).expect("read stream");
+        let stats = ssn_telemetry::json::validate_lines(&stream).expect("valid stream");
+        assert!(
+            stats.meta >= 1 && stats.spans >= 1 && stats.counters >= 1,
+            "{stats}"
+        );
+        assert!(stream.contains("mc.run"), "{stream}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn telemetry_rejects_malformed_values() {
+        for bad in ["--telemetry=csv", "--telemetry=json:"] {
+            let (res, _) = run_to_string(&[
+                "montecarlo",
+                "--process",
+                "p018",
+                "--drivers",
+                "4",
+                "--samples",
+                "50",
+                bad,
+            ]);
+            assert!(matches!(res, Err(CliError::Usage { .. })), "{bad}");
+        }
+    }
+
+    #[test]
     fn impedance_finds_resonance() {
         let (res, text) = run_to_string(&[
             "impedance",

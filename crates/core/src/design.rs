@@ -62,6 +62,7 @@ fn validate_budget(budget: Volts) -> Result<(), SsnError> {
 /// ```
 pub fn max_simultaneous_drivers(template: &SsnScenario, budget: Volts) -> Result<usize, SsnError> {
     validate_budget(budget)?;
+    let _span = ssn_telemetry::span("design.max_drivers");
     let fits = |n: usize| -> bool {
         match template.with_drivers(n) {
             Ok(s) => lcmodel::vn_max(&s).0 <= budget,
@@ -133,6 +134,7 @@ pub fn required_rise_time_with_report(
     budget: Volts,
 ) -> Result<(Seconds, SolveReport), SsnError> {
     validate_budget(budget)?;
+    let _span = ssn_telemetry::span("design.rise_time");
     let vn = |tr: f64| -> f64 {
         template
             .with_rise_time(Seconds::new(tr))
@@ -149,13 +151,16 @@ pub fn required_rise_time_with_report(
     // Locate the worst-case rise time on a log axis (vn is unimodal in tr:
     // rising while the window limits charging, falling once slew relief
     // dominates).
-    let log_peak = golden_section(
-        |lg| -vn(10f64.powf(lg)),
-        t_fast.log10(),
-        t_slow.log10(),
-        1e-6,
-    )
-    .map_err(SsnError::from)?;
+    let log_peak = {
+        let _peak_span = ssn_telemetry::span("design.peak_search");
+        golden_section(
+            |lg| -vn(10f64.powf(lg)),
+            t_fast.log10(),
+            t_slow.log10(),
+            1e-6,
+        )
+        .map_err(SsnError::from)?
+    };
     let tr_peak = 10f64.powf(log_peak);
     if vn(tr_peak) <= budget.value() {
         // No rise time in range ever violates the budget.
@@ -211,6 +216,7 @@ pub struct StaggerPlan {
 /// even one driver alone violates it (staggering cannot help then — slow
 /// the edge instead, see [`required_rise_time`]).
 pub fn stagger_plan(template: &SsnScenario, budget: Volts) -> Result<StaggerPlan, SsnError> {
+    let _span = ssn_telemetry::span("design.stagger");
     let per_group_max = max_simultaneous_drivers(template, budget)?;
     if per_group_max == 0 {
         return Err(SsnError::scenario(
@@ -306,10 +312,13 @@ pub fn sweep_design_grid(
         ));
     }
     let n_points = drivers.len() * inductances.len();
+    let _run_span = ssn_telemetry::span("grid.run");
     let (chunks, mut stats) = try_run_chunked(n_points, GRID_CHUNK, policy, |c, range| {
         hooks::inject_chunk_panic(c);
+        ssn_telemetry::add("grid.points", range.len() as u64);
         range
             .map(|i| {
+                let _point_span = ssn_telemetry::span("grid.point");
                 let n = drivers[i / inductances.len()];
                 let l = inductances[i % inductances.len()];
                 let s = template

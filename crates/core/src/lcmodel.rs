@@ -228,6 +228,7 @@ pub fn first_peak_time(s: &SsnScenario) -> Option<Seconds> {
 /// # }
 /// ```
 pub fn vn_max(s: &SsnScenario) -> (Volts, MaxSsnCase) {
+    let _span = ssn_telemetry::span("model.lc.vn_max");
     if s.capacitance().value() == 0.0 {
         return (lmodel::vn_max(s), MaxSsnCase::LOnly);
     }

@@ -69,6 +69,18 @@ pub mod parallel;
 pub mod report;
 pub mod scenario;
 
+/// Structured tracing and metrics for the estimation pipeline.
+///
+/// A re-export of the zero-dependency `ssn-telemetry` crate (it lives
+/// below `ssn-numeric` in the dependency graph so the solver ladder and
+/// ODE integrator can be instrumented too). Recording is off until a
+/// [`telemetry::Session`] starts, and never affects estimation results —
+/// the determinism tests pin `--telemetry` on/off bit-identity at every
+/// thread count.
+pub mod telemetry {
+    pub use ssn_telemetry::*;
+}
+
 pub use error::SsnError;
 pub use lcmodel::{Damping, MaxSsnCase};
 pub use scenario::SsnScenario;

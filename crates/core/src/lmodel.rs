@@ -67,6 +67,7 @@ pub fn vn_at(s: &SsnScenario, t: Seconds) -> Volts {
 /// # }
 /// ```
 pub fn vn_max(s: &SsnScenario) -> Volts {
+    let _span = ssn_telemetry::span("model.l.vn_max");
     let exponent =
         -(s.vdd().value() - s.asdm().v0().value()) / (s.slew().value() * time_constant(s).value());
     Volts::new(s.v_inf().value() * (1.0 - exponent.exp()))

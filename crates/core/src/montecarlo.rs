@@ -301,11 +301,14 @@ pub fn run_monte_carlo_with(
         ));
     }
     spec.validate()?;
+    let _run_span = ssn_telemetry::span("mc.run");
     let (chunks, mut stats) = try_run_chunked(n_samples, MC_CHUNK, policy, |c, range| {
         hooks::inject_chunk_panic(c);
         let mut rng = Rng::from_seed_and_stream(seed, c as u64);
+        ssn_telemetry::add("mc.samples", range.len() as u64);
         range
             .map(|i| {
+                let _sample_span = ssn_telemetry::span("mc.sample");
                 let v = hooks::inject_nan(i, sample_vn_max(nominal, spec, &mut rng)?);
                 if !v.is_finite() {
                     return Err(SsnError::invalid(
@@ -318,6 +321,7 @@ pub fn run_monte_carlo_with(
             })
             .collect::<Result<Vec<f64>, SsnError>>()
     });
+    let _collect_span = ssn_telemetry::span("mc.collect");
     let total = stats.chunks;
     let mut samples = Vec::with_capacity(n_samples);
     let mut failed = 0usize;

@@ -118,27 +118,43 @@ pub struct ExecStats {
     /// [`ExecPolicy::with_chunk_retries`] (whether or not they eventually
     /// succeeded).
     pub retried_chunks: usize,
+    /// Time the workers spent *off* compute — claiming chunks from the
+    /// queue, writing result slots, loop bookkeeping — summed over all
+    /// workers. `busy + sched_wait` is each worker's in-loop time, so a
+    /// large `sched_wait` means the chunks are too fine for the queue.
+    pub sched_wait: Duration,
 }
 
 impl ExecStats {
-    /// Evaluations per wall-clock second.
+    /// Evaluations per wall-clock second; 0.0 when the wall time is too
+    /// short to resolve (an `inf eval/s` rate is a measurement artifact,
+    /// not a throughput).
     pub fn items_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
         if secs <= 0.0 {
-            return f64::INFINITY;
+            return 0.0;
         }
         self.items as f64 / secs
     }
 
     /// Fraction of the workers' allotted wall time spent computing
     /// (1.0 = every worker busy the whole run). A serial run reports its
-    /// compute fraction of wall time.
+    /// true compute fraction of wall time — unclamped, so a busy-time
+    /// accounting bug shows up as `> 1.0` instead of hiding at 100%.
     pub fn utilization(&self) -> f64 {
         let budget = self.wall.as_secs_f64() * self.threads as f64;
         if budget <= 0.0 {
             return 0.0;
         }
-        (self.busy.as_secs_f64() / budget).min(1.0)
+        let busy = self.busy.as_secs_f64();
+        // Busy time is measured strictly inside the wall window, so it can
+        // only exceed the budget through clock granularity — allow a small
+        // relative + absolute tolerance before declaring the books cooked.
+        debug_assert!(
+            busy <= budget * 1.05 + 1e-3,
+            "busy {busy:.6} s exceeds wall x threads budget {budget:.6} s"
+        );
+        busy / budget
     }
 }
 
@@ -297,30 +313,52 @@ where
         }
     };
 
-    let (results, busy) = if workers <= 1 {
+    let (results, busy, sched_wait) = if workers <= 1 {
+        // The inline path measures per-chunk compute exactly like a
+        // worker would, so `busy` means the same thing at every thread
+        // count and the loop overhead lands in `sched_wait`, not `busy`.
         let t0 = Instant::now();
+        let mut busy = Duration::ZERO;
         let results: Vec<Result<T, ChunkError>> = ranges
             .iter()
             .enumerate()
-            .map(|(c, r)| attempt(c, r.clone()))
+            .map(|(c, r)| {
+                let c0 = Instant::now();
+                let out = attempt(c, r.clone());
+                busy += c0.elapsed();
+                out
+            })
             .collect();
-        (results, t0.elapsed())
+        (results, busy, t0.elapsed().saturating_sub(busy))
     } else {
         let slots: Mutex<Vec<Option<Result<T, ChunkError>>>> =
             Mutex::new((0..n_chunks).map(|_| None).collect());
         let cursor = AtomicUsize::new(0);
         let busy_ns = AtomicU64::new(0);
+        let wait_ns = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let c = cursor.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
+                scope.spawn(|| {
+                    let loop_start = Instant::now();
+                    let mut compute = Duration::ZERO;
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let out = attempt(c, ranges[c].clone());
+                        compute += t0.elapsed();
+                        slots.lock().expect("no poisoned workers")[c] = Some(out);
                     }
-                    let t0 = Instant::now();
-                    let out = attempt(c, ranges[c].clone());
-                    busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    slots.lock().expect("no poisoned workers")[c] = Some(out);
+                    busy_ns.fetch_add(compute.as_nanos() as u64, Ordering::Relaxed);
+                    wait_ns.fetch_add(
+                        loop_start.elapsed().saturating_sub(compute).as_nanos() as u64,
+                        Ordering::Relaxed,
+                    );
+                    // Merge this worker's telemetry before the scope joins
+                    // so it lands inside the caller's session.
+                    ssn_telemetry::flush_thread();
                 });
             }
         });
@@ -333,6 +371,7 @@ where
         (
             results,
             Duration::from_nanos(busy_ns.load(Ordering::Relaxed)),
+            Duration::from_nanos(wait_ns.load(Ordering::Relaxed)),
         )
     };
 
@@ -344,7 +383,17 @@ where
         chunks: n_chunks,
         failed_chunks: results.iter().filter(|r| r.is_err()).count(),
         retried_chunks: retried.load(Ordering::Relaxed),
+        sched_wait,
     };
+    if ssn_telemetry::enabled() {
+        // Scheduling overhead has no scope of its own to time — record the
+        // already-measured wait under the caller's span stack, and expose
+        // the compute/wait split as counters for the JSON sink.
+        ssn_telemetry::record("parallel.sched_wait", stats.sched_wait, n_chunks as u64);
+        ssn_telemetry::add("parallel.chunks", n_chunks as u64);
+        ssn_telemetry::add("parallel.compute_ns", stats.busy.as_nanos() as u64);
+        ssn_telemetry::add("parallel.sched_wait_ns", stats.sched_wait.as_nanos() as u64);
+    }
     (results, stats)
 }
 
@@ -448,6 +497,87 @@ mod tests {
         // Serial display uses the singular form.
         let (_, serial) = run_chunked(4, 2, &ExecPolicy::serial(), |_, _| ());
         assert!(serial.to_string().contains("1 thread ("), "{serial}");
+    }
+
+    fn synthetic_stats(wall: Duration, busy: Duration, threads: usize) -> ExecStats {
+        ExecStats {
+            wall,
+            busy,
+            threads,
+            items: 100,
+            chunks: 10,
+            failed_chunks: 0,
+            retried_chunks: 0,
+            sched_wait: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn zero_wall_rate_is_zero_not_infinite() {
+        // Regression: sub-tick runs used to report `inf eval/s`.
+        let stats = synthetic_stats(Duration::ZERO, Duration::ZERO, 1);
+        assert_eq!(stats.items_per_sec(), 0.0);
+        assert_eq!(stats.utilization(), 0.0);
+        let text = stats.to_string();
+        assert!(!text.contains("inf"), "{text}");
+        assert!(text.contains("0 eval/s"), "{text}");
+    }
+
+    #[test]
+    fn utilization_is_unclamped() {
+        // Regression: `.min(1.0)` used to hide busy-time accounting errors.
+        // A clock-granularity overshoot within the debug-assert tolerance
+        // must be reported as-is, not silently clamped to 100%.
+        let over = synthetic_stats(Duration::from_millis(100), Duration::from_millis(101), 1);
+        assert!(
+            over.utilization() > 1.0,
+            "clamp is back: {}",
+            over.utilization()
+        );
+        let half = synthetic_stats(Duration::from_millis(100), Duration::from_millis(40), 1);
+        assert!((half.utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_run_reports_true_compute_fraction() {
+        // Real run: ~2 ms of compute per chunk dominates the loop, so the
+        // compute fraction is high but honest (never above budget).
+        let (_, stats) = run_chunked(4, 1, &ExecPolicy::serial(), |_, _| {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        let u = stats.utilization();
+        assert!(u > 0.5, "compute fraction implausibly low: {u}");
+        assert!(u <= 1.0 + 1e-3, "busy exceeded wall on a serial run: {u}");
+        assert!(stats.busy <= stats.wall + Duration::from_millis(1));
+        assert!(stats.sched_wait < stats.wall);
+    }
+
+    #[test]
+    fn telemetry_captures_chunk_scheduling() {
+        for threads in [1usize, 3] {
+            let session = ssn_telemetry::Session::start();
+            let (_, stats) = {
+                let _root = ssn_telemetry::span("test.run");
+                run_chunked(64, 4, &ExecPolicy::with_threads(threads), |_, range| {
+                    range.map(|i| (i as f64).sqrt()).sum::<f64>()
+                })
+            };
+            let report = session.finish();
+            assert_eq!(report.counter("parallel.chunks"), Some(16));
+            assert_eq!(
+                report.counter("parallel.compute_ns"),
+                Some(stats.busy.as_nanos() as u64)
+            );
+            assert_eq!(
+                report.counter("parallel.sched_wait_ns"),
+                Some(stats.sched_wait.as_nanos() as u64)
+            );
+            let wait = report
+                .span("test.run.parallel.sched_wait")
+                .expect("sched_wait span under the caller's stack");
+            assert_eq!(wait.count, 16);
+            assert_eq!(wait.total, stats.sched_wait);
+        }
     }
 
     #[test]

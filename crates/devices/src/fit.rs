@@ -68,8 +68,8 @@ impl SsnRegionSpec {
 /// voltages to the source-referenced convention
 /// (`v_gs = v_g - v_s`, `v_ds = v_d - v_s`, `v_bs = -v_s`).
 pub fn sample_ssn_region<M: MosModel + ?Sized>(model: &M, spec: &SsnRegionSpec) -> Vec<IvSample> {
-    let vgs = linspace(0.0, spec.vg_max, spec.n_vg.max(2));
-    let vss = linspace(0.0, spec.vs_max, spec.n_vs.max(2));
+    let vgs = linspace(0.0, spec.vg_max, spec.n_vg.max(2)).expect("n clamped to >= 2");
+    let vss = linspace(0.0, spec.vs_max, spec.n_vs.max(2)).expect("n clamped to >= 2");
     let mut out = Vec::with_capacity(vgs.len() * vss.len());
     for &vs in &vss {
         for &vg in &vgs {

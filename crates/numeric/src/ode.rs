@@ -219,6 +219,7 @@ where
     if t1 <= t0 {
         return Err(NumericError::argument("rkf45: t1 must exceed t0"));
     }
+    let _span = ssn_telemetry::span("ode.rkf45");
     // Fehlberg tableau.
     const A: [[f64; 5]; 5] = [
         [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
@@ -361,6 +362,9 @@ where
             });
         }
     }
+    ssn_telemetry::add("ode.steps_accepted", report.accepted as u64);
+    ssn_telemetry::add("ode.steps_rejected", report.rejected as u64);
+    ssn_telemetry::add("ode.nan_recoveries", report.recoveries as u64);
     Ok((traj, report))
 }
 

@@ -170,13 +170,21 @@ pub fn solve_bracketed<F>(
 where
     F: FnMut(f64) -> f64,
 {
+    let _ladder_span = ssn_telemetry::span("solve.ladder");
     let (a, b, expansions) = expand_bracket(&mut f, lo, hi, &opts)?;
+    ssn_telemetry::add("solve.expansions", expansions as u64);
     let mut rungs_tried = 0usize;
     let mut last_err: Option<NumericError> = None;
     if opts.disabled_rungs & rung::BRENT == 0 {
         rungs_tried += 1;
-        match brent(&mut f, a, b, opts.root) {
+        ssn_telemetry::add("solve.rung.brent.attempts", 1);
+        let attempt = {
+            let _rung_span = ssn_telemetry::span("solve.rung.brent");
+            brent(&mut f, a, b, opts.root)
+        };
+        match attempt {
             Ok(x) => {
+                ssn_telemetry::add("solve.success.brent", 1);
                 return Ok((
                     x,
                     SolveReport {
@@ -184,15 +192,21 @@ where
                         rungs_tried,
                         expansions,
                     },
-                ))
+                ));
             }
             Err(e) => last_err = Some(e),
         }
     }
     if opts.disabled_rungs & rung::BISECT == 0 {
         rungs_tried += 1;
-        match bisect(&mut f, a, b, opts.root) {
+        ssn_telemetry::add("solve.rung.bisect.attempts", 1);
+        let attempt = {
+            let _rung_span = ssn_telemetry::span("solve.rung.bisect");
+            bisect(&mut f, a, b, opts.root)
+        };
+        match attempt {
             Ok(x) => {
+                ssn_telemetry::add("solve.success.bisect", 1);
                 return Ok((
                     x,
                     SolveReport {
@@ -200,7 +214,7 @@ where
                         rungs_tried,
                         expansions,
                     },
-                ))
+                ));
             }
             Err(e) => last_err = Some(e),
         }
@@ -231,8 +245,14 @@ where
     let mut newton_tried = 0usize;
     if opts.disabled_rungs & rung::NEWTON == 0 {
         newton_tried = 1;
-        match newton_bracketed(&mut fdf, x0, lo, hi, opts.root) {
+        ssn_telemetry::add("solve.rung.newton.attempts", 1);
+        let attempt = {
+            let _rung_span = ssn_telemetry::span("solve.rung.newton");
+            newton_bracketed(&mut fdf, x0, lo, hi, opts.root)
+        };
+        match attempt {
             Ok(x) => {
+                ssn_telemetry::add("solve.success.newton", 1);
                 return Ok((
                     x,
                     SolveReport {
@@ -240,7 +260,7 @@ where
                         rungs_tried: 1,
                         expansions: 0,
                     },
-                ))
+                ));
             }
             Err(e) => newton_err = Some(e),
         }

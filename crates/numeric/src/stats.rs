@@ -4,9 +4,34 @@ use crate::NumericError;
 
 /// Relative error `|measured - reference| / |reference|`.
 ///
-/// When `reference` is (numerically) zero the absolute error is returned
-/// instead, which keeps sweep tables finite near zero crossings.
-pub fn relative_error(measured: f64, reference: f64) -> f64 {
+/// # Errors
+///
+/// * [`NumericError::InvalidArgument`] when either input is non-finite.
+/// * [`NumericError::InvalidArgument`] when `reference` is numerically zero
+///   (`|reference| < 1e-300`) — a relative error against zero is undefined;
+///   use [`relative_or_absolute_error`] when a near-zero reference should
+///   fall back to the absolute error instead.
+pub fn relative_error(measured: f64, reference: f64) -> Result<f64, NumericError> {
+    if !measured.is_finite() || !reference.is_finite() {
+        return Err(NumericError::argument(format!(
+            "relative_error: non-finite input (measured {measured}, reference {reference})"
+        )));
+    }
+    let denom = reference.abs();
+    if denom < 1e-300 {
+        return Err(NumericError::argument(format!(
+            "relative_error: reference {reference} is numerically zero"
+        )));
+    }
+    Ok((measured - reference).abs() / denom)
+}
+
+/// Relative error with an absolute-error fallback for (numerically) zero
+/// references, which keeps sweep tables finite near zero crossings.
+///
+/// This is the old, infallible behavior of [`relative_error`]; non-finite
+/// inputs propagate as NaN/infinity rather than erroring.
+pub fn relative_or_absolute_error(measured: f64, reference: f64) -> f64 {
     let denom = reference.abs();
     if denom < 1e-300 {
         (measured - reference).abs()
@@ -55,29 +80,44 @@ pub fn rmse(a: &[f64], b: &[f64]) -> Result<f64, NumericError> {
 
 /// `n` evenly spaced points covering `[lo, hi]` inclusive.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n < 2`.
-pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    assert!(n >= 2, "linspace needs at least two points");
+/// Returns [`NumericError::InvalidArgument`] when `n < 2` (a grid needs
+/// both endpoints) or either bound is non-finite.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>, NumericError> {
+    if n < 2 {
+        return Err(NumericError::argument(format!(
+            "linspace: needs at least two points, got {n}"
+        )));
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(NumericError::argument(format!(
+            "linspace: bounds must be finite, got [{lo}, {hi}]"
+        )));
+    }
     let step = (hi - lo) / (n - 1) as f64;
-    (0..n)
+    Ok((0..n)
         .map(|i| if i == n - 1 { hi } else { lo + step * i as f64 })
-        .collect()
+        .collect())
 }
 
 /// `n` logarithmically spaced points covering `[lo, hi]` inclusive.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n < 2` or either bound is non-positive.
-pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    assert!(n >= 2, "logspace needs at least two points");
-    assert!(lo > 0.0 && hi > 0.0, "logspace bounds must be positive");
-    linspace(lo.ln(), hi.ln(), n)
+/// Returns [`NumericError::InvalidArgument`] when `n < 2`, either bound is
+/// non-finite, or either bound is non-positive (its logarithm would be
+/// undefined).
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>, NumericError> {
+    if !(lo > 0.0) || !(hi > 0.0) {
+        return Err(NumericError::argument(format!(
+            "logspace: bounds must be positive, got [{lo}, {hi}]"
+        )));
+    }
+    Ok(linspace(lo.ln(), hi.ln(), n)?
         .into_iter()
         .map(f64::exp)
-        .collect()
+        .collect())
 }
 
 /// Arithmetic mean of a non-empty slice.
@@ -95,13 +135,41 @@ pub fn mean(xs: &[f64]) -> Result<f64, NumericError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::forall;
 
     #[test]
     fn relative_error_basic() {
-        assert!((relative_error(1.03, 1.0) - 0.03).abs() < 1e-12);
-        assert!((relative_error(0.97, 1.0) - 0.03).abs() < 1e-12);
-        // Zero reference falls back to absolute error.
-        assert!((relative_error(0.02, 0.0) - 0.02).abs() < 1e-15);
+        assert!((relative_error(1.03, 1.0).unwrap() - 0.03).abs() < 1e-12);
+        assert!((relative_error(0.97, 1.0).unwrap() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_rejects_zero_reference_and_non_finite() {
+        for reference in [0.0, -0.0, 1e-301] {
+            assert!(relative_error(0.02, reference).is_err(), "{reference}");
+        }
+        assert!(relative_error(f64::NAN, 1.0).is_err());
+        assert!(relative_error(1.0, f64::INFINITY).is_err());
+        // The infallible variant keeps the absolute-error fallback.
+        assert!((relative_or_absolute_error(0.02, 0.0) - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relative_error_variants_agree_away_from_zero() {
+        forall("rel-err agreement", 300, |g| {
+            let reference = g.f64_in(1e-6, 1e6) * if g.f64_in(0.0, 1.0) < 0.5 { -1.0 } else { 1.0 };
+            let measured = g.f64_in(-1e6, 1e6);
+            let typed = relative_error(measured, reference)
+                .map_err(|e| format!("unexpected error: {e}"))?;
+            let legacy = relative_or_absolute_error(measured, reference);
+            if typed != legacy {
+                return Err(format!("{typed} != {legacy}"));
+            }
+            if !(typed >= 0.0) {
+                return Err(format!("negative or NaN error {typed}"));
+            }
+            Ok(())
+        });
     }
 
     #[test]
@@ -117,7 +185,7 @@ mod tests {
 
     #[test]
     fn linspace_endpoints_exact() {
-        let g = linspace(0.0, 1.8, 10);
+        let g = linspace(0.0, 1.8, 10).unwrap();
         assert_eq!(g.len(), 10);
         assert_eq!(g[0], 0.0);
         assert_eq!(g[9], 1.8);
@@ -125,8 +193,40 @@ mod tests {
     }
 
     #[test]
+    fn linspace_rejects_degenerate_and_non_finite() {
+        assert!(linspace(0.0, 1.0, 0).is_err());
+        assert!(linspace(0.0, 1.0, 1).is_err());
+        assert!(linspace(f64::NAN, 1.0, 5).is_err());
+        assert!(linspace(0.0, f64::INFINITY, 5).is_err());
+    }
+
+    #[test]
+    fn linspace_properties() {
+        forall("linspace shape", 300, |g| {
+            let lo = g.f64_in(-1e9, 1e9);
+            let hi = g.f64_in(-1e9, 1e9);
+            let n = g.usize_in(2, 64);
+            let pts = linspace(lo, hi, n).map_err(|e| format!("unexpected error: {e}"))?;
+            if pts.len() != n {
+                return Err(format!("len {} != n {n}", pts.len()));
+            }
+            if pts[0] != lo || pts[n - 1] != hi {
+                return Err(format!(
+                    "endpoints [{}, {}] != [{lo}, {hi}]",
+                    pts[0],
+                    pts[n - 1]
+                ));
+            }
+            if pts.iter().any(|x| !x.is_finite()) {
+                return Err("non-finite grid point".into());
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
     fn logspace_spans_decades() {
-        let g = logspace(1e-15, 1e-9, 7);
+        let g = logspace(1e-15, 1e-9, 7).unwrap();
         assert_eq!(g.len(), 7);
         assert!((g[0] - 1e-15).abs() < 1e-27);
         assert!((g[6] - 1e-9).abs() < 1e-21);
@@ -135,9 +235,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two")]
-    fn linspace_rejects_degenerate() {
-        let _ = linspace(0.0, 1.0, 1);
+    fn logspace_rejects_bad_endpoints() {
+        assert!(logspace(0.0, 1.0, 5).is_err());
+        assert!(logspace(-1.0, 1.0, 5).is_err());
+        assert!(logspace(1.0, f64::NAN, 5).is_err());
+        assert!(logspace(1.0, 10.0, 1).is_err());
+        assert!(logspace(1.0, 10.0, 0).is_err());
+    }
+
+    #[test]
+    fn logspace_properties() {
+        forall("logspace positivity", 300, |g| {
+            let lo = 10f64.powf(g.f64_in(-18.0, 3.0));
+            let hi = 10f64.powf(g.f64_in(-18.0, 3.0));
+            let n = g.usize_in(2, 48);
+            let pts = logspace(lo, hi, n).map_err(|e| format!("unexpected error: {e}"))?;
+            if pts.len() != n {
+                return Err(format!("len {} != n {n}", pts.len()));
+            }
+            if pts.iter().any(|x| !(x.is_finite() && *x > 0.0)) {
+                return Err("non-positive or non-finite grid point".into());
+            }
+            // Endpoints are exp(ln(..)) round trips: allow 1 ulp-ish slack.
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+            if rel(pts[0], lo) > 1e-12 || rel(pts[n - 1], hi) > 1e-12 {
+                return Err(format!(
+                    "endpoints [{}, {}] vs [{lo}, {hi}]",
+                    pts[0],
+                    pts[n - 1]
+                ));
+            }
+            Ok(())
+        });
     }
 
     #[test]

@@ -41,7 +41,8 @@ impl AcOptions {
         assert!(points_per_decade > 0, "need at least one point per decade");
         let decades = (f_hi / f_lo).log10();
         let n = ((decades * points_per_decade as f64).ceil() as usize + 1).max(2);
-        let frequencies = ssn_numeric::stats::logspace(f_lo, f_hi, n);
+        let frequencies = ssn_numeric::stats::logspace(f_lo, f_hi, n)
+            .expect("bounds checked positive and n >= 2 above");
         Self {
             frequencies,
             stimulus: source.to_owned(),

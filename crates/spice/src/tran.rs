@@ -220,6 +220,7 @@ fn breakpoints(circuit: &Circuit, t_stop: f64) -> Vec<f64> {
 ///   step below `dt_min`,
 /// * errors from the initial DC operating point when `use_ic` is off.
 pub fn transient(circuit: &Circuit, opts: TranOptions) -> Result<TranResult, SpiceError> {
+    let _span = ssn_telemetry::span("spice.tran");
     let layout = SystemLayout::new(circuit);
     let (dt_init, dt_min, dt_max) = opts.resolved();
     let bps = breakpoints(circuit, opts.t_stop);
@@ -333,6 +334,9 @@ pub fn transient(circuit: &Circuit, opts: TranOptions) -> Result<TranResult, Spi
         }
     }
 
+    ssn_telemetry::add("spice.tran.steps", times.len() as u64);
+    ssn_telemetry::add("spice.tran.newton_iters", total_newton as u64);
+    ssn_telemetry::add("spice.tran.rejected_steps", rejected as u64);
     Ok(TranResult {
         circuit: circuit.clone(),
         layout,

@@ -17,6 +17,17 @@ cargo test -q
 echo "== fault injection =="
 cargo test -q --test fault_injection
 
+echo "== telemetry smoke =="
+# A real --telemetry=json run, then the in-repo validator: every line must
+# parse and the stream must cover meta + spans + counters. The root package
+# does not depend on the CLI, so build its binaries explicitly.
+cargo build --release -p ssn-cli
+tmp_json="$(mktemp)"
+trap 'rm -f "$tmp_json"' EXIT
+./target/release/ssn montecarlo --process p018 --drivers 8 --samples 600 \
+    --threads 2 --seed 1 --telemetry=json:"$tmp_json" > /dev/null
+./target/release/telemetry-lint "$tmp_json"
+
 echo "== panic audit =="
 ./scripts/panic_audit.sh
 

@@ -10,8 +10,22 @@ use ssn_lab::core::design::sweep_design_grid;
 use ssn_lab::core::montecarlo::{run_monte_carlo_with, VariationSpec, MC_CHUNK};
 use ssn_lab::core::parallel::ExecPolicy;
 use ssn_lab::core::scenario::SsnScenario;
+use ssn_lab::core::telemetry;
 use ssn_lab::devices::Asdm;
 use ssn_lab::units::{Farads, Henrys, Seconds, Siemens, Volts};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Telemetry recording is process-global: while one test holds a
+/// [`telemetry::Session`], spans from a concurrently running test would
+/// leak into its report. Every test in this file takes this lock so the
+/// session-holding tests observe only their own work.
+static TELEMETRY_TESTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    TELEMETRY_TESTS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
 
 fn scenario(n: usize) -> SsnScenario {
     let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
@@ -26,6 +40,7 @@ fn scenario(n: usize) -> SsnScenario {
 
 #[test]
 fn monte_carlo_is_bit_identical_across_thread_counts() {
+    let _guard = lock();
     let s = scenario(8);
     let spec = VariationSpec::typical();
     // A sample count that is not a chunk multiple, spanning several chunks.
@@ -85,6 +100,7 @@ fn monte_carlo_is_bit_identical_across_thread_counts() {
 
 #[test]
 fn monte_carlo_auto_policy_matches_serial() {
+    let _guard = lock();
     let s = scenario(4);
     let spec = VariationSpec::typical();
     let (serial, _) =
@@ -95,6 +111,7 @@ fn monte_carlo_auto_policy_matches_serial() {
 
 #[test]
 fn different_seeds_differ() {
+    let _guard = lock();
     // Guards against a degenerate "deterministic because constant" engine.
     let s = scenario(8);
     let spec = VariationSpec::typical();
@@ -105,6 +122,7 @@ fn different_seeds_differ() {
 
 #[test]
 fn design_grid_is_identical_across_thread_counts() {
+    let _guard = lock();
     let template = scenario(8);
     let drivers: Vec<usize> = (1..=24).collect();
     let inductances: Vec<Henrys> = (1..=8).map(|l| Henrys::from_nanos(l as f64)).collect();
@@ -128,6 +146,7 @@ fn design_grid_is_identical_across_thread_counts() {
 
 #[test]
 fn telemetry_is_present_and_sane() {
+    let _guard = lock();
     let s = scenario(8);
     let spec = VariationSpec::typical();
     let (_, stats) =
@@ -139,4 +158,125 @@ fn telemetry_is_present_and_sane() {
     let line = stats.to_string();
     assert!(line.contains("1000 evaluations"), "telemetry line: {line}");
     assert!(line.contains("eval/s"), "telemetry line: {line}");
+}
+
+#[test]
+fn telemetry_on_and_off_are_bit_identical_at_every_thread_count() {
+    let _guard = lock();
+    let s = scenario(8);
+    let spec = VariationSpec::typical();
+    let n_samples = MC_CHUNK + 61;
+    let seed = 0xBEEF;
+    let drivers: Vec<usize> = (1..=12).collect();
+    let inductances: Vec<Henrys> = (1..=6).map(|l| Henrys::from_nanos(l as f64)).collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        let policy = ExecPolicy::with_threads(threads);
+        // Telemetry off (no session): the baseline.
+        let (mc_off, _) =
+            run_monte_carlo_with(&s, &spec, n_samples, seed, &policy).expect("mc off");
+        let (grid_off, _) =
+            sweep_design_grid(&s, &drivers, &inductances, &policy).expect("grid off");
+
+        // Telemetry on: identical numbers, plus a non-empty report.
+        let session = telemetry::Session::start();
+        let (mc_on, grid_on) = {
+            let _root = telemetry::span("test.determinism");
+            let (mc_on, _) =
+                run_monte_carlo_with(&s, &spec, n_samples, seed, &policy).expect("mc on");
+            let (grid_on, _) =
+                sweep_design_grid(&s, &drivers, &inductances, &policy).expect("grid on");
+            (mc_on, grid_on)
+        };
+        let report = session.finish();
+
+        assert_eq!(
+            mc_on.samples(),
+            mc_off.samples(),
+            "telemetry changed Monte Carlo samples at {threads} threads"
+        );
+        assert_eq!(
+            grid_on, grid_off,
+            "telemetry changed the design grid at {threads} threads"
+        );
+        assert!(
+            !report.is_empty(),
+            "no telemetry recorded at {threads} threads"
+        );
+        assert!(
+            report.spans.iter().any(|sp| sp.path.ends_with("mc.run")),
+            "missing mc.run span at {threads} threads: {report:?}"
+        );
+        assert!(
+            report.spans.iter().any(|sp| sp.path.ends_with("grid.run")),
+            "missing grid.run span at {threads} threads: {report:?}"
+        );
+        assert_eq!(
+            report.counter("mc.samples"),
+            Some(n_samples as u64),
+            "mc.samples counter wrong at {threads} threads"
+        );
+        assert_eq!(
+            report.counter("grid.points"),
+            Some((drivers.len() * inductances.len()) as u64),
+            "grid.points counter wrong at {threads} threads"
+        );
+    }
+}
+
+/// Zeroes every timing value so two JSON streams of the same run can be
+/// compared exactly: the digit runs after `"total_ns":` / `"self_ns":`,
+/// and the `"value":` of counters whose name carries the `_ns` suffix
+/// (the convention for nanosecond-valued counters).
+fn strip_timings(stream: &str) -> String {
+    let mut out = String::with_capacity(stream.len());
+    for line in stream.lines() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("_ns\":") {
+            let (head, tail) = rest.split_at(pos + "_ns\":".len());
+            out.push_str(head);
+            out.push('0');
+            rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+        }
+        if line.contains("\"type\":\"counter\"") && line.contains("_ns\",") {
+            if let Some(pos) = rest.find("\"value\":") {
+                let (head, tail) = rest.split_at(pos + "\"value\":".len());
+                out.push_str(head);
+                out.push('0');
+                rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+            }
+        }
+        out.push_str(rest);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn telemetry_json_stream_is_stable_modulo_timing() {
+    let _guard = lock();
+    let s = scenario(8);
+    let spec = VariationSpec::typical();
+    let policy = ExecPolicy::with_threads(2);
+
+    let streams: Vec<String> = (0..2)
+        .map(|_| {
+            let session = telemetry::Session::start();
+            {
+                let _root = telemetry::span("test.json_stability");
+                let _ = run_monte_carlo_with(&s, &spec, 400, 3, &policy).expect("run");
+            }
+            session.finish().to_json_lines()
+        })
+        .collect();
+
+    assert_eq!(
+        strip_timings(&streams[0]),
+        strip_timings(&streams[1]),
+        "same run, different structure:\n--- a ---\n{}\n--- b ---\n{}",
+        streams[0],
+        streams[1]
+    );
+    // And the sanitised stream still validates against the schema.
+    telemetry::json::validate_lines(&strip_timings(&streams[0])).expect("valid after stripping");
 }
