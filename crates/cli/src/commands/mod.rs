@@ -7,6 +7,7 @@ pub mod impedance;
 pub mod montecarlo;
 pub mod simulate;
 pub mod sweep;
+pub mod validate;
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;

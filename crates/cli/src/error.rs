@@ -13,6 +13,7 @@
 //! | 7    | validation simulator failure                        |
 //! | 8    | waveform operation failure                          |
 //! | 9    | every parallel chunk failed (no partial result)     |
+//! | 10   | differential validation found budget violations     |
 //! | 1    | any other analysis failure                          |
 
 use ssn_core::SsnError;
@@ -33,6 +34,13 @@ pub enum CliError {
     /// An analysis failure from the underlying suite; the inner
     /// [`SsnError`] variant selects the exit code.
     Analysis(SsnError),
+    /// `ssn validate` found closed-form/simulator disagreements beyond
+    /// the tolerance budgets. Not an execution failure — the run itself
+    /// completed — but a distinct gating outcome for CI scripts.
+    Validation {
+        /// How many corpus scenarios violated their budget.
+        violations: usize,
+    },
 }
 
 impl CliError {
@@ -58,6 +66,7 @@ impl CliError {
                 SsnError::AllChunksFailed { .. } => 9,
                 _ => 1,
             },
+            Self::Validation { .. } => 10,
         }
     }
 
@@ -75,6 +84,7 @@ impl CliError {
                 SsnError::AllChunksFailed { .. } => "all-chunks-failed",
                 _ => "analysis",
             },
+            Self::Validation { .. } => "validation",
         }
     }
 
@@ -96,6 +106,10 @@ impl fmt::Display for CliError {
             Self::Usage { message } => write!(f, "usage error: {message}"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::Analysis(e) => write!(f, "analysis failed: {e}"),
+            Self::Validation { violations } => write!(
+                f,
+                "differential validation failed: {violations} scenario(s) beyond budget"
+            ),
         }
     }
 }
@@ -106,6 +120,7 @@ impl Error for CliError {
             Self::Usage { .. } => None,
             Self::Io(e) => Some(e),
             Self::Analysis(e) => Some(e),
+            Self::Validation { .. } => None,
         }
     }
 }
@@ -177,6 +192,7 @@ mod tests {
                 9,
                 "all-chunks-failed",
             ),
+            (CliError::Validation { violations: 3 }, 10, "validation"),
         ];
         for (err, code, kind) in cases {
             assert_eq!(err.exit_code(), code, "{err}");

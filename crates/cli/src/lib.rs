@@ -38,6 +38,7 @@ COMMANDS:
     montecarlo  variation/yield analysis of the estimate
     impedance   AC impedance of the ground network
     simulate    run a SPICE deck and report probed waveforms
+    validate    differential oracle: closed forms vs MNA over a corpus
     help        show this text
 
 Run `ssn <command> --help` for command options. Quantities accept SI/SPICE
@@ -49,6 +50,7 @@ EXIT CODES:
     3  i/o failure           7  simulator failure
     4  invalid input         8  waveform failure
                              9  every parallel chunk failed
+                            10  differential validation violations
 Errors print one structured stderr line: `ssn: error kind=... exit=...: ...`.
 ";
 
@@ -74,6 +76,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "montecarlo" => commands::montecarlo::run(rest, out),
         "impedance" => commands::impedance::run(rest, out),
         "simulate" => commands::simulate::run(rest, out),
+        "validate" => commands::validate::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -359,6 +362,24 @@ mod tests {
     }
 
     #[test]
+    fn validate_small_corpus_passes() {
+        let (res, text) = run_to_string(&["validate", "--corpus", "9", "--threads", "1"]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("all scenarios within budget"), "{text}");
+        assert!(text.contains("case,count,violations"), "{text}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_options() {
+        let (res, _) = run_to_string(&["validate", "--corpus", "4", "--threads", "0"]);
+        assert!(matches!(res, Err(CliError::Usage { .. })));
+        let (res, _) = run_to_string(&["validate", "--budget-scale", "-2"]);
+        assert!(matches!(res, Err(CliError::Usage { .. })));
+        let (res, _) = run_to_string(&["validate", "--corpus", "0"]);
+        assert!(matches!(res, Err(CliError::Analysis { .. })));
+    }
+
+    #[test]
     fn bad_process_name_reports_cleanly() {
         let (res, _) = run_to_string(&["estimate", "--process", "p999", "--drivers", "8"]);
         match res {
@@ -377,6 +398,7 @@ mod tests {
             "montecarlo",
             "impedance",
             "fit",
+            "validate",
         ] {
             let (res, text) = run_to_string(&[cmd, "--help"]);
             assert!(res.is_ok(), "{cmd}");

@@ -197,6 +197,24 @@ impl DriverBankConfig {
         self
     }
 
+    /// Overrides the simulator-side settling delay before the input ramp
+    /// starts (default 50 ps).
+    ///
+    /// The delay exists only on the *simulator* axis: [`measure`] shifts
+    /// every waveform back by exactly this amount, so the model axis always
+    /// has the ramp starting at `t = 0` and conduction starting at
+    /// `t_0 = V_0 / s` — the closed forms' `t' = t - V_0/s` origin. The
+    /// regression tests pin that measurements are invariant to this knob.
+    pub fn with_input_delay(mut self, delay: Seconds) -> Self {
+        self.input_delay = delay;
+        self
+    }
+
+    /// The simulator-side settling delay before the input ramp starts.
+    pub fn input_delay(&self) -> Seconds {
+        self.input_delay
+    }
+
     /// Overrides the package parasitics.
     pub fn with_package(mut self, l: Henrys, c: Farads) -> Self {
         self.inductance = l;
@@ -275,6 +293,14 @@ impl DriverBankConfig {
                 "load capacitance",
                 cl,
                 "per-driver load must be non-negative and finite",
+            ));
+        }
+        let delay = self.input_delay.value();
+        if !(delay >= 0.0) || !delay.is_finite() {
+            return Err(SsnError::invalid(
+                "input delay",
+                delay,
+                "input delay must be non-negative and finite",
             ));
         }
         Ok(())
@@ -633,6 +659,14 @@ mod tests {
                 p018_config(4).with_load(Farads::new(f64::NAN)),
                 "load capacitance",
             ),
+            (
+                p018_config(4).with_input_delay(Seconds::new(-1e-12)),
+                "input delay",
+            ),
+            (
+                p018_config(4).with_input_delay(Seconds::new(f64::NAN)),
+                "input delay",
+            ),
         ];
         for (cfg, want_field) in cases {
             let err = measure(&cfg).unwrap_err();
@@ -678,6 +712,72 @@ mod tests {
         // Peak bookkeeping.
         assert!(meas.vn_max_global >= meas.vn_max);
         assert!(meas.vn_peak_time.value() <= 0.5e-9 + 1e-15);
+    }
+
+    #[test]
+    fn model_axis_is_invariant_to_input_delay() {
+        // Regression: the simulator settling delay must cancel exactly in
+        // the scenario→netlist→measurement round trip. If the conversion
+        // dropped (or double-counted) the delay, the model-axis peak time
+        // would move by the delay change — far outside these tolerances.
+        let tr = 0.5e-9;
+        let base = measure(&p018_config(8)).unwrap();
+        let moved = measure(&p018_config(8).with_input_delay(Seconds::from_picos(300.0))).unwrap();
+        let dv = (moved.vn_max.value() - base.vn_max.value()).abs() / base.vn_max.value();
+        assert!(dv < 5e-3, "vn_max moved by {dv} with the input delay");
+        let dt = (moved.vn_peak_time.value() - base.vn_peak_time.value()).abs();
+        assert!(
+            dt < 0.02 * tr,
+            "peak time moved by {dt} s with a 250 ps delay change"
+        );
+        // Default and accessor round trip.
+        assert_eq!(
+            p018_config(8).input_delay(),
+            Seconds::from_picos(50.0),
+            "documented default"
+        );
+        assert_eq!(
+            p018_config(8)
+                .with_input_delay(Seconds::from_picos(300.0))
+                .input_delay(),
+            Seconds::from_picos(300.0)
+        );
+    }
+
+    #[test]
+    fn conduction_start_matches_the_closed_form_time_origin() {
+        // Pins the `t' = t - V0/s` offset: on the model axis the input
+        // ramp crosses the ASDM displacement voltage V0 at exactly
+        // t0 = V0 tr / Vdd, and the bounce is quiet until then.
+        use std::sync::Arc;
+        let process = Process::p018();
+        let scenario = crate::scenario::SsnScenario::builder(&process)
+            .drivers(8)
+            .rise_time(Seconds::from_nanos(0.5))
+            .build()
+            .unwrap();
+        let t0 = scenario.conduction_start().value();
+        let tr = scenario.rise_time().value();
+        assert!(t0 > 0.05 * tr && t0 < 0.95 * tr, "t0 = {t0}");
+        let cfg = DriverBankConfig::from_scenario(&scenario, Arc::new(process.output_driver()));
+        let meas = measure(&cfg).unwrap();
+        let v0 = scenario.asdm().v0().value();
+        let crossing = meas
+            .input
+            .first_rise_through(v0)
+            .expect("input must cross V0");
+        assert!(
+            (crossing - t0).abs() < 0.01 * tr,
+            "input crosses V0 at {crossing}, model t0 = {t0}"
+        );
+        // Before conduction the bank sinks no current: the bounce at
+        // 0.5 * t0 is tiny compared to the peak (subthreshold only).
+        let early = meas.ground_bounce.sample(0.5 * t0).abs();
+        assert!(
+            early < 0.05 * meas.vn_max.value(),
+            "bounce {early} before conduction start (peak {})",
+            meas.vn_max
+        );
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //! * [`parallel`] — the deterministic chunked thread-pool engine behind
 //!   Monte Carlo margining and design-space sweeps, with per-chunk panic
 //!   isolation,
+//! * [`oracle`] — the corpus-scale differential oracle harness
+//!   cross-validating the closed forms against an MNA transient of the
+//!   same linearized circuit, with minimized reproducers on disagreement,
 //! * `faults` — deterministic fault-injection hooks (NaN model outputs,
 //!   worker panics, forced solver failures), compiled in behind the
 //!   `fault-injection` cargo feature and disarmed by default.
@@ -65,6 +68,7 @@ mod hooks;
 pub mod lcmodel;
 pub mod lmodel;
 pub mod montecarlo;
+pub mod oracle;
 pub mod parallel;
 pub mod report;
 pub mod scenario;

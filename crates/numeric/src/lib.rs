@@ -21,7 +21,10 @@
 //! * [`stats`] — error metrics and grid helpers,
 //! * [`rng`] — deterministic, stream-splittable pseudo-random numbers
 //!   (xoshiro256++) for Monte Carlo work,
-//! * [`check`] — a minimal deterministic property-testing harness.
+//! * [`check`] — a minimal deterministic property-testing harness,
+//! * [`shrink`] — deterministic counterexample shrinking toward a
+//!   reference anchor (the companion the `check` harness deliberately
+//!   omits).
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ pub mod optimize;
 pub mod quadrature;
 pub mod rng;
 pub mod roots;
+pub mod shrink;
 pub mod solve;
 pub mod stats;
 

@@ -1,0 +1,199 @@
+//! Deterministic counterexample shrinking.
+//!
+//! The property harness in [`crate::check`] deliberately trades shrinking
+//! for perfect seed-replay reproducibility: a failing case replays exactly,
+//! but it is as gnarly as the generator drew it. This module supplies the
+//! missing half for callers that *do* want small counterexamples — a
+//! deterministic, RNG-free bisection that walks a failing point toward a
+//! designated *reference* (a known-healthy anchor) while the failure
+//! persists.
+//!
+//! Unlike QuickCheck-style structural shrinking (toward zero / empty), the
+//! target here is a healthy anchor chosen by the caller, which suits
+//! physical parameter spaces: the interesting minimal counterexample is
+//! "the closest thing to the nominal scenario that still fails", not the
+//! all-zeros degenerate. The differential oracle in `ssn-core` uses this to
+//! minimize closed-form/simulator disagreements toward the paper's nominal
+//! operating point.
+//!
+//! Everything here is deterministic: same inputs, same predicate, same
+//! result — on every thread count and every run.
+
+/// Bisects one failing scalar toward `reference`, keeping the failure.
+///
+/// Maintains the invariant `fails(bad)` while halving the distance to the
+/// non-failing side, for at most `steps` probes. Returns the closest value
+/// to `reference` that still failed.
+///
+/// Degenerate inputs are handled conservatively:
+///
+/// * non-finite `failing` or `reference` — returned unchanged (`failing`),
+/// * `fails(reference)` — the whole segment fails; `reference` is returned
+///   (it is the closest failing point by definition),
+/// * `!fails(failing)` — nothing to shrink; `failing` is returned.
+///
+/// # Examples
+///
+/// ```
+/// use ssn_numeric::shrink::shrink_toward;
+///
+/// // Failure region: x > 3. Shrinking 100 toward 0 lands just above 3.
+/// let x = shrink_toward(100.0, 0.0, 60, |x| x > 3.0);
+/// assert!(x > 3.0 && x < 3.0 + 1e-9);
+/// ```
+pub fn shrink_toward<F>(failing: f64, reference: f64, steps: usize, mut fails: F) -> f64
+where
+    F: FnMut(f64) -> bool,
+{
+    if !failing.is_finite() || !reference.is_finite() {
+        return failing;
+    }
+    if !fails(failing) {
+        return failing;
+    }
+    if fails(reference) {
+        return reference;
+    }
+    let mut bad = failing; // invariant: fails(bad)
+    let mut good = reference; // invariant: !fails(good)
+    for _ in 0..steps {
+        let mid = 0.5 * (bad + good);
+        if mid == bad || mid == good {
+            break; // interval exhausted at f64 resolution
+        }
+        if fails(mid) {
+            bad = mid;
+        } else {
+            good = mid;
+        }
+    }
+    bad
+}
+
+/// Coordinate-descent shrinking of a failing parameter vector toward a
+/// reference vector.
+///
+/// Each pass bisects every coordinate in turn (via [`shrink_toward`], with
+/// the other coordinates frozen at their current values) and stops after
+/// `max_passes` passes or when a full pass moves nothing. The result always
+/// satisfies `fails` — the invariant is maintained coordinate by
+/// coordinate.
+///
+/// The per-coordinate sweep order is fixed (index order), so the result is
+/// deterministic. As with all greedy coordinate descent the result is a
+/// local optimum of "closeness", not a global one — good enough for
+/// readable reproducers.
+///
+/// # Panics
+///
+/// Panics when `failing` and `reference` have different lengths.
+pub fn shrink_vector<F>(
+    failing: &[f64],
+    reference: &[f64],
+    steps: usize,
+    max_passes: usize,
+    mut fails: F,
+) -> Vec<f64>
+where
+    F: FnMut(&[f64]) -> bool,
+{
+    assert_eq!(
+        failing.len(),
+        reference.len(),
+        "failing and reference vectors must have the same length"
+    );
+    let mut cur = failing.to_vec();
+    if !fails(&cur) {
+        return cur;
+    }
+    for _ in 0..max_passes {
+        let mut moved = false;
+        for i in 0..cur.len() {
+            let from = cur[i];
+            if from == reference[i] {
+                continue;
+            }
+            let mut probe = cur.clone();
+            let shrunk = shrink_toward(from, reference[i], steps, |v| {
+                probe[i] = v;
+                fails(&probe)
+            });
+            if shrunk != from {
+                cur[i] = shrunk;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_bisects_to_the_failure_boundary() {
+        let x = shrink_toward(1e6, 0.0, 80, |x| x >= 10.0);
+        assert!(x >= 10.0, "result must still fail: {x}");
+        assert!(x - 10.0 < 1e-6, "should sit just above the boundary: {x}");
+        // Shrinking downward works symmetrically.
+        let y = shrink_toward(-50.0, 0.0, 80, |y| y <= -2.0);
+        assert!(y <= -2.0 && (-2.0 - y) < 1e-6, "{y}");
+    }
+
+    #[test]
+    fn scalar_degenerate_inputs() {
+        // Not failing: unchanged.
+        assert_eq!(shrink_toward(5.0, 0.0, 40, |x| x > 100.0), 5.0);
+        // Reference itself fails: reference wins.
+        assert_eq!(shrink_toward(5.0, 0.0, 40, |_| true), 0.0);
+        // Non-finite inputs pass through.
+        assert!(shrink_toward(f64::NAN, 0.0, 40, |_| true).is_nan());
+        assert_eq!(
+            shrink_toward(5.0, f64::INFINITY, 40, |_| true),
+            5.0,
+            "non-finite reference leaves the point alone"
+        );
+        // Zero steps: the original failing point survives.
+        assert_eq!(shrink_toward(7.0, 0.0, 0, |x| x > 3.0), 7.0);
+    }
+
+    #[test]
+    fn vector_shrinks_each_coordinate_independently() {
+        // Failure: x0 > 2 AND x1 < -1 (x2 is irrelevant).
+        let out = shrink_vector(&[50.0, -30.0, 9.0], &[0.0, 0.0, 9.0], 60, 4, |v| {
+            v[0] > 2.0 && v[1] < -1.0
+        });
+        assert!(out[0] > 2.0 && out[0] - 2.0 < 1e-6, "{out:?}");
+        assert!(out[1] < -1.0 && -1.0 - out[1] < 1e-6, "{out:?}");
+        assert_eq!(out[2], 9.0);
+    }
+
+    #[test]
+    fn vector_result_always_fails_and_is_deterministic() {
+        // Coupled failure region: a ring around the reference.
+        let fails = |v: &[f64]| v[0] * v[0] + v[1] * v[1] >= 4.0;
+        let a = shrink_vector(&[30.0, 40.0], &[0.0, 0.0], 50, 3, fails);
+        let b = shrink_vector(&[30.0, 40.0], &[0.0, 0.0], 50, 3, fails);
+        assert_eq!(a, b, "deterministic");
+        assert!(fails(&a), "invariant: the result still fails: {a:?}");
+        // It moved substantially toward the reference.
+        let dist = (a[0] * a[0] + a[1] * a[1]).sqrt();
+        assert!(dist < 10.0, "shrunk distance {dist}");
+    }
+
+    #[test]
+    fn vector_not_failing_is_returned_unchanged() {
+        let out = shrink_vector(&[1.0, 2.0], &[0.0, 0.0], 40, 3, |_| false);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn vector_length_mismatch_panics() {
+        shrink_vector(&[1.0], &[0.0, 0.0], 10, 1, |_| true);
+    }
+}

@@ -47,6 +47,7 @@ pub mod parser;
 mod solution;
 mod source;
 mod stamp;
+pub mod synth;
 mod tran;
 pub mod writer;
 

@@ -1,0 +1,341 @@
+//! Programmatic synthesis of the linearized SSN equivalent circuit.
+//!
+//! The differential oracle in `ssn-core` needs a netlist that solves
+//! *exactly* the ODE behind the paper's closed forms, so that any
+//! disagreement is attributable to the closed-form derivation or the
+//! integrator — never to device-model mismatch. During the conduction
+//! window the bank of `N` identical drivers linearizes to a single
+//! transconductance
+//!
+//! ```text
+//! i(t) = N K (v_in(t) - V_0 - sigma * V_n(t))
+//! ```
+//!
+//! With the turn-on clamp folded into the source, the drive becomes the
+//! *excess gate voltage* `u(t) = max(0, s t - V_0)` — literally the
+//! substitution `t' = t - V_0/s` the paper applies in Eqns. 6 and 13. The
+//! synthesized PWL therefore holds `0` until the conduction start
+//! `t0 = V_0/s` and ramps to `V_dd - V_0` at `t_r`, putting the netlist on
+//! the same time origin as the closed forms (peak-time comparisons are
+//! apples-to-apples). After `t_r` the PWL holds `V_dd - V_0`, which matches
+//! the saturated input `v_in = V_dd` exactly.
+//!
+//! Circuit (all values plain SI floats; the caller owns unit handling):
+//!
+//! ```text
+//!   ctrl --(vctrl: PWL u(t))         gdrv: i = gm * v(ctrl) into ng
+//!                                    rfb:  R = 1 / (gm * sigma)  ng -> gnd
+//!   ng  --- lg (L, ic 0) --- gnd     [cg (C, ic 0) when C > 0]
+//! ```
+//!
+//! The feedback term `-gm * sigma * V_n` is realized as the resistor `rfb`
+//! (a conductance `gm * sigma` to ground), and the drive as a VCCS sensing
+//! the `ctrl` node. The resulting MNA system is linear and tiny (dimension
+//! 4–5 regardless of `N`), so corpus-scale sweeps stay fast: `N` enters
+//! only through `gm = N K`.
+//!
+//! Note the deliberate difference from `ssn_core::bridge`: the bridge
+//! simulates the *nonlinear golden device* (the paper's HSPICE role), while
+//! this module synthesizes the *linearized model circuit* (the paper's
+//! Eqn. 13 verbatim, without the conduction clamp). The closed forms solve
+//! exactly this linear system, which is what makes tight differential
+//! error budgets meaningful.
+
+use crate::error::SpiceError;
+use crate::netlist::Circuit;
+use crate::parser::TranDirective;
+use crate::source::SourceWave;
+use crate::tran::TranOptions;
+
+/// The node carrying the synthesized ground bounce `V_n(t)`.
+pub const SSN_BOUNCE_NODE: &str = "ng";
+
+/// Parameters of the linearized SSN equivalent circuit (plain SI units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsnSynthParams {
+    /// Total bank transconductance `gm = N K` (A/V).
+    pub bank_gm: f64,
+    /// ASDM source-sensitivity factor `sigma` (dimensionless, >= 1).
+    pub sigma: f64,
+    /// ASDM displacement voltage `V_0` (V); must satisfy `0 <= V_0 < V_dd`.
+    pub v0: f64,
+    /// Supply voltage `V_dd` (V).
+    pub vdd: f64,
+    /// Ground-path inductance `L` (H).
+    pub inductance: f64,
+    /// Ground-path capacitance `C` (F); `0` synthesizes the L-only circuit.
+    pub capacitance: f64,
+    /// Input rise time `t_r` (s).
+    pub rise_time: f64,
+}
+
+impl SsnSynthParams {
+    /// The conduction-start time `t0 = V_0 / s = V_0 t_r / V_dd`.
+    pub fn conduction_start(&self) -> f64 {
+        self.v0 * self.rise_time / self.vdd
+    }
+
+    /// The asymptote `V_inf = L * gm * s` every damping case relaxes
+    /// towards — the natural voltage scale of the synthesized circuit.
+    pub fn v_inf(&self) -> f64 {
+        self.inductance * self.bank_gm * self.vdd / self.rise_time
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidValue`] naming the first offending
+    /// field: non-positive or non-finite `gm`, `sigma < 1`, `L <= 0`,
+    /// `C < 0`, `t_r <= 0`, `V_dd <= 0`, or `V_0` outside `[0, V_dd)`.
+    /// The `!(x > 0.0)` form rejects NaN by the same branch.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        let bad = |context: String| Err(SpiceError::InvalidValue { context });
+        if !(self.bank_gm > 0.0) || !self.bank_gm.is_finite() {
+            return bad(format!(
+                "bank gm must be positive and finite, got {}",
+                self.bank_gm
+            ));
+        }
+        if !(self.sigma >= 1.0) || !self.sigma.is_finite() {
+            return bad(format!(
+                "sigma must be at least 1 and finite, got {}",
+                self.sigma
+            ));
+        }
+        if !(self.inductance > 0.0) || !self.inductance.is_finite() {
+            return bad(format!(
+                "inductance must be positive and finite, got {}",
+                self.inductance
+            ));
+        }
+        if !(self.capacitance >= 0.0) || !self.capacitance.is_finite() {
+            return bad(format!(
+                "capacitance must be non-negative and finite, got {}",
+                self.capacitance
+            ));
+        }
+        if !(self.rise_time > 0.0) || !self.rise_time.is_finite() {
+            return bad(format!(
+                "rise time must be positive and finite, got {}",
+                self.rise_time
+            ));
+        }
+        if !(self.vdd > 0.0) || !self.vdd.is_finite() {
+            return bad(format!("Vdd must be positive and finite, got {}", self.vdd));
+        }
+        if !(self.v0 >= 0.0) || !(self.v0 < self.vdd) {
+            return bad(format!(
+                "V0 must lie in [0, Vdd), got {} with Vdd {}",
+                self.v0, self.vdd
+            ));
+        }
+        Ok(())
+    }
+
+    /// The excess-gate-voltage source `u(t) = max(0, s t - V_0)` as a PWL:
+    /// `0` until `t0`, then a ramp to `V_dd - V_0` at `t_r` (held after).
+    ///
+    /// The explicit `t0` breakpoint is the whole point: it encodes the
+    /// paper's `t' = t - V_0/s` time shift in the netlist itself, and hands
+    /// the transient engine an exact breakpoint at the conduction start.
+    fn control_wave(&self) -> SourceWave {
+        let t0 = self.conduction_start();
+        let u_end = self.vdd - self.v0;
+        // A degenerate zero-length first segment (v0 == 0) would duplicate
+        // the t = 0 point; two points suffice then.
+        if t0 > 0.0 {
+            SourceWave::Pwl(vec![(0.0, 0.0), (t0, 0.0), (self.rise_time, u_end)])
+        } else {
+            SourceWave::Pwl(vec![(0.0, 0.0), (self.rise_time, u_end)])
+        }
+    }
+}
+
+/// Builds the linearized SSN equivalent circuit.
+///
+/// The ground bounce appears on node [`SSN_BOUNCE_NODE`]. All initial
+/// conditions are zero (quiet rail before the ramp), so the circuit is
+/// meant for a `UIC` transient over `[0, t_r]` — see
+/// [`ssn_tran_options`].
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidValue`] for parameters that fail
+/// [`SsnSynthParams::validate`]; construction itself cannot fail after
+/// validation.
+pub fn ssn_equivalent_circuit(p: &SsnSynthParams) -> Result<Circuit, SpiceError> {
+    p.validate()?;
+    let mut c = Circuit::new();
+    c.vsource("vctrl", "ctrl", "0", p.control_wave())?;
+    // Drive: i = gm * u(t) injected INTO ng (current flows out_p -> out_n
+    // through a VCCS, so ng is the out_n terminal).
+    c.vccs("gdrv", "0", SSN_BOUNCE_NODE, "ctrl", "0", p.bank_gm)?;
+    // Feedback: the -gm * sigma * Vn term is a conductance to ground.
+    c.resistor("rfb", SSN_BOUNCE_NODE, "0", 1.0 / (p.bank_gm * p.sigma))?;
+    c.inductor_with_ic("lg", SSN_BOUNCE_NODE, "0", p.inductance, 0.0)?;
+    if p.capacitance > 0.0 {
+        c.capacitor_with_ic("cg", SSN_BOUNCE_NODE, "0", p.capacitance, 0.0)?;
+    }
+    c.set_initial_voltage(SSN_BOUNCE_NODE, 0.0)?;
+    c.set_initial_voltage("ctrl", 0.0)?;
+    Ok(c)
+}
+
+/// Transient options tuned for differential comparison over `[0, t_r]`.
+///
+/// The step cap resolves the fastest feature the closed forms predict
+/// (first ring peaks land at `>= pi/omega0` after `t0`), and the LTE
+/// budget is tied to the circuit's own voltage scale `V_inf` so relative
+/// accuracy is uniform across the huge dynamic range a corpus sweep
+/// visits (microvolts to hundreds of volts).
+pub fn ssn_tran_options(p: &SsnSynthParams) -> TranOptions {
+    TranOptions {
+        lte_rel: 2e-4,
+        lte_abs: (p.v_inf().abs() * 1e-6).max(1e-15),
+        ..TranOptions::to(p.rise_time)
+            .with_ic()
+            .with_dt_max(p.rise_time / 200.0)
+    }
+}
+
+/// The `.tran` directive matching [`ssn_tran_options`], for serializing a
+/// self-contained deck with [`crate::writer::write_deck`].
+pub fn ssn_tran_directive(p: &SsnSynthParams) -> TranDirective {
+    TranDirective {
+        tstep: p.rise_time / 200.0,
+        tstop: p.rise_time,
+        uic: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tran::transient;
+
+    fn nominal() -> SsnSynthParams {
+        // The paper's reference point: N = 8, K = 7.5 mS, sigma = 1.25,
+        // V0 = 0.6 V, L = 5 nH, C = 1 pF, Vdd = 1.8 V, tr = 0.5 ns.
+        SsnSynthParams {
+            bank_gm: 8.0 * 7.5e-3,
+            sigma: 1.25,
+            v0: 0.6,
+            vdd: 1.8,
+            inductance: 5e-9,
+            capacitance: 1e-12,
+            rise_time: 0.5e-9,
+        }
+    }
+
+    #[test]
+    fn control_wave_encodes_the_conduction_start() {
+        let p = nominal();
+        let t0 = p.conduction_start();
+        assert!((t0 - 0.6 * 0.5e-9 / 1.8).abs() < 1e-24);
+        match p.control_wave() {
+            SourceWave::Pwl(points) => {
+                assert_eq!(points.len(), 3);
+                assert_eq!(points[0], (0.0, 0.0));
+                assert_eq!(points[1], (t0, 0.0));
+                assert_eq!(points[2], (p.rise_time, p.vdd - p.v0));
+            }
+            other => panic!("expected PWL, got {other:?}"),
+        }
+        // v0 = 0: the degenerate first segment is dropped.
+        let z = SsnSynthParams { v0: 0.0, ..p };
+        match z.control_wave() {
+            SourceWave::Pwl(points) => assert_eq!(points.len(), 2),
+            other => panic!("expected PWL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn circuit_structure_and_c_zero_variant() {
+        let c = ssn_equivalent_circuit(&nominal()).unwrap();
+        assert!(c.find_element("gdrv").is_some());
+        assert!(c.find_element("rfb").is_some());
+        assert!(c.find_element("lg").is_some());
+        assert!(c.find_element("cg").is_some());
+        assert!(c.find_node(SSN_BOUNCE_NODE).is_some());
+        let l_only = SsnSynthParams {
+            capacitance: 0.0,
+            ..nominal()
+        };
+        let c = ssn_equivalent_circuit(&l_only).unwrap();
+        assert!(c.find_element("cg").is_none());
+    }
+
+    #[test]
+    fn bounce_is_quiet_before_conduction_and_active_after() {
+        let p = nominal();
+        let result = transient(&ssn_equivalent_circuit(&p).unwrap(), ssn_tran_options(&p)).unwrap();
+        let vn = result.voltage(SSN_BOUNCE_NODE).unwrap();
+        let t0 = p.conduction_start();
+        // Dead flat before the excess voltage appears ...
+        assert!(vn.sample(0.5 * t0).abs() < 1e-12 * p.v_inf());
+        // ... and a substantial bounce by the end of the ramp.
+        assert!(vn.sample(p.rise_time) > 0.1 * p.v_inf());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let p = nominal();
+        let cases = [
+            SsnSynthParams { bank_gm: 0.0, ..p },
+            SsnSynthParams {
+                bank_gm: f64::NAN,
+                ..p
+            },
+            SsnSynthParams { sigma: 0.5, ..p },
+            SsnSynthParams {
+                inductance: -1e-9,
+                ..p
+            },
+            SsnSynthParams {
+                capacitance: -1e-12,
+                ..p
+            },
+            SsnSynthParams {
+                rise_time: 0.0,
+                ..p
+            },
+            SsnSynthParams { vdd: 0.0, ..p },
+            SsnSynthParams { v0: -0.1, ..p },
+            SsnSynthParams { v0: 1.8, ..p },
+        ];
+        for bad in cases {
+            assert!(
+                matches!(
+                    ssn_equivalent_circuit(&bad),
+                    Err(SpiceError::InvalidValue { .. })
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn deck_round_trips_through_the_parser() {
+        use crate::parser::parse_deck;
+        use crate::writer::write_deck;
+        let p = nominal();
+        let circuit = ssn_equivalent_circuit(&p).unwrap();
+        let text = write_deck(&circuit, "ssn equivalent", Some(ssn_tran_directive(&p))).unwrap();
+        let deck = parse_deck(&text).unwrap();
+        let tran = deck.tran.expect("directive survives");
+        assert!((tran.tstop - p.rise_time).abs() < 1e-21);
+        assert!(tran.uic);
+        // Both circuits produce the same bounce.
+        let a = transient(&circuit, ssn_tran_options(&p)).unwrap();
+        let b = transient(&deck.circuit, ssn_tran_options(&p)).unwrap();
+        let pa = a.voltage(SSN_BOUNCE_NODE).unwrap().peak();
+        let pb = b.voltage(SSN_BOUNCE_NODE).unwrap().peak();
+        assert!(
+            (pa.value - pb.value).abs() <= 1e-9 * pa.value.abs(),
+            "{} vs {}",
+            pa.value,
+            pb.value
+        );
+    }
+}

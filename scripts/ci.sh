@@ -28,6 +28,19 @@ trap 'rm -f "$tmp_json"' EXIT
     --threads 2 --seed 1 --telemetry=json:"$tmp_json" > /dev/null
 ./target/release/telemetry-lint "$tmp_json"
 
+echo "== differential oracle gate =="
+# Seeded 500-scenario corpus, fixed thread count: fails (exit 10) on any
+# closed-form/MNA disagreement beyond the tolerance budgets, and the
+# per-case summary must match the golden CSV bit-for-bit (accuracy drift
+# inside budget is drift too).
+tmp_csv="$(mktemp)"
+tmp_repro="$(mktemp -d)"
+trap 'rm -f "$tmp_json" "$tmp_csv"; rm -rf "$tmp_repro"' EXIT
+./target/release/ssn validate --corpus 500 --seed 1 --threads 2 \
+    --csv "$tmp_csv" --repro-dir "$tmp_repro" > /dev/null
+diff -u results/diff1_oracle_summary.csv "$tmp_csv" \
+    || { echo "ci: differential summary drifted from results/diff1_oracle_summary.csv" >&2; exit 1; }
+
 echo "== panic audit =="
 ./scripts/panic_audit.sh
 

@@ -45,7 +45,7 @@ status=0
 current=$(audit)
 while IFS=' ' read -r f n; do
     [ -z "$f" ] && continue
-    base=$(grep -F "$f " "$BASELINE" | awk '{print $2}')
+    base=$(grep -F "$f " "$BASELINE" | awk '{print $2}' || true)
     base=${base:-0}
     if [ "$n" -gt "$base" ]; then
         echo "panic_audit: $f has $n non-test panic sites (baseline $base)" >&2

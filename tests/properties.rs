@@ -226,6 +226,140 @@ fn lc_model_limits_to_l_only() {
     });
 }
 
+/// Metamorphic (oracle harness): both closed forms see `N` and `K` only
+/// through the aggregate transconductance `N K`, so trading driver count
+/// against per-driver strength at fixed `N K` leaves `Vn_max` invariant.
+#[test]
+fn n_k_tradeoff_leaves_vn_max_invariant() {
+    forall("N·K tradeoff leaves vn_max invariant", 256, |g| {
+        let asdm = gen_asdm(g);
+        let n = g.usize_in(1, 16);
+        let m = g.usize_in(2, 4);
+        let split = Asdm::new(
+            Siemens::new(asdm.k().value() / m as f64),
+            asdm.sigma(),
+            asdm.v0(),
+        );
+        let l = g.f64_in(1e-9, 10e-9);
+        let c = g.f64_in(0.0, 4e-12);
+        let tr = g.f64_in(0.2e-9, 2e-9);
+        let build = |a: Asdm, drivers: usize| {
+            SsnScenario::from_asdm(a, Volts::new(1.8))
+                .drivers(drivers)
+                .inductance(Henrys::new(l))
+                .capacitance(Farads::new(c))
+                .rise_time(Seconds::new(tr))
+                .build()
+                .expect("valid scenario")
+        };
+        let few_strong = build(asdm, n);
+        let many_weak = build(split, n * m);
+        let (lc1, lc2) = (
+            lcmodel::vn_max(&few_strong).0.value(),
+            lcmodel::vn_max(&many_weak).0.value(),
+        );
+        if (lc1 - lc2).abs() / lc1.max(1e-12) > 1e-9 {
+            return Err(format!("LC: {n}x{} vs {}x split: {lc1} vs {lc2}", m, n * m));
+        }
+        let (l1, l2) = (
+            lmodel::vn_max(&few_strong).value(),
+            lmodel::vn_max(&many_weak).value(),
+        );
+        if (l1 - l2).abs() / l1.max(1e-12) > 1e-9 {
+            return Err(format!("L-only: {l1} vs {l2}"));
+        }
+        Ok(())
+    });
+}
+
+/// Metamorphic (oracle harness): the L-only `Vn_max` is monotone
+/// nondecreasing in the slew rate `s = V_dd / t_r` — a faster ramp never
+/// reduces `V_inf (1 - e^{-t'/tau})` at the window end.
+#[test]
+fn l_only_vn_max_monotone_in_slew() {
+    forall("L-only vn_max monotone in slew", 256, |g| {
+        let s = gen_scenario(g);
+        let factor = g.f64_in(1.2, 5.0);
+        let faster = SsnScenario::from_asdm(*s.asdm(), s.vdd())
+            .drivers(s.n_drivers())
+            .inductance(s.inductance())
+            .capacitance(s.capacitance())
+            .rise_time(Seconds::new(s.rise_time().value() / factor))
+            .build()
+            .expect("valid scenario");
+        let (v1, v2) = (lmodel::vn_max(&s).value(), lmodel::vn_max(&faster).value());
+        if v2 >= v1 - 1e-12 {
+            Ok(())
+        } else {
+            Err(format!("slew x{factor:.3} dropped L-only vn {v1} -> {v2}"))
+        }
+    });
+}
+
+/// The LC `Vn_max` is deliberately *not* asserted monotone in slew: this
+/// pins an explicit counterexample. When the conduction window shrinks far
+/// below the tank period, the LC network integrates the injected current
+/// (`Vn_max -> N K (V_dd - V_0)^2 t_r / (2 V_dd C)`, growing with `t_r`),
+/// so an ultrafast ramp produces a *smaller* peak — the LC filter
+/// attenuates what the inductor alone would amplify. The L-only model has
+/// no such regime, which is why only it carries the monotone-in-slew
+/// property above.
+#[test]
+fn lc_vn_max_non_monotone_in_slew_counterexample() {
+    let asdm = Asdm::new(Siemens::new(1e-3), 1.0, Volts::new(0.9));
+    let build = |tr: f64| {
+        SsnScenario::from_asdm(asdm, Volts::new(1.8))
+            .drivers(1)
+            .inductance(Henrys::new(10e-9))
+            .capacitance(Farads::new(4e-12))
+            .rise_time(Seconds::new(tr))
+            .build()
+            .expect("valid scenario")
+    };
+    let slow = build(0.2e-9);
+    let fast = build(0.05e-9);
+    let (v_slow, v_fast) = (
+        lcmodel::vn_max(&slow).0.value(),
+        lcmodel::vn_max(&fast).0.value(),
+    );
+    assert!(
+        v_fast < v_slow,
+        "expected the 4x faster ramp to LOWER the LC peak: {v_fast} vs {v_slow}"
+    );
+    // The same pair is monotone under the L-only model.
+    let (l_slow, l_fast) = (lmodel::vn_max(&slow).value(), lmodel::vn_max(&fast).value());
+    assert!(l_fast >= l_slow, "L-only: {l_fast} vs {l_slow}");
+}
+
+/// Metamorphic (oracle harness): as `C -> 0` the LC model converges to
+/// the L-only model as a *waveform*, not just at the peak — the RMS gap
+/// over the whole conduction window vanishes.
+#[test]
+fn lc_waveform_converges_to_l_only_as_c_vanishes() {
+    forall("LC waveform -> L-only waveform as C -> 0", 64, |g| {
+        let s = gen_scenario(g);
+        let c_tiny = lcmodel::critical_capacitance(&s).value() * 1e-8;
+        let nearly_l = s
+            .with_package(s.inductance(), Farads::new(c_tiny))
+            .expect("valid");
+        let scale = lmodel::vn_max(&nearly_l).value().max(1e-12);
+        let tr = nearly_l.rise_time().value();
+        let n = 512;
+        let mut sum_sq = 0.0;
+        for i in 0..=n {
+            let t = Seconds::new(tr * i as f64 / n as f64);
+            let d = lcmodel::vn_at(&nearly_l, t).value() - lmodel::vn_at(&nearly_l, t).value();
+            sum_sq += d * d;
+        }
+        let rms = (sum_sq / (n + 1) as f64).sqrt() / scale;
+        if rms < 1e-3 {
+            Ok(())
+        } else {
+            Err(format!("waveform RMS gap {rms} at C = {c_tiny}"))
+        }
+    });
+}
+
 /// Z-figure invariance (paper Eqn. 10): trading N for L leaves the
 /// L-only maximum unchanged.
 #[test]

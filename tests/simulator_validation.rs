@@ -189,3 +189,87 @@ fn dc_op_matches_transient_settling() {
         op.voltage("out").expect("probe")
     );
 }
+
+/// Observed convergence order of the two companion-model integrators on
+/// an analytically solvable series-RLC step (R = 20 Ohm, L = 1 uH,
+/// C = 1 nF: alpha = 1e7 rad/s, omega_d = 3e7 rad/s, under-damped).
+///
+/// The adaptive controller is pinned to a fixed step (`dt_init = dt_max`,
+/// LTE tolerances opened wide) so halving `h` isolates the integrator's
+/// truncation error: backward Euler must be first order (error ratio ~2
+/// per halving) and trapezoidal at least second order (~4). This is what
+/// lets a differential-oracle disagreement be attributed to the *model*
+/// rather than the integrator: the integrator's error scales as measured
+/// here, orders of magnitude inside the oracle budgets at the oracle's
+/// operating step sizes.
+#[test]
+fn integrator_convergence_order_on_analytic_rlc_step() {
+    let (r, l, c, v) = (20.0_f64, 1e-6_f64, 1e-9_f64, 1.0_f64);
+    let alpha = r / (2.0 * l); // 1e7
+    let omega0_sq = 1.0 / (l * c); // 1e15
+    let omega_d = (omega0_sq - alpha * alpha).sqrt(); // 3e7
+    let analytic = |t: f64| {
+        v * (1.0
+            - (-alpha * t).exp() * ((omega_d * t).cos() + (alpha / omega_d) * (omega_d * t).sin()))
+    };
+
+    let build = || {
+        let mut circuit = Circuit::new();
+        circuit
+            .vsource("vs", "in", "0", SourceWave::Dc(v))
+            .expect("valid");
+        circuit.resistor("r1", "in", "mid", r).expect("valid");
+        circuit
+            .inductor_with_ic("l1", "mid", "out", l, 0.0)
+            .expect("valid");
+        circuit
+            .capacitor_with_ic("c1", "out", "0", c, 0.0)
+            .expect("valid");
+        circuit
+    };
+
+    let t_stop = 2e-7; // two damping time constants, ~1 ring period
+    let run = |method: IntegrationMethod, h: f64| -> f64 {
+        let opts = TranOptions {
+            dt_init: h,
+            dt_max: h,
+            // Open the LTE budget so the controller never adapts: the step
+            // stays exactly h and the error is the integrator's own.
+            lte_rel: 1e9,
+            lte_abs: 1e9,
+            ..TranOptions::to(t_stop).with_ic().with_method(method)
+        };
+        let res = transient(&build(), opts).expect("converges");
+        let w = res.voltage("out").expect("probe");
+        // Max error over grid-aligned checkpoints.
+        (1..=8)
+            .map(|i| {
+                let t = t_stop * i as f64 / 8.0;
+                (w.sample(t) - analytic(t)).abs()
+            })
+            .fold(0.0, f64::max)
+    };
+
+    let h0 = 2e-9; // 100 steps per t_stop, ~10 per ring quarter-period
+    for (method, min_order, max_order) in [
+        (IntegrationMethod::BackwardEuler, 0.8, 1.3),
+        (IntegrationMethod::Trapezoidal, 1.7, 2.4),
+    ] {
+        let errors: Vec<f64> = [h0, h0 / 2.0, h0 / 4.0]
+            .iter()
+            .map(|&h| run(method, h))
+            .collect();
+        for pair in errors.windows(2) {
+            let order = (pair[0] / pair[1]).log2();
+            assert!(
+                order > min_order && order < max_order,
+                "{method:?}: observed order {order:.2} (errors {errors:?})"
+            );
+        }
+        // The error is also small in absolute terms at the finest step.
+        assert!(
+            errors[2] < 0.05 * v,
+            "{method:?}: error at h0/4 too large: {errors:?}"
+        );
+    }
+}
