@@ -22,13 +22,34 @@ impl ParsedArgs {
     /// (`--telemetry=json:out.jsonl`): it then counts as set *and* records
     /// the value.
     ///
+    /// Every option and flag is single-use: a second `--key` is rejected
+    /// rather than silently letting the last occurrence win (which hides
+    /// typos in long command lines). Commands with genuinely repeatable
+    /// options declare them via [`ParsedArgs::parse_with_repeatable`].
+    ///
     /// # Errors
     ///
-    /// Returns [`CliError::Usage`] for unknown options or a missing value.
+    /// Returns [`CliError::Usage`] for unknown options, a missing value,
+    /// or a duplicated non-repeatable option.
     pub fn parse(
         argv: &[String],
         value_options: &[&str],
         bool_flags: &[&str],
+    ) -> Result<Self, CliError> {
+        Self::parse_with_repeatable(argv, value_options, bool_flags, &[])
+    }
+
+    /// [`ParsedArgs::parse`] with an allow-list of options that may be
+    /// given more than once (e.g. `--probe` for `ssn simulate`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParsedArgs::parse`].
+    pub fn parse_with_repeatable(
+        argv: &[String],
+        value_options: &[&str],
+        bool_flags: &[&str],
+        repeatable: &[&str],
     ) -> Result<Self, CliError> {
         let mut out = Self::default();
         let mut it = argv.iter().peekable();
@@ -40,6 +61,14 @@ impl ParsedArgs {
                 };
                 if !bool_flags.contains(&name) && !value_options.contains(&name) {
                     return Err(CliError::usage(format!("unknown option --{name}")));
+                }
+                let seen_before =
+                    out.flags.iter().any(|f| f == name) || out.options.contains_key(name);
+                if seen_before && !repeatable.contains(&name) {
+                    return Err(CliError::usage(format!(
+                        "--{name} given more than once (it takes a single value; \
+                         the duplicate may hide a typo)"
+                    )));
                 }
                 if let Some(value) = inline {
                     if bool_flags.contains(&name) {
@@ -141,12 +170,13 @@ mod tests {
 
     #[test]
     fn parses_options_flags_and_positionals() {
-        let a = ParsedArgs::parse(
+        let a = ParsedArgs::parse_with_repeatable(
             &argv(&[
                 "deck.sp", "--probe", "ng", "--probe", "out0", "--fast", "--n", "8",
             ]),
             &["probe", "n"],
             &["fast", "help"],
+            &["probe"],
         )
         .unwrap();
         assert_eq!(a.positionals(), &["deck.sp".to_owned()]);
@@ -159,11 +189,34 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_options_are_rejected_not_last_wins() {
+        // A repeated value option is a typed usage error...
+        let err = ParsedArgs::parse(&argv(&["--n", "8", "--n", "9"]), &["n"], &[]).unwrap_err();
+        assert!(matches!(err, CliError::Usage { .. }));
+        assert!(err.to_string().contains("--n given more than once"));
+        // ...in inline form and mixed form too...
+        assert!(ParsedArgs::parse(&argv(&["--n=8", "--n=9"]), &["n"], &[]).is_err());
+        assert!(ParsedArgs::parse(&argv(&["--n=8", "--n", "9"]), &["n"], &[]).is_err());
+        // ...and so is a repeated boolean flag.
+        assert!(ParsedArgs::parse(&argv(&["--fast", "--fast"]), &[], &["fast"]).is_err());
+        // Declared-repeatable options still accumulate in order.
+        let a = ParsedArgs::parse_with_repeatable(
+            &argv(&["--probe", "ng", "--probe", "out0"]),
+            &["probe"],
+            &[],
+            &["probe"],
+        )
+        .unwrap();
+        assert_eq!(a.values("probe"), &["ng".to_owned(), "out0".to_owned()]);
+    }
+
+    #[test]
     fn inline_equals_values_parse() {
-        let a = ParsedArgs::parse(
+        let a = ParsedArgs::parse_with_repeatable(
             &argv(&["--n=8", "--probe=ng", "--probe", "out0"]),
             &["probe", "n"],
             &[],
+            &["probe"],
         )
         .unwrap();
         assert_eq!(a.parsed::<usize>("n").unwrap(), Some(8));

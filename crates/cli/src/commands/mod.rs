@@ -11,8 +11,58 @@ pub mod validate;
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
+use ssn_core::durable::{DurableOptions, RunBudget};
 use ssn_devices::process::Process;
+use ssn_units::Seconds;
 use std::io::Write;
+use std::path::PathBuf;
+
+/// The help block shared by every durable command (`montecarlo`, `sweep`,
+/// `validate`).
+pub(crate) const DURABLE_HELP: &str = "\
+    --checkpoint <path> journal chunk results to <path>, committed
+                        atomically after every chunk (crash-safe)
+    --resume            restore committed chunks from the --checkpoint
+                        journal instead of recomputing them; the final
+                        result is bit-identical to an uninterrupted run
+    --deadline <t>      cooperative wall-clock budget (e.g. 30s, 500m);
+                        on overrun the run keeps the completed work and
+                        records every fidelity downgrade in the run footer";
+
+/// Reads the three durable flags. `None` when none of them was given — the
+/// command then takes its original, byte-identical output path.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for `--resume` without `--checkpoint` or a
+/// non-positive `--deadline`.
+pub(crate) fn durable_options(args: &ParsedArgs) -> Result<Option<DurableOptions>, CliError> {
+    let checkpoint = args.value("checkpoint").map(PathBuf::from);
+    let resume = args.flag("resume");
+    let deadline = args.parsed::<Seconds>("deadline")?;
+    if checkpoint.is_none() && !resume && deadline.is_none() {
+        return Ok(None);
+    }
+    if resume && checkpoint.is_none() {
+        return Err(CliError::usage("--resume needs --checkpoint <path>"));
+    }
+    let budget = match deadline {
+        None => RunBudget::unlimited(),
+        Some(t) => {
+            if !(t.value() > 0.0) || !t.value().is_finite() {
+                return Err(CliError::usage(format!(
+                    "--deadline must be a positive duration, got {t}"
+                )));
+            }
+            RunBudget::with_deadline(std::time::Duration::from_secs_f64(t.value()))
+        }
+    };
+    Ok(Some(DurableOptions {
+        checkpoint,
+        resume,
+        budget,
+    }))
+}
 
 /// What `--telemetry[=json:<path>]` asked for.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +155,42 @@ pub(crate) fn resolve_process(name: &str) -> Result<Process, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn durable_flags_parse_and_validate() {
+        let parse = |items: &[&str]| {
+            ParsedArgs::parse(&argv(items), &["checkpoint", "deadline"], &["resume"]).unwrap()
+        };
+        // No flags: the original output path.
+        assert!(durable_options(&parse(&[])).unwrap().is_none());
+        // Checkpoint alone.
+        let d = durable_options(&parse(&["--checkpoint", "run.ckpt"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            d.checkpoint.as_deref(),
+            Some(std::path::Path::new("run.ckpt"))
+        );
+        assert!(!d.resume);
+        // Resume requires a journal path.
+        assert!(matches!(
+            durable_options(&parse(&["--resume"])),
+            Err(CliError::Usage { .. })
+        ));
+        // Deadline parses as an SI-suffixed quantity of seconds.
+        assert!(durable_options(&parse(&["--deadline", "30s"]))
+            .unwrap()
+            .is_some());
+        assert!(durable_options(&parse(&["--deadline", "500m"]))
+            .unwrap()
+            .is_some());
+        assert!(durable_options(&parse(&["--deadline", "0"])).is_err());
+        assert!(durable_options(&parse(&["--deadline", "-5s"])).is_err());
+    }
 
     #[test]
     fn process_aliases() {

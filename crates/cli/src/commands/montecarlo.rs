@@ -1,11 +1,12 @@
 //! `ssn montecarlo` — variation/yield analysis.
 
-use super::{resolve_process, with_telemetry, TelemetryMode};
+use super::{durable_options, resolve_process, with_telemetry, TelemetryMode, DURABLE_HELP};
 use crate::args::ParsedArgs;
 use crate::error::CliError;
 use ssn_core::lcmodel;
-use ssn_core::montecarlo::{run_monte_carlo_with, VariationSpec};
+use ssn_core::montecarlo::{run_monte_carlo_durable, run_monte_carlo_with, VariationSpec};
 use ssn_core::parallel::ExecPolicy;
+use ssn_core::report::run_footer;
 use ssn_core::scenario::SsnScenario;
 use ssn_units::{Seconds, Volts};
 use std::io::Write;
@@ -48,11 +49,13 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
             "k-frac",
             "l-frac",
             "c-frac",
+            "checkpoint",
+            "deadline",
         ],
-        &["help", "telemetry"],
+        &["help", "telemetry", "resume"],
     )?;
     if args.wants_help() {
-        writeln!(out, "{HELP}")?;
+        writeln!(out, "{HELP}{DURABLE_HELP}")?;
         return Ok(());
     }
     let process = resolve_process(
@@ -80,8 +83,19 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     };
     let telemetry = TelemetryMode::from_args(&args)?;
     let budget = args.parsed::<Volts>("budget")?;
+    let durable = durable_options(&args)?;
     with_telemetry(&telemetry, "cli.montecarlo", out, |out| {
-        let (mc, stats) = run_monte_carlo_with(&scenario, &spec, samples, seed, &policy)?;
+        let (mc, stats, durability) = match &durable {
+            Some(d) => {
+                let (mc, stats, durability) =
+                    run_monte_carlo_durable(&scenario, &spec, samples, seed, &policy, d)?;
+                (mc, stats, Some(durability))
+            }
+            None => {
+                let (mc, stats) = run_monte_carlo_with(&scenario, &spec, samples, seed, &policy)?;
+                (mc, stats, None)
+            }
+        };
 
         writeln!(out, "nominal Vn_max: {}", lcmodel::vn_max(&scenario).0)?;
         if stats.failed_chunks > 0 {
@@ -109,7 +123,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
                 mc.yield_within(budget) * 100.0
             )?;
         }
-        writeln!(out, "run: {stats}")?;
+        write!(out, "{}", run_footer(&stats, durability.as_ref()))?;
         Ok(())
     })
 }

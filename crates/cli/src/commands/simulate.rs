@@ -25,7 +25,12 @@ options:
 /// Usage errors for bad options, I/O errors reading the deck, simulation
 /// failures from the engine.
 pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
-    let args = ParsedArgs::parse(argv, &["probe", "t-stop"], &["plot", "help"])?;
+    let args = ParsedArgs::parse_with_repeatable(
+        argv,
+        &["probe", "t-stop"],
+        &["plot", "help"],
+        &["probe"],
+    )?;
     if args.wants_help() {
         writeln!(out, "{HELP}")?;
         return Ok(());

@@ -1,10 +1,11 @@
 //! `ssn validate` — the corpus-scale differential oracle gate.
 
-use super::{with_telemetry, TelemetryMode};
+use super::{durable_options, with_telemetry, TelemetryMode, DURABLE_HELP};
 use crate::args::ParsedArgs;
 use crate::error::CliError;
 use ssn_core::oracle::{self, case_slug, OracleOptions, ReproCase, TolerancePolicy};
 use ssn_core::parallel::ExecPolicy;
+use ssn_core::report::run_footer;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -53,11 +54,13 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
             "repro-dir",
             "csv",
             "replay",
+            "checkpoint",
+            "deadline",
         ],
-        &["help", "telemetry"],
+        &["help", "telemetry", "resume"],
     )?;
     if args.wants_help() {
-        writeln!(out, "{HELP}")?;
+        writeln!(out, "{HELP}{DURABLE_HELP}")?;
         return Ok(());
     }
     let scale: f64 = args.parsed_or("budget-scale", 1.0)?;
@@ -89,9 +92,16 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
     };
     let repro_dir = PathBuf::from(args.value("repro-dir").unwrap_or("results/repro"));
     let csv_path = args.value("csv").map(PathBuf::from);
+    let durable = durable_options(&args)?;
 
     with_telemetry(&telemetry, "cli.validate", out, |out| {
-        let report = oracle::run_differential(&opts)?;
+        let (report, durability) = match &durable {
+            Some(d) => {
+                let (report, durability) = oracle::run_differential_durable(&opts, d)?;
+                (report, Some(durability))
+            }
+            None => (oracle::run_differential(&opts)?, None),
+        };
 
         writeln!(
             out,
@@ -110,10 +120,18 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
             write_file(path, &report.summary_csv())?;
             writeln!(out, "summary: wrote {}", path.display())?;
         }
+        if !report.fallbacks.is_empty() {
+            writeln!(
+                out,
+                "fallback: {} scenario(s) estimated closed-form only (deadline); \
+                 they are excluded from the summary above",
+                report.fallbacks.len()
+            )?;
+        }
 
         if report.violations == 0 {
             writeln!(out, "all scenarios within budget")?;
-            writeln!(out, "run: {}", report.stats)?;
+            write!(out, "{}", run_footer(&report.stats, durability.as_ref()))?;
             return Ok(());
         }
         writeln!(
@@ -135,7 +153,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
                 r.violation
             )?;
         }
-        writeln!(out, "run: {}", report.stats)?;
+        write!(out, "{}", run_footer(&report.stats, durability.as_ref()))?;
         Err(CliError::Validation {
             violations: report.violations,
         })

@@ -14,6 +14,9 @@
 //! | 8    | waveform operation failure                          |
 //! | 9    | every parallel chunk failed (no partial result)     |
 //! | 10   | differential validation found budget violations     |
+//! | 11   | unusable checkpoint journal (corrupt/version/spec)  |
+//! | 12   | run interrupted with a checkpoint (resume with `--resume`) |
+//! | 13   | deadline expired before any work item completed     |
 //! | 1    | any other analysis failure                          |
 
 use ssn_core::SsnError;
@@ -64,6 +67,9 @@ impl CliError {
                 SsnError::Simulation(_) => 7,
                 SsnError::Waveform(_) => 8,
                 SsnError::AllChunksFailed { .. } => 9,
+                SsnError::Checkpoint { .. } => 11,
+                SsnError::Interrupted { .. } => 12,
+                SsnError::DeadlineExhausted { .. } => 13,
                 _ => 1,
             },
             Self::Validation { .. } => 10,
@@ -82,6 +88,9 @@ impl CliError {
                 SsnError::Simulation(_) => "simulation",
                 SsnError::Waveform(_) => "waveform",
                 SsnError::AllChunksFailed { .. } => "all-chunks-failed",
+                SsnError::Checkpoint { .. } => "checkpoint",
+                SsnError::Interrupted { .. } => "interrupted",
+                SsnError::DeadlineExhausted { .. } => "deadline",
                 _ => "analysis",
             },
             Self::Validation { .. } => "validation",
@@ -193,6 +202,31 @@ mod tests {
                 "all-chunks-failed",
             ),
             (CliError::Validation { violations: 3 }, 10, "validation"),
+            (
+                CliError::Analysis(SsnError::Checkpoint {
+                    path: "run.ckpt".into(),
+                    kind: ssn_core::error::CheckpointErrorKind::Corrupt,
+                    detail: "bad record checksum".into(),
+                }),
+                11,
+                "checkpoint",
+            ),
+            (
+                CliError::Analysis(SsnError::Interrupted {
+                    committed_chunks: 2,
+                    total_chunks: 8,
+                }),
+                12,
+                "interrupted",
+            ),
+            (
+                CliError::Analysis(SsnError::DeadlineExhausted {
+                    completed_items: 0,
+                    planned_items: 100,
+                }),
+                13,
+                "deadline",
+            ),
         ];
         for (err, code, kind) in cases {
             assert_eq!(err.exit_code(), code, "{err}");

@@ -45,12 +45,14 @@ Run `ssn <command> --help` for command options. Quantities accept SI/SPICE
 suffixes: 0.5n, 450m, 2.2p, 1MEG.
 
 EXIT CODES:
-    0  success               5  invalid scenario
-    2  usage error           6  model fit / numeric failure
-    3  i/o failure           7  simulator failure
-    4  invalid input         8  waveform failure
-                             9  every parallel chunk failed
-                            10  differential validation violations
+    0  success               6  model fit / numeric failure
+    2  usage error           7  simulator failure
+    3  i/o failure           8  waveform failure
+    4  invalid input         9  every parallel chunk failed
+    5  invalid scenario     10  differential validation violations
+   11  unusable checkpoint journal (corrupt / wrong version / wrong spec)
+   12  run interrupted with a checkpoint (rerun with --resume to continue)
+   13  deadline expired before any work item completed
 Errors print one structured stderr line: `ssn: error kind=... exit=...: ...`.
 ";
 

@@ -8,6 +8,10 @@
 //! switch together under a noise budget? how slow must the input slew be?
 //! how should switching be staggered?*
 
+use crate::durable::{
+    run_chunked_durable, ByteReader, ByteWriter, ChunkOutcome, DegradeStep, Durability,
+    DurableOptions, ParamDigest, RunSpec,
+};
 use crate::error::SsnError;
 use crate::hooks;
 use crate::lcmodel;
@@ -280,6 +284,41 @@ pub fn sweep_design_grid(
     inductances: &[Henrys],
     policy: &ExecPolicy,
 ) -> Result<(Vec<GridPoint>, ExecStats), SsnError> {
+    validate_grid(drivers, inductances)?;
+    let n_points = drivers.len() * inductances.len();
+    let _run_span = ssn_telemetry::span("grid.run");
+    let (chunks, mut stats) = try_run_chunked(n_points, GRID_CHUNK, policy, |c, range| {
+        grid_chunk(template, drivers, inductances, c, range)
+    });
+    let total = chunks.len();
+    let mut points = Vec::with_capacity(n_points);
+    let mut failed = 0usize;
+    let mut first_cause: Option<String> = None;
+    for chunk in chunks {
+        match chunk {
+            Ok(Ok(ps)) => points.extend(ps),
+            Ok(Err(e)) => {
+                failed += 1;
+                first_cause.get_or_insert_with(|| e.to_string());
+            }
+            Err(e) => {
+                failed += 1;
+                first_cause.get_or_insert_with(|| e.to_string());
+            }
+        }
+    }
+    stats.failed_chunks = failed;
+    if points.is_empty() {
+        return Err(SsnError::AllChunksFailed {
+            failed,
+            total,
+            first_cause: first_cause.unwrap_or_else(|| "unknown".into()),
+        });
+    }
+    Ok((points, stats))
+}
+
+fn validate_grid(drivers: &[usize], inductances: &[Henrys]) -> Result<(), SsnError> {
     if drivers.is_empty() {
         return Err(SsnError::invalid(
             "drivers grid",
@@ -311,56 +350,165 @@ pub fn sweep_design_grid(
             "every grid inductance must be positive and finite",
         ));
     }
+    Ok(())
+}
+
+/// Evaluates one grid chunk in row-major order. The shared body of the
+/// plain and durable runners — both must produce identical chunk results
+/// for the resume invariant to hold.
+fn grid_chunk(
+    template: &SsnScenario,
+    drivers: &[usize],
+    inductances: &[Henrys],
+    c: usize,
+    range: std::ops::Range<usize>,
+) -> Result<Vec<GridPoint>, SsnError> {
+    hooks::inject_chunk_panic(c);
+    ssn_telemetry::add("grid.points", range.len() as u64);
+    range
+        .map(|i| {
+            let _point_span = ssn_telemetry::span("grid.point");
+            let n = drivers[i / inductances.len()];
+            let l = inductances[i % inductances.len()];
+            let s = template
+                .with_drivers(n)?
+                .with_package(l, template.capacitance())?;
+            let (vn_lc, case) = lcmodel::vn_max(&s);
+            Ok(GridPoint {
+                n_drivers: n,
+                inductance: l,
+                vn_l_only: crate::lmodel::vn_max(&s),
+                vn_lc,
+                case,
+            })
+        })
+        .collect::<Result<Vec<GridPoint>, SsnError>>()
+}
+
+/// [`sweep_design_grid`] with durable execution: checkpoint/resume and a
+/// run budget (see [`crate::durable`]).
+///
+/// **Degradation contract:** when the budget expires mid-sweep, the
+/// ladder's second step fires — *coarsen grid*: the completed points are
+/// returned (row-major order preserved, every point still naming its
+/// `(N, L)` pair) and the downgrade is recorded in the returned
+/// [`Durability`] and the telemetry stream.
+///
+/// # Errors
+///
+/// Everything [`sweep_design_grid`] returns, plus
+/// [`SsnError::Checkpoint`], [`SsnError::Interrupted`], and
+/// [`SsnError::DeadlineExhausted`] (see [`crate::durable`]).
+pub fn sweep_design_grid_durable(
+    template: &SsnScenario,
+    drivers: &[usize],
+    inductances: &[Henrys],
+    policy: &ExecPolicy,
+    durable: &DurableOptions,
+) -> Result<(Vec<GridPoint>, ExecStats, Durability), SsnError> {
+    validate_grid(drivers, inductances)?;
     let n_points = drivers.len() * inductances.len();
     let _run_span = ssn_telemetry::span("grid.run");
-    let (chunks, mut stats) = try_run_chunked(n_points, GRID_CHUNK, policy, |c, range| {
-        hooks::inject_chunk_panic(c);
-        ssn_telemetry::add("grid.points", range.len() as u64);
-        range
-            .map(|i| {
-                let _point_span = ssn_telemetry::span("grid.point");
-                let n = drivers[i / inductances.len()];
-                let l = inductances[i % inductances.len()];
-                let s = template
-                    .with_drivers(n)?
-                    .with_package(l, template.capacitance())?;
-                let (vn_lc, case) = lcmodel::vn_max(&s);
-                Ok(GridPoint {
-                    n_drivers: n,
-                    inductance: l,
-                    vn_l_only: crate::lmodel::vn_max(&s),
-                    vn_lc,
-                    case,
+
+    let mut d = ParamDigest::new("sweep-grid");
+    let a = template.asdm();
+    d.push_f64(a.k().value())
+        .push_f64(a.sigma())
+        .push_f64(a.v0().value())
+        .push_f64(template.vdd().value())
+        .push_f64(template.capacitance().value())
+        .push_f64(template.rise_time().value())
+        .push_u64(drivers.len() as u64);
+    for &n in drivers {
+        d.push_u64(n as u64);
+    }
+    d.push_u64(inductances.len() as u64);
+    for l in inductances {
+        d.push_f64(l.value());
+    }
+    let run_spec = RunSpec {
+        kind: "sweep-grid",
+        seed: 0,
+        params_hash: d.finish(),
+        n_items: n_points,
+        chunk_size: GRID_CHUNK,
+    };
+
+    let run = run_chunked_durable(
+        &run_spec,
+        policy,
+        durable,
+        |points: &Vec<GridPoint>| {
+            let mut w = ByteWriter::new();
+            w.put_usize(points.len());
+            for p in points {
+                w.put_usize(p.n_drivers)
+                    .put_f64(p.inductance.value())
+                    .put_f64(p.vn_l_only.value())
+                    .put_f64(p.vn_lc.value())
+                    .put_u8(p.case.code());
+            }
+            w.into_vec()
+        },
+        |r: &mut ByteReader<'_>| {
+            let n = r.take_usize()?;
+            (0..n)
+                .map(|_| {
+                    Ok(GridPoint {
+                        n_drivers: r.take_usize()?,
+                        inductance: Henrys::new(r.take_f64()?),
+                        vn_l_only: Volts::new(r.take_f64()?),
+                        vn_lc: Volts::new(r.take_f64()?),
+                        case: MaxSsnCase::from_code(r.take_u8()?).ok_or_else(|| {
+                            SsnError::checkpoint(
+                                "",
+                                crate::error::CheckpointErrorKind::Corrupt,
+                                "unknown Table-1 case code",
+                            )
+                        })?,
+                    })
                 })
-            })
-            .collect::<Result<Vec<GridPoint>, SsnError>>()
-    });
-    let total = chunks.len();
+                .collect()
+        },
+        |c, range| grid_chunk(template, drivers, inductances, c, range),
+    )?;
+
+    let mut durability = Durability {
+        resumed_chunks: run.resumed_chunks,
+        deadline_hit: run.deadline_hit,
+        degradation: Vec::new(),
+    };
+    let total = run.stats.chunks;
     let mut points = Vec::with_capacity(n_points);
     let mut failed = 0usize;
     let mut first_cause: Option<String> = None;
-    for chunk in chunks {
-        match chunk {
-            Ok(Ok(ps)) => points.extend(ps),
-            Ok(Err(e)) => {
+    for outcome in run.chunks {
+        match outcome {
+            ChunkOutcome::Done(ps) => points.extend(ps),
+            ChunkOutcome::Failed(cause) => {
                 failed += 1;
-                first_cause.get_or_insert_with(|| e.to_string());
+                first_cause.get_or_insert(cause);
             }
-            Err(e) => {
-                failed += 1;
-                first_cause.get_or_insert_with(|| e.to_string());
-            }
+            ChunkOutcome::DeadlineSkipped => {}
         }
     }
-    stats.failed_chunks = failed;
     if points.is_empty() {
+        if run.deadline_hit && failed == 0 {
+            return Err(SsnError::DeadlineExhausted {
+                completed_items: 0,
+                planned_items: n_points,
+            });
+        }
         return Err(SsnError::AllChunksFailed {
             failed,
             total,
             first_cause: first_cause.unwrap_or_else(|| "unknown".into()),
         });
     }
-    Ok((points, stats))
+    if run.deadline_hit && points.len() < n_points {
+        durability.note_degrade(DegradeStep::CoarsenGrid, n_points, points.len());
+    }
+    Ok((points, run.stats, durability))
 }
 
 impl std::fmt::Display for StaggerPlan {

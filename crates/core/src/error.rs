@@ -44,6 +44,65 @@ pub enum SsnError {
     Simulation(SpiceError),
     /// A waveform operation failed.
     Waveform(WaveformError),
+    /// A checkpoint journal could not be used: unreadable, corrupt,
+    /// written by an incompatible format version, or recorded for a
+    /// different run. The run must start fresh rather than risk resuming
+    /// from wrong-but-plausible state.
+    Checkpoint {
+        /// The journal path.
+        path: String,
+        /// What class of problem was detected.
+        kind: CheckpointErrorKind,
+        /// Human-readable detail (which check failed, expected vs found).
+        detail: String,
+    },
+    /// A simulated crash (fault injection or `SSN_CRASH_AFTER_COMMITS`)
+    /// killed the run after some chunks were committed to the checkpoint.
+    /// Resume with `--resume` to continue from the journal.
+    Interrupted {
+        /// Chunks durably committed before the crash.
+        committed_chunks: usize,
+        /// Total chunks the run planned.
+        total_chunks: usize,
+    },
+    /// The run deadline expired before *any* result was produced, so there
+    /// is no partial result to degrade to.
+    DeadlineExhausted {
+        /// Work items completed (always 0 at raise time today, kept for
+        /// forward compatibility).
+        completed_items: usize,
+        /// Work items the run planned.
+        planned_items: usize,
+    },
+}
+
+/// Classification of an unusable checkpoint journal (see
+/// [`SsnError::Checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointErrorKind {
+    /// Truncated file, bad magic, or a checksum mismatch.
+    Corrupt,
+    /// The journal was written by a different (newer or retired) format
+    /// version.
+    VersionMismatch,
+    /// The journal header does not match this run's parameters (different
+    /// seed, corpus size, chunk size, or workload kind).
+    SpecMismatch,
+    /// The journal could not be read or written at the filesystem level.
+    Io,
+}
+
+impl CheckpointErrorKind {
+    /// Short lowercase tag used in error text and logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Corrupt => "corrupt",
+            Self::VersionMismatch => "version-mismatch",
+            Self::SpecMismatch => "spec-mismatch",
+            Self::Io => "io",
+        }
+    }
 }
 
 impl SsnError {
@@ -58,6 +117,30 @@ impl SsnError {
             field,
             value,
             constraint,
+        }
+    }
+
+    pub(crate) fn checkpoint(
+        path: impl Into<String>,
+        kind: CheckpointErrorKind,
+        detail: impl Into<String>,
+    ) -> Self {
+        Self::Checkpoint {
+            path: path.into(),
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// `true` when this error means "the run deadline expired inside a
+    /// kernel", i.e. the chunk was *skipped* cooperatively rather than
+    /// failed. The durable runner uses this to classify chunk outcomes.
+    pub fn is_cancelled(&self) -> bool {
+        match self {
+            Self::Simulation(SpiceError::Cancelled { .. }) => true,
+            Self::Simulation(SpiceError::Numeric(NumericError::Cancelled { .. })) => true,
+            Self::Fit(NumericError::Cancelled { .. }) => true,
+            _ => false,
         }
     }
 }
@@ -92,6 +175,28 @@ impl fmt::Display for SsnError {
             Self::Fit(e) => write!(f, "model fit failed: {e}"),
             Self::Simulation(e) => write!(f, "validation simulation failed: {e}"),
             Self::Waveform(e) => write!(f, "waveform operation failed: {e}"),
+            Self::Checkpoint { path, kind, detail } => write!(
+                f,
+                "checkpoint {path:?} unusable ({}): {detail}; delete the file or rerun \
+                 without --resume to start fresh",
+                kind.tag()
+            ),
+            Self::Interrupted {
+                committed_chunks,
+                total_chunks,
+            } => write!(
+                f,
+                "run interrupted by injected crash after {committed_chunks} of {total_chunks} \
+                 chunk(s) were committed; rerun with --resume to continue"
+            ),
+            Self::DeadlineExhausted {
+                completed_items,
+                planned_items,
+            } => write!(
+                f,
+                "run deadline expired with {completed_items} of {planned_items} item(s) \
+                 completed: no partial result to return"
+            ),
         }
     }
 }
@@ -105,6 +210,9 @@ impl Error for SsnError {
             Self::Fit(e) => Some(e),
             Self::Simulation(e) => Some(e),
             Self::Waveform(e) => Some(e),
+            Self::Checkpoint { .. } => None,
+            Self::Interrupted { .. } => None,
+            Self::DeadlineExhausted { .. } => None,
         }
     }
 }
@@ -153,5 +261,53 @@ mod tests {
         };
         assert!(e.to_string().contains("4 of 4"));
         assert!(e.to_string().contains("worker panicked"));
+    }
+
+    #[test]
+    fn durable_variants_display() {
+        let e = SsnError::checkpoint(
+            "/tmp/run.ckpt",
+            CheckpointErrorKind::Corrupt,
+            "record 3 checksum mismatch",
+        );
+        assert!(e.to_string().contains("corrupt"));
+        assert!(e.to_string().contains("start fresh"));
+        assert!(e.source().is_none());
+        let e = SsnError::Interrupted {
+            committed_chunks: 2,
+            total_chunks: 8,
+        };
+        assert!(e.to_string().contains("2 of 8"));
+        assert!(e.to_string().contains("--resume"));
+        let e = SsnError::DeadlineExhausted {
+            completed_items: 0,
+            planned_items: 100,
+        };
+        assert!(e.to_string().contains("deadline"));
+        assert_eq!(
+            CheckpointErrorKind::VersionMismatch.tag(),
+            "version-mismatch"
+        );
+        assert_eq!(CheckpointErrorKind::SpecMismatch.tag(), "spec-mismatch");
+        assert_eq!(CheckpointErrorKind::Io.tag(), "io");
+    }
+
+    #[test]
+    fn cancelled_classification() {
+        let e: SsnError = SpiceError::Cancelled { time: 1e-9 }.into();
+        assert!(e.is_cancelled());
+        let e: SsnError = NumericError::Cancelled {
+            method: "rkf45",
+            at: 0.5,
+        }
+        .into();
+        assert!(e.is_cancelled());
+        let e: SsnError = SpiceError::Numeric(NumericError::Cancelled {
+            method: "rkf45",
+            at: 0.5,
+        })
+        .into();
+        assert!(e.is_cancelled());
+        assert!(!SsnError::scenario("x").is_cancelled());
     }
 }

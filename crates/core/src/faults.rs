@@ -43,6 +43,15 @@ pub struct FaultPlan {
     /// Rungs of the solver fallback ladder to force-fail, as a
     /// `ssn_numeric::solve::rung` bitmask.
     pub disable_solver_rungs: u8,
+    /// Simulated process death for durable runs: after this many checkpoint
+    /// commits the run stops scheduling work, stops committing, and returns
+    /// `SsnError::Interrupted` — the library-level equivalent of `kill -9`
+    /// at a chunk boundary.
+    pub crash_after_commits: Option<usize>,
+    /// When the simulated crash fires, also tear the last commit: the final
+    /// journal on disk is cut mid-record, as if the process died inside the
+    /// write. Resume must detect this as corruption, never trust it.
+    pub torn_crash: bool,
 }
 
 impl Default for FaultPlan {
@@ -53,6 +62,8 @@ impl Default for FaultPlan {
             panic_probability: 0.0,
             panic_once: false,
             disable_solver_rungs: 0,
+            crash_after_commits: None,
+            torn_crash: false,
         }
     }
 }
@@ -177,6 +188,68 @@ pub fn solver_disabled_rungs() -> u8 {
         .map_or(0, |st| st.plan.disable_solver_rungs)
 }
 
+/// Fault site: the armed crash plan for durable runs, as
+/// `(crash_after_commits, torn)`. `None` when disarmed or no crash is
+/// configured.
+pub fn checkpoint_crash_plan() -> Option<(usize, bool)> {
+    if !active() {
+        return None;
+    }
+    state().as_ref().and_then(|st| {
+        st.plan
+            .crash_after_commits
+            .map(|after| (after, st.plan.torn_crash))
+    })
+}
+
+/// A way to damage a checkpoint journal on disk, for exercising the
+/// corruption-detection paths (`tests/durability.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalCorruption {
+    /// Keep only the first `keep` bytes — a torn or interrupted write.
+    Truncate {
+        /// Bytes to keep from the start of the file.
+        keep: usize,
+    },
+    /// XOR the byte at `offset` (modulo file length) with `mask` — silent
+    /// media or transfer corruption that only a checksum can catch.
+    BitFlip {
+        /// Byte offset to damage (wrapped modulo the file length).
+        offset: usize,
+        /// Non-zero XOR mask applied to that byte.
+        mask: u8,
+    },
+    /// Overwrite the format-version field with a version this build does
+    /// not understand — a journal left behind by a different release.
+    StaleVersion,
+}
+
+/// Applies `how` to the journal at `path` in place.
+///
+/// Test-only tooling: unlike the other fault sites this takes effect
+/// immediately and needs no armed plan — corruption on disk is not a
+/// runtime decision.
+pub fn corrupt_checkpoint(path: &std::path::Path, how: JournalCorruption) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    match how {
+        JournalCorruption::Truncate { keep } => bytes.truncate(keep),
+        JournalCorruption::BitFlip { offset, mask } => {
+            if !bytes.is_empty() {
+                let i = offset % bytes.len();
+                bytes[i] ^= if mask == 0 { 0x01 } else { mask };
+            }
+        }
+        JournalCorruption::StaleVersion => {
+            // The version field is the u32 directly after the 8-byte magic
+            // (see `ssn_core::durable` format docs).
+            if bytes.len() >= 12 {
+                bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+            }
+        }
+    }
+    std::fs::write(path, bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +304,23 @@ mod tests {
             assert!(first.is_err());
             let second = std::panic::catch_unwind(|| maybe_panic_chunk(5));
             assert!(second.is_ok());
+        });
+    }
+
+    #[test]
+    fn crash_plan_is_exposed_only_while_armed() {
+        assert_eq!(checkpoint_crash_plan(), None);
+        let plan = FaultPlan {
+            crash_after_commits: Some(3),
+            torn_crash: true,
+            ..FaultPlan::default()
+        };
+        with_faults(plan, || {
+            assert_eq!(checkpoint_crash_plan(), Some((3, true)));
+        });
+        assert_eq!(checkpoint_crash_plan(), None);
+        with_faults(FaultPlan::default(), || {
+            assert_eq!(checkpoint_crash_plan(), None);
         });
     }
 

@@ -27,6 +27,25 @@ pub(crate) fn inject_chunk_panic(chunk: usize) {
     }
 }
 
+/// `(crash_after_commits, torn)` for the durable runner, or `None`.
+///
+/// Library tests arm this through `faults::with_faults`; release binaries
+/// (no `fault-injection` feature) fall back to the `SSN_CRASH_AFTER_COMMITS`
+/// / `SSN_CRASH_TORN` environment variables so the CI kill-resume gate can
+/// crash-inject the shipped CLI.
+#[inline]
+pub(crate) fn checkpoint_crash_plan() -> Option<(usize, bool)> {
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = crate::faults::checkpoint_crash_plan() {
+        return Some(plan);
+    }
+    let after = std::env::var("SSN_CRASH_AFTER_COMMITS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())?;
+    let torn = std::env::var("SSN_CRASH_TORN").is_ok_and(|v| v == "1");
+    Some((after, torn))
+}
+
 #[inline]
 pub(crate) fn solver_disabled_rungs() -> u8 {
     #[cfg(feature = "fault-injection")]

@@ -74,6 +74,34 @@ pub enum MaxSsnCase {
     LOnly,
 }
 
+impl MaxSsnCase {
+    /// Stable one-byte encoding used by the checkpoint journal
+    /// ([`crate::durable`]). The codes are part of the journal format: do
+    /// not renumber.
+    pub fn code(&self) -> u8 {
+        match self {
+            Self::Overdamped => 0,
+            Self::CriticallyDamped => 1,
+            Self::UnderdampedFastInput => 2,
+            Self::UnderdampedSlowInput => 3,
+            Self::LOnly => 4,
+        }
+    }
+
+    /// Inverse of [`MaxSsnCase::code`]; `None` for an unknown byte (a
+    /// corrupt journal, which the caller reports as such).
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Overdamped),
+            1 => Some(Self::CriticallyDamped),
+            2 => Some(Self::UnderdampedFastInput),
+            3 => Some(Self::UnderdampedSlowInput),
+            4 => Some(Self::LOnly),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for MaxSsnCase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -29,6 +29,9 @@
 //! * [`oracle`] — the corpus-scale differential oracle harness
 //!   cross-validating the closed forms against an MNA transient of the
 //!   same linearized circuit, with minimized reproducers on disagreement,
+//! * [`durable`] — crash-safe checkpoint/resume (journaled, checksummed,
+//!   atomic commits), deadline-budgeted execution ([`durable::RunBudget`]),
+//!   and the declared degradation ladder for overruns,
 //! * `faults` — deterministic fault-injection hooks (NaN model outputs,
 //!   worker panics, forced solver failures), compiled in behind the
 //!   `fault-injection` cargo feature and disarmed by default.
@@ -61,6 +64,7 @@
 pub mod baselines;
 pub mod bridge;
 pub mod design;
+pub mod durable;
 pub mod error;
 #[cfg(feature = "fault-injection")]
 pub mod faults;

@@ -13,13 +13,18 @@
 //! workers returns a bit-identical [`McResult`] to the serial run, which
 //! the workspace determinism tests pin down.
 
+use crate::durable::{
+    run_chunked_durable, ByteReader, ByteWriter, ChunkOutcome, DegradeStep, Durability,
+    DurableOptions, ParamDigest, RunSpec,
+};
 use crate::error::SsnError;
 use crate::hooks;
 use crate::lcmodel;
 use crate::parallel::{try_run_chunked, ExecPolicy, ExecStats};
-use crate::scenario::SsnScenario;
+use crate::scenario::{Rail, SsnScenario};
 use ssn_numeric::rng::Rng;
 use ssn_units::{Farads, Henrys, Siemens, Volts};
+use std::ops::Range;
 
 /// Samples per work-queue chunk (and per RNG stream). Fixed — independent
 /// of the thread count — because chunk boundaries define which stream a
@@ -303,23 +308,7 @@ pub fn run_monte_carlo_with(
     spec.validate()?;
     let _run_span = ssn_telemetry::span("mc.run");
     let (chunks, mut stats) = try_run_chunked(n_samples, MC_CHUNK, policy, |c, range| {
-        hooks::inject_chunk_panic(c);
-        let mut rng = Rng::from_seed_and_stream(seed, c as u64);
-        ssn_telemetry::add("mc.samples", range.len() as u64);
-        range
-            .map(|i| {
-                let _sample_span = ssn_telemetry::span("mc.sample");
-                let v = hooks::inject_nan(i, sample_vn_max(nominal, spec, &mut rng)?);
-                if !v.is_finite() {
-                    return Err(SsnError::invalid(
-                        "vn_max",
-                        v,
-                        "model output must be finite",
-                    ));
-                }
-                Ok(v)
-            })
-            .collect::<Result<Vec<f64>, SsnError>>()
+        mc_chunk(nominal, spec, seed, c, range)
     });
     let _collect_span = ssn_telemetry::span("mc.collect");
     let total = stats.chunks;
@@ -351,6 +340,168 @@ pub fn run_monte_carlo_with(
     // a total order keeps the sort panic-free by construction.
     samples.sort_by(|a, b| a.total_cmp(b));
     Ok((McResult { samples }, stats))
+}
+
+/// Evaluates one Monte Carlo chunk: samples `range` from RNG stream
+/// `(seed, c)`. The shared body of the plain and durable runners — both
+/// must produce identical chunk results for the resume invariant to hold.
+fn mc_chunk(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    seed: u64,
+    c: usize,
+    range: Range<usize>,
+) -> Result<Vec<f64>, SsnError> {
+    hooks::inject_chunk_panic(c);
+    let mut rng = Rng::from_seed_and_stream(seed, c as u64);
+    ssn_telemetry::add("mc.samples", range.len() as u64);
+    range
+        .map(|i| {
+            let _sample_span = ssn_telemetry::span("mc.sample");
+            let v = hooks::inject_nan(i, sample_vn_max(nominal, spec, &mut rng)?);
+            if !v.is_finite() {
+                return Err(SsnError::invalid(
+                    "vn_max",
+                    v,
+                    "model output must be finite",
+                ));
+            }
+            Ok(v)
+        })
+        .collect::<Result<Vec<f64>, SsnError>>()
+}
+
+/// The durable-run identity of a Monte Carlo job: every parameter that
+/// determines its samples, digested so a checkpoint can never be resumed
+/// under different settings.
+fn mc_run_spec(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    n_samples: usize,
+    seed: u64,
+) -> RunSpec {
+    let a = nominal.asdm();
+    let mut d = ParamDigest::new("montecarlo");
+    d.push_f64(a.k().value())
+        .push_f64(a.sigma())
+        .push_f64(a.v0().value())
+        .push_f64(nominal.vdd().value())
+        .push_u64(nominal.n_drivers() as u64)
+        .push_f64(nominal.inductance().value())
+        .push_f64(nominal.capacitance().value())
+        .push_f64(nominal.rise_time().value())
+        .push_u64(match nominal.rail() {
+            Rail::Ground => 0,
+            Rail::Power => 1,
+        })
+        .push_f64(spec.k_frac)
+        .push_f64(spec.sigma_abs)
+        .push_f64(spec.v0_abs)
+        .push_f64(spec.l_frac)
+        .push_f64(spec.c_frac);
+    RunSpec {
+        kind: "montecarlo",
+        seed,
+        params_hash: d.finish(),
+        n_items: n_samples,
+        chunk_size: MC_CHUNK,
+    }
+}
+
+/// [`run_monte_carlo_with`] with durable execution: checkpoint/resume and
+/// a run budget (see [`crate::durable`]).
+///
+/// Identical inputs produce a bit-identical [`McResult`] whether the run
+/// completed in one session or was killed and resumed any number of times,
+/// at any thread count — completed chunks are restored from the journal,
+/// never recomputed.
+///
+/// **Degradation contract:** when the budget expires mid-run, the ladder's
+/// first step fires — *shrink samples*: the completed samples are returned
+/// as a partial [`McResult`] and the downgrade is recorded in the returned
+/// [`Durability`] and the telemetry stream.
+///
+/// # Errors
+///
+/// Everything [`run_monte_carlo_with`] returns, plus
+/// [`SsnError::Checkpoint`] for an unusable journal,
+/// [`SsnError::Interrupted`] for a simulated crash, and
+/// [`SsnError::DeadlineExhausted`] when the budget expired before any
+/// chunk completed.
+pub fn run_monte_carlo_durable(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    n_samples: usize,
+    seed: u64,
+    policy: &ExecPolicy,
+    durable: &DurableOptions,
+) -> Result<(McResult, ExecStats, Durability), SsnError> {
+    if n_samples == 0 {
+        return Err(SsnError::invalid(
+            "samples",
+            0.0,
+            "need at least one Monte Carlo sample",
+        ));
+    }
+    spec.validate()?;
+    let _run_span = ssn_telemetry::span("mc.run");
+    let run_spec = mc_run_spec(nominal, spec, n_samples, seed);
+    let run = run_chunked_durable(
+        &run_spec,
+        policy,
+        durable,
+        |samples: &Vec<f64>| {
+            let mut w = ByteWriter::new();
+            w.put_usize(samples.len());
+            for &v in samples {
+                w.put_f64(v);
+            }
+            w.into_vec()
+        },
+        |r: &mut ByteReader<'_>| {
+            let n = r.take_usize()?;
+            (0..n).map(|_| r.take_f64()).collect()
+        },
+        |c, range| mc_chunk(nominal, spec, seed, c, range),
+    )?;
+
+    let mut durability = Durability {
+        resumed_chunks: run.resumed_chunks,
+        deadline_hit: run.deadline_hit,
+        degradation: Vec::new(),
+    };
+    let total = run.stats.chunks;
+    let mut samples = Vec::with_capacity(n_samples);
+    let mut failed = 0usize;
+    let mut first_cause: Option<String> = None;
+    for outcome in run.chunks {
+        match outcome {
+            ChunkOutcome::Done(vs) => samples.extend(vs),
+            ChunkOutcome::Failed(cause) => {
+                failed += 1;
+                first_cause.get_or_insert(cause);
+            }
+            ChunkOutcome::DeadlineSkipped => {}
+        }
+    }
+    if samples.is_empty() {
+        if run.deadline_hit && failed == 0 {
+            return Err(SsnError::DeadlineExhausted {
+                completed_items: 0,
+                planned_items: n_samples,
+            });
+        }
+        return Err(SsnError::AllChunksFailed {
+            failed,
+            total,
+            first_cause: first_cause.unwrap_or_default(),
+        });
+    }
+    if run.deadline_hit && samples.len() < n_samples {
+        durability.note_degrade(DegradeStep::ShrinkSamples, n_samples, samples.len());
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    Ok((McResult { samples }, run.stats, durability))
 }
 
 #[cfg(test)]

@@ -28,7 +28,11 @@
 //! stream `(seed, i)`, chunks are panic-isolated, and the report is
 //! bit-identical for every thread count.
 
-use crate::error::SsnError;
+use crate::durable::{
+    run_chunked_durable, ByteReader, ByteWriter, ChunkOutcome, DegradeStep, Durability,
+    DurableOptions, ParamDigest, RunSpec,
+};
+use crate::error::{CheckpointErrorKind, SsnError};
 use crate::hooks;
 use crate::lcmodel::{self, MaxSsnCase};
 use crate::lmodel;
@@ -589,6 +593,23 @@ pub struct ReproCase {
     pub file_text: String,
 }
 
+/// A closed-form-only estimate recorded for a scenario the differential
+/// run skipped under deadline pressure — the last rung of the degradation
+/// ladder ([`DegradeStep::ClosedFormOnly`]). The MNA oracle never ran for
+/// these, so they carry no differential metrics and never enter
+/// [`OracleReport::summary_csv`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedFormFallback {
+    /// Corpus index of the skipped scenario.
+    pub index: usize,
+    /// The Table-1 case the LC closed form selected.
+    pub case: MaxSsnCase,
+    /// LC closed-form `Vn_max` (V).
+    pub vn_max: f64,
+    /// L-only closed-form `Vn_max` (V).
+    pub l_only_vn_max: f64,
+}
+
 /// The result of a corpus-scale differential run.
 #[derive(Debug, Clone)]
 pub struct OracleReport {
@@ -602,6 +623,9 @@ pub struct OracleReport {
     pub cases: Vec<CaseSummary>,
     /// Minimized reproducers (at most `max_repros`, in corpus order).
     pub repros: Vec<ReproCase>,
+    /// Closed-form-only estimates for deadline-skipped scenarios (empty
+    /// for complete runs; only [`run_differential_durable`] populates it).
+    pub fallbacks: Vec<ClosedFormFallback>,
     /// Parallel-engine statistics (wall time, utilization, ...).
     pub stats: ExecStats,
 }
@@ -677,21 +701,7 @@ pub fn run_differential(opts: &OracleOptions) -> Result<OracleReport, SsnError> 
     let _run_span = ssn_telemetry::span("oracle.run");
 
     let (chunks, mut stats) = try_run_chunked(opts.corpus, ORACLE_CHUNK, &opts.exec, |c, range| {
-        hooks::inject_chunk_panic(c);
-        ssn_telemetry::add("oracle.scenarios", range.len() as u64);
-        range
-            .map(|i| {
-                let config = corpus_scenario(opts.seed, i);
-                evaluate_scenario(&config, &opts.policy).map(|(metrics, violation)| {
-                    ScenarioOutcome {
-                        index: i,
-                        config,
-                        metrics,
-                        violation,
-                    }
-                })
-            })
-            .collect::<Result<Vec<ScenarioOutcome>, SsnError>>()
+        oracle_chunk(opts.seed, &opts.policy, c, range)
     });
 
     let _collect_span = ssn_telemetry::span("oracle.collect");
@@ -721,6 +731,50 @@ pub fn run_differential(opts: &OracleOptions) -> Result<OracleReport, SsnError> 
         });
     }
 
+    build_report(
+        outcomes,
+        failed,
+        stats,
+        &opts.policy,
+        opts.max_repros,
+        Vec::new(),
+    )
+}
+
+/// One corpus chunk: scenarios `range`, each drawing from RNG stream
+/// `(seed, index)` — the shared body of [`run_differential`] and
+/// [`run_differential_durable`].
+fn oracle_chunk(
+    seed: u64,
+    policy: &TolerancePolicy,
+    c: usize,
+    range: Range<usize>,
+) -> Result<Vec<ScenarioOutcome>, SsnError> {
+    hooks::inject_chunk_panic(c);
+    ssn_telemetry::add("oracle.scenarios", range.len() as u64);
+    range
+        .map(|i| {
+            let config = corpus_scenario(seed, i);
+            evaluate_scenario(&config, policy).map(|(metrics, violation)| ScenarioOutcome {
+                index: i,
+                config,
+                metrics,
+                violation,
+            })
+        })
+        .collect()
+}
+
+/// Aggregates evaluated outcomes into the final [`OracleReport`] (per-case
+/// summaries, violation count, minimized repros) — shared by both runners.
+fn build_report(
+    outcomes: Vec<ScenarioOutcome>,
+    failed: usize,
+    stats: ExecStats,
+    policy: &TolerancePolicy,
+    max_repros: usize,
+    fallbacks: Vec<ClosedFormFallback>,
+) -> Result<OracleReport, SsnError> {
     let cases = CASE_ORDER
         .iter()
         .map(|&case| {
@@ -749,8 +803,8 @@ pub fn run_differential(opts: &OracleOptions) -> Result<OracleReport, SsnError> 
     let repros = outcomes
         .iter()
         .filter(|o| o.violation.is_some())
-        .take(opts.max_repros)
-        .map(|o| minimize_violation(o, &opts.policy))
+        .take(max_repros)
+        .map(|o| minimize_violation(o, policy))
         .collect::<Result<Vec<ReproCase>, SsnError>>()?;
 
     Ok(OracleReport {
@@ -759,8 +813,234 @@ pub fn run_differential(opts: &OracleOptions) -> Result<OracleReport, SsnError> 
         violations,
         cases,
         repros,
+        fallbacks,
         stats,
     })
+}
+
+/// The durable run spec for a differential corpus: the digest covers every
+/// input that changes a scenario outcome (the whole tolerance policy);
+/// seed, corpus size, and chunk size live in the header fields themselves.
+fn oracle_run_spec(opts: &OracleOptions) -> RunSpec {
+    let mut d = ParamDigest::new("validate");
+    for b in [
+        opts.policy.overdamped,
+        opts.policy.critically_damped,
+        opts.policy.underdamped_fast,
+        opts.policy.underdamped_slow,
+        opts.policy.l_only,
+    ] {
+        d.push_f64(b.vn_rel)
+            .push_f64(b.peak_time_frac)
+            .push_f64(b.rms_frac)
+            .push_u64(u64::from(b.l_only_rel.is_some()))
+            .push_f64(b.l_only_rel.unwrap_or(0.0));
+    }
+    RunSpec {
+        kind: "validate",
+        seed: opts.seed,
+        params_hash: d.finish(),
+        n_items: opts.corpus,
+        chunk_size: ORACLE_CHUNK,
+    }
+}
+
+fn encode_outcome(w: &mut ByteWriter, o: &ScenarioOutcome) {
+    w.put_usize(o.index);
+    w.put_f64(o.config.k)
+        .put_f64(o.config.sigma)
+        .put_f64(o.config.v0)
+        .put_usize(o.config.n_drivers)
+        .put_f64(o.config.inductance)
+        .put_f64(o.config.capacitance)
+        .put_f64(o.config.vdd)
+        .put_f64(o.config.rise_time);
+    let m = &o.metrics;
+    w.put_u8(m.case.code())
+        .put_f64(m.model_vn_max)
+        .put_f64(m.mna_vn_max)
+        .put_f64(m.l_only_vn_max)
+        .put_f64(m.vn_rel)
+        .put_f64(m.peak_time_frac)
+        .put_f64(m.rms_frac)
+        .put_f64(m.l_only_rel);
+    match o.violation {
+        None => {
+            w.put_u8(0);
+        }
+        Some(v) => {
+            w.put_u8(1)
+                .put_str(v.metric.slug())
+                .put_f64(v.observed)
+                .put_f64(v.budget);
+        }
+    }
+}
+
+fn decode_outcome(r: &mut ByteReader<'_>) -> Result<ScenarioOutcome, SsnError> {
+    let corrupt = |what: &str| SsnError::checkpoint("", CheckpointErrorKind::Corrupt, what);
+    let index = r.take_usize()?;
+    let config = ScenarioConfig {
+        k: r.take_f64()?,
+        sigma: r.take_f64()?,
+        v0: r.take_f64()?,
+        n_drivers: r.take_usize()?,
+        inductance: r.take_f64()?,
+        capacitance: r.take_f64()?,
+        vdd: r.take_f64()?,
+        rise_time: r.take_f64()?,
+        rail: Rail::Ground,
+    };
+    let case =
+        MaxSsnCase::from_code(r.take_u8()?).ok_or_else(|| corrupt("unknown Table-1 case code"))?;
+    let metrics = OracleMetrics {
+        case,
+        model_vn_max: r.take_f64()?,
+        mna_vn_max: r.take_f64()?,
+        l_only_vn_max: r.take_f64()?,
+        vn_rel: r.take_f64()?,
+        peak_time_frac: r.take_f64()?,
+        rms_frac: r.take_f64()?,
+        l_only_rel: r.take_f64()?,
+    };
+    let violation = match r.take_u8()? {
+        0 => None,
+        1 => {
+            let slug = r.take_str()?;
+            let metric = OracleMetric::from_slug(&slug)
+                .ok_or_else(|| corrupt("unknown oracle metric slug"))?;
+            Some(Violation {
+                metric,
+                observed: r.take_f64()?,
+                budget: r.take_f64()?,
+            })
+        }
+        _ => return Err(corrupt("violation flag must be 0 or 1")),
+    };
+    Ok(ScenarioOutcome {
+        index,
+        config,
+        metrics,
+        violation,
+    })
+}
+
+/// [`run_differential`] with durability: checkpoint/resume and a
+/// cooperative run budget.
+///
+/// Chunk payloads carry the full [`ScenarioOutcome`]s, so a resumed run
+/// rebuilds the report — including minimized repros — without re-running a
+/// single MNA transient for restored chunks, and the report is
+/// bit-identical to an uninterrupted run at any thread count.
+///
+/// Under deadline pressure, skipped scenarios degrade to *closed-form
+/// only* ([`DegradeStep::ClosedFormOnly`]): their LC and L-only estimates
+/// are still computed (no transient needed) and recorded in
+/// [`OracleReport::fallbacks`], while [`OracleReport::summary_csv`] keeps
+/// covering exactly the fully-evaluated scenarios.
+///
+/// # Errors
+///
+/// Everything [`run_differential`] returns, plus
+/// [`SsnError::Checkpoint`] for an unusable journal,
+/// [`SsnError::Interrupted`] for an injected crash, and
+/// [`SsnError::DeadlineExhausted`] when the budget expired before any
+/// scenario completed.
+pub fn run_differential_durable(
+    opts: &OracleOptions,
+    durable: &DurableOptions,
+) -> Result<(OracleReport, Durability), SsnError> {
+    if opts.corpus == 0 {
+        return Err(SsnError::invalid(
+            "corpus",
+            0.0,
+            "need at least one scenario",
+        ));
+    }
+    opts.policy.validate()?;
+    let _run_span = ssn_telemetry::span("oracle.run");
+
+    let spec = oracle_run_spec(opts);
+    let run = run_chunked_durable(
+        &spec,
+        &opts.exec,
+        durable,
+        |outcomes: &Vec<ScenarioOutcome>| {
+            let mut w = ByteWriter::new();
+            w.put_usize(outcomes.len());
+            for o in outcomes {
+                encode_outcome(&mut w, o);
+            }
+            w.into_vec()
+        },
+        |r: &mut ByteReader<'_>| {
+            let n = r.take_usize()?;
+            (0..n).map(|_| decode_outcome(r)).collect()
+        },
+        |c, range| oracle_chunk(opts.seed, &opts.policy, c, range),
+    )?;
+
+    let _collect_span = ssn_telemetry::span("oracle.collect");
+    let mut durability = Durability {
+        resumed_chunks: run.resumed_chunks,
+        deadline_hit: run.deadline_hit,
+        degradation: Vec::new(),
+    };
+    let total = run.stats.chunks;
+    let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(opts.corpus);
+    let mut fallbacks: Vec<ClosedFormFallback> = Vec::new();
+    let mut failed = 0usize;
+    let mut first_cause: Option<String> = None;
+    for (c, outcome) in run.chunks.into_iter().enumerate() {
+        match outcome {
+            ChunkOutcome::Done(os) => outcomes.extend(os),
+            ChunkOutcome::Failed(cause) => {
+                failed += 1;
+                first_cause.get_or_insert(cause);
+            }
+            ChunkOutcome::DeadlineSkipped => {
+                // Last ladder rung: no transient, closed forms only.
+                for i in spec.range(c) {
+                    let s = corpus_scenario(opts.seed, i).validate()?;
+                    let (vn, case) = lcmodel::vn_max(&s);
+                    fallbacks.push(ClosedFormFallback {
+                        index: i,
+                        case,
+                        vn_max: vn.value(),
+                        l_only_vn_max: lmodel::vn_max(&s).value(),
+                    });
+                }
+            }
+        }
+    }
+    if outcomes.is_empty() {
+        if run.deadline_hit && failed == 0 {
+            return Err(SsnError::DeadlineExhausted {
+                completed_items: 0,
+                planned_items: opts.corpus,
+            });
+        }
+        return Err(SsnError::AllChunksFailed {
+            failed,
+            total,
+            first_cause: first_cause.unwrap_or_default(),
+        });
+    }
+    if !fallbacks.is_empty() {
+        durability.note_degrade(DegradeStep::ClosedFormOnly, opts.corpus, outcomes.len());
+    }
+
+    let mut stats = run.stats;
+    stats.failed_chunks = failed;
+    let report = build_report(
+        outcomes,
+        failed,
+        stats,
+        &opts.policy,
+        opts.max_repros,
+        fallbacks,
+    )?;
+    Ok((report, durability))
 }
 
 fn config_to_vec(c: &ScenarioConfig) -> [f64; 8] {

@@ -123,6 +123,13 @@ pub struct ExecStats {
     /// workers. `busy + sched_wait` is each worker's in-loop time, so a
     /// large `sched_wait` means the chunks are too fine for the queue.
     pub sched_wait: Duration,
+    /// Chunks restored from a checkpoint journal instead of being
+    /// evaluated (always 0 outside the durable path).
+    pub checkpointed_chunks: usize,
+    /// Wall time accumulated across *all* sessions of the run: prior
+    /// (checkpointed) sessions' wall plus this session's `wall`. Equal to
+    /// `wall` for a run that never resumed.
+    pub elapsed_wall: Duration,
 }
 
 impl ExecStats {
@@ -175,6 +182,18 @@ impl std::fmt::Display for ExecStats {
         }
         if self.retried_chunks > 0 {
             write!(f, ", {} retried chunk(s)", self.retried_chunks)?;
+        }
+        // Durable-run fields render only when a resume actually happened,
+        // so the line is unchanged for every pre-existing caller.
+        if self.checkpointed_chunks > 0 {
+            write!(f, ", {} checkpointed chunk(s)", self.checkpointed_chunks)?;
+        }
+        if self.elapsed_wall > self.wall {
+            write!(
+                f,
+                ", {:.3} s elapsed across sessions",
+                self.elapsed_wall.as_secs_f64()
+            )?;
         }
         Ok(())
     }
@@ -375,8 +394,9 @@ where
         )
     };
 
+    let wall = started.elapsed();
     let stats = ExecStats {
-        wall: started.elapsed(),
+        wall,
         busy,
         threads: workers.max(1),
         items: n_items,
@@ -384,6 +404,8 @@ where
         failed_chunks: results.iter().filter(|r| r.is_err()).count(),
         retried_chunks: retried.load(Ordering::Relaxed),
         sched_wait,
+        checkpointed_chunks: 0,
+        elapsed_wall: wall,
     };
     if ssn_telemetry::enabled() {
         // Scheduling overhead has no scope of its own to time — record the
@@ -509,7 +531,23 @@ mod tests {
             failed_chunks: 0,
             retried_chunks: 0,
             sched_wait: Duration::ZERO,
+            checkpointed_chunks: 0,
+            elapsed_wall: wall,
         }
+    }
+
+    #[test]
+    fn durable_fields_render_only_when_set() {
+        let mut stats = synthetic_stats(Duration::from_millis(100), Duration::from_millis(50), 1);
+        let baseline = stats.to_string();
+        assert!(!baseline.contains("checkpointed"), "{baseline}");
+        assert!(!baseline.contains("elapsed across sessions"), "{baseline}");
+        stats.checkpointed_chunks = 4;
+        stats.elapsed_wall = Duration::from_millis(350);
+        let text = stats.to_string();
+        assert!(text.contains("4 checkpointed chunk(s)"), "{text}");
+        assert!(text.contains("0.350 s elapsed across sessions"), "{text}");
+        assert!(text.starts_with(&baseline), "{text} vs {baseline}");
     }
 
     #[test]

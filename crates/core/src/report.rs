@@ -7,13 +7,40 @@
 
 use crate::bridge::{measure, DriverBankConfig};
 use crate::design;
+use crate::durable::Durability;
 use crate::error::SsnError;
+use crate::parallel::ExecStats;
 use crate::scenario::SsnScenario;
 use crate::{lcmodel, lmodel};
 use ssn_devices::MosModel;
 use ssn_units::Volts;
 use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// The shared run footer for corpus-scale commands: the `run:` statistics
+/// line plus — only when a durable run actually resumed, hit its deadline,
+/// or degraded — one line per durability fact. A fresh full-fidelity run
+/// renders exactly the single `run:` line, so golden outputs of
+/// non-durable invocations are unchanged byte-for-byte.
+pub fn run_footer(stats: &ExecStats, durability: Option<&Durability>) -> String {
+    let mut s = format!("run: {stats}\n");
+    if let Some(d) = durability {
+        if d.resumed_chunks > 0 {
+            let _ = writeln!(
+                s,
+                "resume: {} chunk(s) restored from checkpoint",
+                d.resumed_chunks
+            );
+        }
+        if d.deadline_hit {
+            let _ = writeln!(s, "deadline: budget expired before the full run completed");
+        }
+        for e in &d.degradation {
+            let _ = writeln!(s, "degraded: {e}");
+        }
+    }
+    s
+}
 
 /// The assembled assessment; render with `Display` or access the fields.
 #[derive(Debug, Clone)]
@@ -142,6 +169,40 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("simulated"));
         assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn run_footer_is_just_the_stats_line_for_fresh_runs() {
+        let stats = ExecStats {
+            items: 10,
+            chunks: 1,
+            threads: 1,
+            failed_chunks: 0,
+            retried_chunks: 0,
+            wall: std::time::Duration::from_millis(5),
+            busy: std::time::Duration::from_millis(5),
+            sched_wait: std::time::Duration::ZERO,
+            checkpointed_chunks: 0,
+            elapsed_wall: std::time::Duration::from_millis(5),
+        };
+        let fresh = Durability {
+            resumed_chunks: 0,
+            deadline_hit: false,
+            degradation: Vec::new(),
+        };
+        let base = run_footer(&stats, None);
+        assert_eq!(base, format!("run: {stats}\n"));
+        assert_eq!(run_footer(&stats, Some(&fresh)), base, "golden unchanged");
+
+        let mut d = fresh;
+        d.resumed_chunks = 3;
+        d.deadline_hit = true;
+        d.note_degrade(crate::durable::DegradeStep::ShrinkSamples, 100, 40);
+        let text = run_footer(&stats, Some(&d));
+        assert!(text.starts_with(&base));
+        assert!(text.contains("resume: 3 chunk(s)"));
+        assert!(text.contains("deadline: budget expired"));
+        assert!(text.contains("degraded: shrink-samples"));
     }
 
     #[test]

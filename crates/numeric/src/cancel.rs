@@ -1,0 +1,133 @@
+//! Process-wide cooperative deadline checks for long-running kernels.
+//!
+//! The durable-execution layer (`ssn-core::durable`) gives a run a
+//! wall-clock budget; chunk boundaries check it between work items, but a
+//! single RKF45 integration or MNA transient can run long past the deadline
+//! on its own. This module is the hook those *inner loops* poll: a single
+//! process-global deadline slot, armed by the layer that owns the budget
+//! and checked with two relaxed atomic loads per iteration.
+//!
+//! Determinism contract: with no deadline armed, [`deadline_exceeded`]
+//! returns `false` without reading the clock — kernels behave bit-for-bit
+//! as before. With a deadline armed and not yet reached, kernels are also
+//! unchanged; only the *cut itself* depends on wall time, and callers are
+//! required to discard (never partially use) the work of a cancelled
+//! kernel, which keeps results a function of the inputs alone.
+//!
+//! Only one deadline is active at a time ([`arm`] returns an RAII guard
+//! that restores the previous state on drop); concurrent runs that each
+//! want a budget must serialize, which the durable layer does.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Deadline state: armed flag + nanoseconds since the process anchor.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static DEADLINE_NS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// The fixed time origin deadlines are encoded against.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Restores the previous deadline state when dropped.
+#[derive(Debug)]
+pub struct DeadlineGuard {
+    prev_armed: bool,
+    prev_ns: u64,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        DEADLINE_NS.store(self.prev_ns, Ordering::Relaxed);
+        ARMED.store(self.prev_armed, Ordering::Relaxed);
+    }
+}
+
+/// Arms the process-wide deadline `budget` from now; inner loops observe it
+/// through [`deadline_exceeded`] until the returned guard drops.
+///
+/// `None` arms "no deadline" explicitly (useful to mask an outer deadline
+/// for a sub-computation that must run to completion).
+pub fn arm(budget: Option<Duration>) -> DeadlineGuard {
+    let guard = DeadlineGuard {
+        prev_armed: ARMED.load(Ordering::Relaxed),
+        prev_ns: DEADLINE_NS.load(Ordering::Relaxed),
+    };
+    match budget {
+        Some(budget) => {
+            let now = anchor().elapsed();
+            let ns = now.checked_add(budget).map_or(u64::MAX, |t| {
+                u64::try_from(t.as_nanos()).unwrap_or(u64::MAX)
+            });
+            DEADLINE_NS.store(ns, Ordering::Relaxed);
+            ARMED.store(true, Ordering::Relaxed);
+        }
+        None => {
+            ARMED.store(false, Ordering::Relaxed);
+            DEADLINE_NS.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+    guard
+}
+
+/// `true` once the armed deadline has passed. Unarmed: always `false`, and
+/// the clock is never read.
+#[inline]
+pub fn deadline_exceeded() -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let deadline = DEADLINE_NS.load(Ordering::Relaxed);
+    u64::try_from(anchor().elapsed().as_nanos()).unwrap_or(u64::MAX) >= deadline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The deadline slot is process-global; serialize the tests that arm it.
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_never_exceeds() {
+        let _gate = serialized();
+        assert!(!deadline_exceeded());
+    }
+
+    #[test]
+    fn zero_budget_exceeds_immediately_and_guard_restores() {
+        let _gate = serialized();
+        {
+            let _g = arm(Some(Duration::ZERO));
+            assert!(deadline_exceeded());
+        }
+        assert!(!deadline_exceeded());
+    }
+
+    #[test]
+    fn generous_budget_does_not_fire() {
+        let _gate = serialized();
+        let _g = arm(Some(Duration::from_secs(3600)));
+        assert!(!deadline_exceeded());
+    }
+
+    #[test]
+    fn nested_arms_restore_the_outer_deadline() {
+        let _gate = serialized();
+        let _outer = arm(Some(Duration::ZERO));
+        assert!(deadline_exceeded());
+        {
+            let _inner = arm(None);
+            assert!(!deadline_exceeded(), "inner mask must hide the deadline");
+        }
+        assert!(deadline_exceeded(), "outer deadline restored");
+    }
+}

@@ -49,6 +49,16 @@ pub enum NumericError {
         /// The abscissa (or time) at which the evaluation went non-finite.
         at: f64,
     },
+    /// The process-wide deadline (see [`crate::cancel`]) expired while the
+    /// method was running, and it stopped cooperatively. Any partial state
+    /// is discarded; the caller decides whether this is a skip or a
+    /// failure.
+    Cancelled {
+        /// Which method observed the deadline (e.g. `"rkf45"`).
+        method: &'static str,
+        /// The abscissa (or time) reached when the deadline was observed.
+        at: f64,
+    },
 }
 
 impl NumericError {
@@ -90,6 +100,10 @@ impl fmt::Display for NumericError {
             Self::NonFiniteEvaluation { method, at } => write!(
                 f,
                 "{method} aborted: function evaluation went non-finite at x = {at:.6e}"
+            ),
+            Self::Cancelled { method, at } => write!(
+                f,
+                "{method} cancelled: run deadline expired at x = {at:.6e}"
             ),
         }
     }

@@ -21,6 +21,8 @@
 //! * [`stats`] — error metrics and grid helpers,
 //! * [`rng`] — deterministic, stream-splittable pseudo-random numbers
 //!   (xoshiro256++) for Monte Carlo work,
+//! * [`cancel`] — process-wide cooperative deadline checks polled by the
+//!   long-running kernels (RKF45, and the MNA transient loop downstream),
 //! * [`check`] — a minimal deterministic property-testing harness,
 //! * [`shrink`] — deterministic counterexample shrinking toward a
 //!   reference anchor (the companion the `check` harness deliberately
@@ -41,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod cancel;
 pub mod check;
 pub mod clu;
 pub mod complex;

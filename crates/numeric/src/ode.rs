@@ -274,6 +274,12 @@ where
     let mut steps = 0usize;
     let mut report = OdeReport::default();
     while t1 - t > span * 1e-12 {
+        if crate::cancel::deadline_exceeded() {
+            return Err(NumericError::Cancelled {
+                method: "rkf45",
+                at: t,
+            });
+        }
         if steps >= opts.max_steps {
             return Err(NumericError::ConvergenceFailed {
                 method: "rkf45",

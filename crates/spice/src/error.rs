@@ -59,6 +59,14 @@ pub enum SpiceError {
         /// The underlying I/O error text.
         message: String,
     },
+    /// The process-wide run deadline (see `ssn_numeric::cancel`) expired
+    /// mid-analysis and the simulator stopped cooperatively. The partial
+    /// trajectory is discarded; the caller decides whether this is a skip
+    /// or a failure.
+    Cancelled {
+        /// Simulation time reached when the deadline was observed.
+        time: f64,
+    },
     /// A numeric kernel failed (singular MNA matrix, etc.).
     Numeric(NumericError),
     /// A probe waveform could not be constructed.
@@ -88,6 +96,12 @@ impl fmt::Display for SpiceError {
             Self::Parse { line, message } => write!(f, "deck parse error, line {line}: {message}"),
             Self::DeckIo { path, message } => {
                 write!(f, "cannot read deck file {path:?}: {message}")
+            }
+            Self::Cancelled { time } => {
+                write!(
+                    f,
+                    "transient cancelled: run deadline expired at t = {time:.4e}"
+                )
             }
             Self::Numeric(e) => write!(f, "numeric failure: {e}"),
             Self::Waveform(e) => write!(f, "waveform failure: {e}"),

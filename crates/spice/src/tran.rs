@@ -241,6 +241,9 @@ pub fn transient(circuit: &Circuit, opts: TranOptions) -> Result<TranResult, Spi
     let mut rejected = 0usize;
 
     while t < opts.t_stop * (1.0 - 1e-12) {
+        if ssn_numeric::cancel::deadline_exceeded() {
+            return Err(SpiceError::Cancelled { time: t });
+        }
         // Align to the next breakpoint.
         while bp_cursor < bps.len() && bps[bp_cursor] <= t * (1.0 + 1e-12) {
             bp_cursor += 1;

@@ -52,6 +52,22 @@
 
 pub mod json;
 
+/// Well-known counter names shared between producers and sinks.
+///
+/// Counters take `&'static str` keys; centralizing the durable-execution
+/// names here keeps the producer (`ssn-core::durable`), the CLI renderers,
+/// and any dashboard built on the JSON sink agreeing on spelling.
+pub mod names {
+    /// Checkpoint commits performed this run.
+    pub const DURABLE_COMMITS: &str = "durable.commits";
+    /// Chunks restored from a checkpoint instead of recomputed.
+    pub const DURABLE_RESUMED_CHUNKS: &str = "durable.resumed_chunks";
+    /// Chunks skipped cooperatively because the run budget expired.
+    pub const DURABLE_DEADLINE_SKIPPED: &str = "durable.deadline_skipped_chunks";
+    /// Degradation-ladder steps applied (one per recorded downgrade).
+    pub const DURABLE_DEGRADED: &str = "durable.degraded";
+}
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -6,6 +6,9 @@
 #
 # Fails fast on the first broken step.
 set -euo pipefail
+# Command substitutions and subshells must inherit errexit, or a failing
+# $(...) step silently yields an empty string instead of stopping the gate.
+shopt -s inherit_errexit
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: release build =="
@@ -22,8 +25,9 @@ echo "== telemetry smoke =="
 # parse and the stream must cover meta + spans + counters. The root package
 # does not depend on the CLI, so build its binaries explicitly.
 cargo build --release -p ssn-cli
-tmp_json="$(mktemp)"
-trap 'rm -f "$tmp_json"' EXIT
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+tmp_json="$tmp_dir/telemetry.jsonl"
 ./target/release/ssn montecarlo --process p018 --drivers 8 --samples 600 \
     --threads 2 --seed 1 --telemetry=json:"$tmp_json" > /dev/null
 ./target/release/telemetry-lint "$tmp_json"
@@ -33,13 +37,38 @@ echo "== differential oracle gate =="
 # closed-form/MNA disagreement beyond the tolerance budgets, and the
 # per-case summary must match the golden CSV bit-for-bit (accuracy drift
 # inside budget is drift too).
-tmp_csv="$(mktemp)"
-tmp_repro="$(mktemp -d)"
-trap 'rm -f "$tmp_json" "$tmp_csv"; rm -rf "$tmp_repro"' EXIT
+tmp_csv="$tmp_dir/oracle_summary.csv"
+tmp_repro="$tmp_dir/repro"
 ./target/release/ssn validate --corpus 500 --seed 1 --threads 2 \
     --csv "$tmp_csv" --repro-dir "$tmp_repro" > /dev/null
 diff -u results/diff1_oracle_summary.csv "$tmp_csv" \
     || { echo "ci: differential summary drifted from results/diff1_oracle_summary.csv" >&2; exit 1; }
+
+echo "== durability: kill -> resume smoke =="
+# Crash the oracle run after two committed chunks (the release binary honors
+# SSN_CRASH_AFTER_COMMITS precisely so CI can exercise a real mid-run kill),
+# resume from the journal, and require the resumed summary to be
+# bit-identical to an uninterrupted run of the same corpus.
+golden_csv="$tmp_dir/durable_golden.csv"
+./target/release/ssn validate --corpus 120 --seed 1 --threads 2 \
+    --csv "$golden_csv" --repro-dir "$tmp_repro" > /dev/null
+ckpt="$tmp_dir/validate.ckpt"
+resumed_csv="$tmp_dir/durable_resumed.csv"
+rc=0
+SSN_CRASH_AFTER_COMMITS=2 ./target/release/ssn validate --corpus 120 --seed 1 \
+    --threads 2 --checkpoint "$ckpt" --repro-dir "$tmp_repro" > /dev/null || rc=$?
+[ "$rc" -eq 12 ] \
+    || { echo "ci: injected crash should exit 12 (interrupted), got $rc" >&2; exit 1; }
+[ -f "$ckpt" ] \
+    || { echo "ci: the crashed run left no checkpoint journal at $ckpt" >&2; exit 1; }
+resumed_out="$tmp_dir/durable_resumed.out"
+./target/release/ssn validate --corpus 120 --seed 1 --threads 2 \
+    --checkpoint "$ckpt" --resume --csv "$resumed_csv" --repro-dir "$tmp_repro" \
+    > "$resumed_out"
+grep -q "resume: 2 chunk(s) restored" "$resumed_out" \
+    || { echo "ci: resumed run did not report the 2 restored chunks" >&2; exit 1; }
+diff -u "$golden_csv" "$resumed_csv" \
+    || { echo "ci: kill -> resume summary drifted from the uninterrupted run" >&2; exit 1; }
 
 echo "== panic audit =="
 ./scripts/panic_audit.sh

@@ -11,6 +11,9 @@
 # Test modules are excluded by stripping each file from its first
 # `#[cfg(test)]` line to EOF (the repo convention keeps test modules last).
 set -euo pipefail
+# A failing find/awk inside $(...) must stop the audit, not yield an empty
+# count that reads as "no panic sites".
+shopt -s inherit_errexit
 cd "$(dirname "$0")/.."
 
 BASELINE="scripts/panic_baseline.txt"
@@ -27,7 +30,7 @@ audit() {
         if [ "$n" -gt 0 ]; then
             printf '%s %s\n' "$f" "$n"
         fi
-    done < <(find crates src -name '*.rs' -not -path '*/tests/*' 2>/dev/null | sort)
+    done < <(find crates src -name '*.rs' -not -path '*/tests/*' | sort)
 }
 
 if [ "${1:-}" = "--update" ]; then
