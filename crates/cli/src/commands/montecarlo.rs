@@ -4,7 +4,9 @@ use super::{durable_options, resolve_process, with_telemetry, TelemetryMode, DUR
 use crate::args::ParsedArgs;
 use crate::error::CliError;
 use ssn_core::lcmodel;
-use ssn_core::montecarlo::{run_monte_carlo_durable, run_monte_carlo_with, VariationSpec};
+use ssn_core::montecarlo::{
+    run_monte_carlo_durable_with_path, run_monte_carlo_with_path, McPath, VariationSpec,
+};
 use ssn_core::parallel::ExecPolicy;
 use ssn_core::report::run_footer;
 use ssn_core::scenario::SsnScenario;
@@ -24,6 +26,8 @@ options:
     --k-frac <x>        fractional sigma of K (default 0.08)
     --l-frac <x>        fractional sigma of L (default 0.10)
     --c-frac <x>        fractional sigma of C (default 0.15)
+    --path <p>          evaluation path: batched (default) or scalar (the
+                        pre-SoA reference); bit-identical results either way
     --telemetry[=json:<path>]
                         profile the run: print a per-stage breakdown table,
                         or write the span/counter stream as JSON lines to
@@ -49,6 +53,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
             "k-frac",
             "l-frac",
             "c-frac",
+            "path",
             "checkpoint",
             "deadline",
         ],
@@ -81,18 +86,30 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         c_frac: args.parsed_or("c-frac", 0.15)?,
         ..VariationSpec::typical()
     };
+    let path = match args.value("path") {
+        None => McPath::default(),
+        Some("batched") => McPath::Batched,
+        Some("scalar") => McPath::Scalar,
+        Some(other) => {
+            return Err(CliError::usage(&format!(
+                "--path must be batched or scalar, got {other}"
+            )))
+        }
+    };
     let telemetry = TelemetryMode::from_args(&args)?;
     let budget = args.parsed::<Volts>("budget")?;
     let durable = durable_options(&args)?;
     with_telemetry(&telemetry, "cli.montecarlo", out, |out| {
         let (mc, stats, durability) = match &durable {
             Some(d) => {
-                let (mc, stats, durability) =
-                    run_monte_carlo_durable(&scenario, &spec, samples, seed, &policy, d)?;
+                let (mc, stats, durability) = run_monte_carlo_durable_with_path(
+                    &scenario, &spec, samples, seed, &policy, d, path,
+                )?;
                 (mc, stats, Some(durability))
             }
             None => {
-                let (mc, stats) = run_monte_carlo_with(&scenario, &spec, samples, seed, &policy)?;
+                let (mc, stats) =
+                    run_monte_carlo_with_path(&scenario, &spec, samples, seed, &policy, path)?;
                 (mc, stats, None)
             }
         };

@@ -255,11 +255,49 @@ mod tests {
         assert!(text.contains("per-stage breakdown"), "{text}");
         assert!(text.contains("cli.montecarlo"), "{text}");
         assert!(text.contains("mc.run"), "{text}");
-        assert!(text.contains("mc.sample"), "{text}");
-        assert!(text.contains("model.lc.vn_max"), "{text}");
+        // The batched default reports per-chunk stages, not per-sample ones.
+        assert!(text.contains("mc.perturb"), "{text}");
+        assert!(text.contains("mc.eval"), "{text}");
+        assert!(text.contains("model.lc.vn_max_slab"), "{text}");
         assert!(text.contains("parallel.sched_wait"), "{text}");
         assert!(text.contains("mc.samples"), "{text}");
         assert!(text.contains("% wall"), "{text}");
+    }
+
+    #[test]
+    fn montecarlo_scalar_path_keeps_per_sample_spans_and_identical_results() {
+        let run = |path_args: &[&str]| {
+            let mut argv = vec![
+                "montecarlo",
+                "--process",
+                "p018",
+                "--drivers",
+                "8",
+                "--samples",
+                "300",
+                "--threads",
+                "1",
+            ];
+            argv.extend_from_slice(path_args);
+            run_to_string(&argv)
+        };
+        let (res, batched) = run(&[]);
+        assert!(res.is_ok(), "{batched}");
+        let (res, scalar) = run(&["--path", "scalar"]);
+        assert!(res.is_ok(), "{scalar}");
+        // The path flag never changes the report: same samples, same stats.
+        assert_eq!(batched, scalar);
+        // On the scalar reference the old per-sample spans are still live.
+        let (res, text) = run(&["--path", "scalar", "--telemetry"]);
+        assert!(res.is_ok(), "{text}");
+        assert!(text.contains("mc.sample"), "{text}");
+        assert!(!text.contains("mc.perturb"), "{text}");
+
+        let (res, _) = run(&["--path", "sideways"]);
+        let err = res
+            .expect_err("bogus path must be a usage error")
+            .to_string();
+        assert!(err.contains("batched or scalar"), "{err}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::lmodel;
 use crate::scenario::SsnScenario;
+use ssn_numeric::slab;
 use ssn_units::{Farads, Seconds, Volts};
 use ssn_waveform::{Waveform, WaveformError};
 
@@ -273,6 +274,156 @@ pub fn vn_max(s: &SsnScenario) -> (Volts, MaxSsnCase) {
                 (vn_at(s, s.rise_time()), MaxSsnCase::UnderdampedSlowInput)
             }
         }
+    }
+}
+
+/// Plain-number body of [`vn_max`] for one parameter draw, with the
+/// derived quantities (`v_inf`, `t0`, `alpha`, `w0`) precomputed.
+///
+/// Replicates the exact operation sequence of [`vn_max`] → [`classify`] →
+/// [`vn_at`] — including the `C = 0` fall-through to the L-only model and
+/// the NaN-propagating regime comparisons — so the slab path stays
+/// bit-identical to the scalar path. Any edit here must be mirrored in the
+/// scenario-based functions above (the `soa_equivalence` suite and the
+/// golden pins catch divergence).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn vn_max_case(
+    n_drivers: f64,
+    vdd: f64,
+    tr: f64,
+    slew: f64,
+    k: f64,
+    sigma: f64,
+    v0: f64,
+    l: f64,
+    c: f64,
+    v_inf: f64,
+    t0: f64,
+    a: f64,
+    w0: f64,
+) -> f64 {
+    if c == 0.0 {
+        return lmodel::vn_max_sample(n_drivers, vdd, slew, k, sigma, v0, l);
+    }
+    if (a - w0).abs() <= CRITICAL_REL_TOL * w0 {
+        // Case 2: boundary value at tr.
+        if tr <= t0 {
+            return 0.0;
+        }
+        let tp = tr - t0;
+        let shape = (-a * tp).exp() * (1.0 + a * tp);
+        return v_inf * (1.0 - shape);
+    }
+    if a > w0 {
+        // Case 1: boundary value at tr.
+        if tr <= t0 {
+            return 0.0;
+        }
+        let tp = tr - t0;
+        let beta = (a * a - w0 * w0).sqrt();
+        let lambda1 = -a + beta;
+        let lambda2 = -a - beta;
+        let shape =
+            (lambda2 * (lambda1 * tp).exp() - lambda1 * (lambda2 * tp).exp()) / (lambda2 - lambda1);
+        return v_inf * (1.0 - shape);
+    }
+    // Under-damped (this branch also swallows NaN inputs, exactly like the
+    // ordered comparisons in `classify`).
+    let omega = (w0 * w0 - a * a).sqrt();
+    let t_peak = std::f64::consts::PI / omega;
+    let window = tr - t0;
+    if t_peak <= window {
+        // Case 3a: first ring peak inside the ramp.
+        return v_inf * (1.0 + (-a * t_peak).exp());
+    }
+    // Case 3b: boundary value at tr.
+    if tr <= t0 {
+        return 0.0;
+    }
+    let tp = tr - t0;
+    let shape = (-a * tp).exp() * ((omega * tp).cos() + a / omega * (omega * tp).sin());
+    v_inf * (1.0 - shape)
+}
+
+/// Batched [`vn_max`] over structure-of-arrays parameter slabs: `out[i]`
+/// becomes the Table-1 maximum of the draw `(k[i], sigma[i], v0[i], l[i],
+/// c[i])` around the constants (`N`, `V_dd`, `t_r`) of `nominal`.
+///
+/// Bit-identical, element for element, to building each scenario and
+/// calling [`vn_max`] — the SoA layout removes the per-sample scenario
+/// rebuild, not any arithmetic (the Monte Carlo hot path, see
+/// [`crate::montecarlo`]). Samples with `c[i] == 0` take the L-only closed
+/// form, exactly like the scalar fall-through.
+///
+/// The evaluation is two-staged: the branch-free derived quantities
+/// (`V_inf`, `t_0`, `alpha`, `omega_0`) are computed over fixed-width
+/// [`ssn_numeric::slab::LANE`] lanes the optimizer can vectorize
+/// (mul/div/sqrt only), then the branchy Table-1 case selection finishes
+/// each sample. Lane width never affects results — the ragged tail runs
+/// the same expressions element-wise.
+///
+/// # Panics
+///
+/// Panics when the parameter slabs and `out` differ in length.
+pub fn vn_max_slab(
+    nominal: &SsnScenario,
+    k: &[f64],
+    sigma: &[f64],
+    v0: &[f64],
+    l: &[f64],
+    c: &[f64],
+    out: &mut [f64],
+) {
+    let _span = ssn_telemetry::span("model.lc.vn_max_slab");
+    let n = out.len();
+    assert!(
+        k.len() == n && sigma.len() == n && v0.len() == n && l.len() == n && c.len() == n,
+        "parameter slabs must match the output length"
+    );
+    let nd = nominal.n_drivers() as f64;
+    let vdd = nominal.vdd().value();
+    let tr = nominal.rise_time().value();
+    let slew = nominal.slew().value();
+
+    // Stage 1: branch-free derived slabs. `C = 0` lanes divide to infinity
+    // here — harmless, stage 2 never reads `alpha`/`omega0` for them (the
+    // scalar `alpha()`/`omega0()` return infinity for `C = 0` too).
+    let mut v_inf = vec![0.0; n];
+    let mut t0 = vec![0.0; n];
+    let mut alpha = vec![0.0; n];
+    let mut w0 = vec![0.0; n];
+    for s in 0..slab::full_slabs(n) {
+        let (k, sigma, v0l, ll, cl) = (
+            slab::lane(k, s),
+            slab::lane(sigma, s),
+            slab::lane(v0, s),
+            slab::lane(l, s),
+            slab::lane(c, s),
+        );
+        let vi = slab::lane_mut(&mut v_inf, s);
+        let t0l = slab::lane_mut(&mut t0, s);
+        let al = slab::lane_mut(&mut alpha, s);
+        let wl = slab::lane_mut(&mut w0, s);
+        for j in 0..slab::LANE {
+            vi[j] = ll[j] * nd * k[j] * slew;
+            t0l[j] = v0l[j] / slew;
+            al[j] = nd * k[j] * sigma[j] / (2.0 * cl[j]);
+            wl[j] = 1.0 / (ll[j] * cl[j]).sqrt();
+        }
+    }
+    for i in slab::tail(n) {
+        v_inf[i] = l[i] * nd * k[i] * slew;
+        t0[i] = v0[i] / slew;
+        alpha[i] = nd * k[i] * sigma[i] / (2.0 * c[i]);
+        w0[i] = 1.0 / (l[i] * c[i]).sqrt();
+    }
+
+    // Stage 2: per-sample Table-1 case selection (branchy, transcendental).
+    for i in 0..n {
+        out[i] = vn_max_case(
+            nd, vdd, tr, slew, k[i], sigma[i], v0[i], l[i], c[i], v_inf[i], t0[i], alpha[i], w0[i],
+        );
     }
 }
 

@@ -20,6 +20,7 @@
 //! `t in [t0, tr]` (the paper's validity window).
 
 use crate::scenario::SsnScenario;
+use ssn_numeric::slab;
 use ssn_units::{Amps, Seconds, Volts};
 use ssn_waveform::{Waveform, WaveformError};
 
@@ -71,6 +72,78 @@ pub fn vn_max(s: &SsnScenario) -> Volts {
     let exponent =
         -(s.vdd().value() - s.asdm().v0().value()) / (s.slew().value() * time_constant(s).value());
     Volts::new(s.v_inf().value() * (1.0 - exponent.exp()))
+}
+
+/// Plain-number body of [`vn_max`]: the Eqn.-7 maximum for one parameter
+/// draw, with the scenario constants already unpacked.
+///
+/// This is the per-sample kernel both the scalar path (via [`vn_max`]) and
+/// the batched SoA path ([`vn_max_slab`], [`crate::lcmodel::vn_max_slab`])
+/// reduce to. Every operation and its order mirrors the scenario-based
+/// accessors exactly (`tau = sigma·L·N·K`, `V_inf = L·N·K·s`), so the two
+/// paths are bit-identical by construction — the property the
+/// `soa_equivalence` suite pins.
+#[inline]
+pub(crate) fn vn_max_sample(
+    n_drivers: f64,
+    vdd: f64,
+    slew: f64,
+    k: f64,
+    sigma: f64,
+    v0: f64,
+    l: f64,
+) -> f64 {
+    let tau = sigma * l * n_drivers * k;
+    let v_inf = l * n_drivers * k * slew;
+    let exponent = -(vdd - v0) / (slew * tau);
+    v_inf * (1.0 - exponent.exp())
+}
+
+/// Batched [`vn_max`] over structure-of-arrays parameter slabs: `out[i]`
+/// becomes the Eqn.-7 maximum of the draw `(k[i], sigma[i], v0[i], l[i])`
+/// around the constants (`N`, `V_dd`, slew) of `nominal`.
+///
+/// Bit-identical, element for element, to building each scenario and
+/// calling [`vn_max`] — the point of the slab layout is to skip the
+/// per-sample scenario rebuild, not to change any arithmetic. Full
+/// [`ssn_numeric::slab::LANE`]-wide slabs run through a fixed-width inner
+/// loop; the ragged tail uses the same expression element-wise.
+///
+/// # Panics
+///
+/// Panics when the parameter slabs and `out` differ in length.
+pub fn vn_max_slab(
+    nominal: &SsnScenario,
+    k: &[f64],
+    sigma: &[f64],
+    v0: &[f64],
+    l: &[f64],
+    out: &mut [f64],
+) {
+    let _span = ssn_telemetry::span("model.l.vn_max_slab");
+    let n = out.len();
+    assert!(
+        k.len() == n && sigma.len() == n && v0.len() == n && l.len() == n,
+        "parameter slabs must match the output length"
+    );
+    let nd = nominal.n_drivers() as f64;
+    let vdd = nominal.vdd().value();
+    let slew = nominal.slew().value();
+    for s in 0..slab::full_slabs(n) {
+        let (k, sigma, v0, l) = (
+            slab::lane(k, s),
+            slab::lane(sigma, s),
+            slab::lane(v0, s),
+            slab::lane(l, s),
+        );
+        let out = slab::lane_mut(out, s);
+        for j in 0..slab::LANE {
+            out[j] = vn_max_sample(nd, vdd, slew, k[j], sigma[j], v0[j], l[j]);
+        }
+    }
+    for i in slab::tail(n) {
+        out[i] = vn_max_sample(nd, vdd, slew, k[i], sigma[i], v0[i], l[i]);
+    }
 }
 
 /// The total current through the ground inductor at time `t`

@@ -12,6 +12,24 @@
 //! therefore **never** changes the result — `run_monte_carlo_with` on 8
 //! workers returns a bit-identical [`McResult`] to the serial run, which
 //! the workspace determinism tests pin down.
+//!
+//! # The batched SoA hot path
+//!
+//! Chunks are evaluated by one of two paths (see [`McPath`]):
+//!
+//! * **Batched** (default): the chunk's draws are scattered into
+//!   structure-of-arrays parameter slabs ([`perturb_batch`]) and evaluated
+//!   by the slab kernels ([`crate::lcmodel::vn_max_slab`] /
+//!   [`crate::lmodel::vn_max_slab`]) — no per-sample scenario rebuild.
+//! * **Scalar**: the original one-scenario-at-a-time reference path,
+//!   retained so the equivalence suite (`tests/soa_equivalence.rs`) can
+//!   prove the batched path bit-identical forever.
+//!
+//! Both paths consume the chunk's RNG stream in the exact same per-sample
+//! interleaved order (`K`, `sigma`, `V_0`, `L`, `C` — [`perturb_one`]) and
+//! produce bit-identical chunk payloads, so checkpoints written by either
+//! path resume on the other (`tests/durability.rs` pins the cross-path
+//! resume).
 
 use crate::durable::{
     run_chunked_durable, ByteReader, ByteWriter, ChunkOutcome, DegradeStep, Durability,
@@ -20,9 +38,11 @@ use crate::durable::{
 use crate::error::SsnError;
 use crate::hooks;
 use crate::lcmodel;
+use crate::lmodel;
 use crate::parallel::{try_run_chunked, ExecPolicy, ExecStats};
 use crate::scenario::{Rail, SsnScenario};
 use ssn_numeric::rng::Rng;
+use ssn_numeric::stats;
 use ssn_units::{Farads, Henrys, Siemens, Volts};
 use std::ops::Range;
 
@@ -30,6 +50,33 @@ use std::ops::Range;
 /// of the thread count — because chunk boundaries define which stream a
 /// sample draws from.
 pub const MC_CHUNK: usize = 256;
+
+/// Which evaluation path executes a Monte Carlo chunk.
+///
+/// Both paths are bit-identical by contract: same RNG stream consumption,
+/// same clamps, same floating-point operation sequence per sample. The
+/// scalar path is retained purely as the differential reference — the
+/// `soa_equivalence` suite compares the two, and `mc_run_spec`
+/// deliberately does *not* digest the path, so a checkpoint written by one
+/// resumes on the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum McPath {
+    /// Batched SoA hot path: perturb parameter slabs in place, evaluate
+    /// `vn_max` over contiguous arrays. The default.
+    #[default]
+    Batched,
+    /// One-scenario-at-a-time reference path (the pre-SoA implementation).
+    Scalar,
+}
+
+impl std::fmt::Display for McPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Batched => write!(f, "batched"),
+            Self::Scalar => write!(f, "scalar"),
+        }
+    }
+}
 
 /// Standard deviations of the varied parameters. Fractional sigmas apply
 /// multiplicatively (`x * (1 + sigma * z)`), absolute sigmas additively.
@@ -139,16 +186,27 @@ impl McResult {
     }
 
     /// Sample mean (volts).
+    ///
+    /// Reduced in the pinned left-to-right order of
+    /// [`ssn_numeric::stats::sum_ordered`] — never by a reassociating fast
+    /// sum — so the value is bit-stable across evaluation paths and
+    /// accumulation-scheme changes.
     pub fn mean(&self) -> Volts {
-        Volts::new(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        Volts::new(stats::sum_ordered(&self.samples) / self.samples.len() as f64)
     }
 
-    /// Sample standard deviation (volts).
+    /// Sample standard deviation (volts), accumulated in the same pinned
+    /// order as [`McResult::mean`]
+    /// ([`ssn_numeric::stats::moments_ordered`]).
+    ///
+    /// An `McResult` is never empty by construction; the NaN arm mirrors
+    /// what [`McResult::mean`] yields for that impossible input.
     pub fn std_dev(&self) -> Volts {
-        let m = self.mean().value();
-        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-            / (self.samples.len() as f64 - 1.0).max(1.0);
-        Volts::new(var.sqrt())
+        Volts::new(
+            stats::moments_ordered(&self.samples)
+                .map(|(_, sd)| sd)
+                .unwrap_or(f64::NAN),
+        )
     }
 
     /// The `q`-quantile (0..=1) by linear interpolation of the sorted
@@ -205,30 +263,141 @@ impl McResult {
     }
 }
 
-/// Draws one varied scenario and evaluates its Table-1 maximum.
+/// One perturbed parameter draw: the five varied quantities of a single
+/// Monte Carlo sample, already clamped to the model domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbedParams {
+    /// ASDM transconductance `K` (siemens), clamped to `>= 1e-6`.
+    pub k: f64,
+    /// ASDM source-sensitivity `sigma`, clamped to `>= 1`.
+    pub sigma: f64,
+    /// Displacement voltage `V_0` (volts), clamped to `[1e-3, 0.95 V_dd]`.
+    pub v0: f64,
+    /// Package inductance `L` (henrys), clamped to `>= 1e-12`.
+    pub l: f64,
+    /// Package capacitance `C` (farads), clamped to `>= 0`.
+    pub c: f64,
+}
+
+/// Draws the five varied parameters of one sample from `rng`.
 ///
 /// Out-of-domain draws (non-positive `K`/`L`, `sigma < 1`, `V_0` outside
 /// `(0, V_dd)`) are clamped to the domain edge rather than redrawn, so the
 /// sample count is exact and tails remain honest. The five variates are
 /// always drawn in the same order (`K`, `sigma`, `V_0`, `L`, `C`) — part
-/// of the determinism contract.
+/// of the determinism contract, and the *only* way either evaluation path
+/// touches the stream: [`perturb_batch`] is a loop over this function, so
+/// the batched path cannot drift from the scalar one (the property suite
+/// pins the clamps and the draw-for-draw agreement).
+pub fn perturb_one(nominal: &SsnScenario, spec: &VariationSpec, rng: &mut Rng) -> PerturbedParams {
+    let a0 = nominal.asdm();
+    let vdd = nominal.vdd().value();
+    PerturbedParams {
+        k: (a0.k().value() * (1.0 + spec.k_frac * rng.normal())).max(1e-6),
+        sigma: (a0.sigma() + spec.sigma_abs * rng.normal()).max(1.0),
+        v0: (a0.v0().value() + spec.v0_abs * rng.normal()).clamp(1e-3, vdd * 0.95),
+        l: (nominal.inductance().value() * (1.0 + spec.l_frac * rng.normal())).max(1e-12),
+        c: (nominal.capacitance().value() * (1.0 + spec.c_frac * rng.normal())).max(0.0),
+    }
+}
+
+/// Structure-of-arrays slabs of perturbed parameters for one chunk: the
+/// batched counterpart of a sequence of [`PerturbedParams`].
+///
+/// Layout is columnar — one contiguous array per parameter — so the slab
+/// kernels stream each column linearly. Sample `i` of the batch is
+/// `(k[i], sigma[i], v0[i], l[i], c[i])`, in draw order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct McBatch {
+    k: Vec<f64>,
+    sigma: Vec<f64>,
+    v0: Vec<f64>,
+    l: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl McBatch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.k.len()
+    }
+
+    /// `true` when the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.k.is_empty()
+    }
+
+    /// The `K` column (siemens).
+    pub fn k(&self) -> &[f64] {
+        &self.k
+    }
+
+    /// The `sigma` column.
+    pub fn sigma(&self) -> &[f64] {
+        &self.sigma
+    }
+
+    /// The `V_0` column (volts).
+    pub fn v0(&self) -> &[f64] {
+        &self.v0
+    }
+
+    /// The `L` column (henrys).
+    pub fn l(&self) -> &[f64] {
+        &self.l
+    }
+
+    /// The `C` column (farads).
+    pub fn c(&self) -> &[f64] {
+        &self.c
+    }
+}
+
+/// Fills a structure-of-arrays batch with `n` perturbed draws from `rng`.
+///
+/// Consumes the stream in the exact per-sample interleaved order of the
+/// scalar path — `n` repetitions of [`perturb_one`] — and merely scatters
+/// the draws into columns. SoA changes the *storage layout*, never the
+/// draw order: drawing column-major (all `K`s first) would consume the
+/// stream differently and break bit-compatibility with existing seeds and
+/// checkpoints.
+pub fn perturb_batch(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    rng: &mut Rng,
+    n: usize,
+) -> McBatch {
+    let mut batch = McBatch {
+        k: Vec::with_capacity(n),
+        sigma: Vec::with_capacity(n),
+        v0: Vec::with_capacity(n),
+        l: Vec::with_capacity(n),
+        c: Vec::with_capacity(n),
+    };
+    for _ in 0..n {
+        let p = perturb_one(nominal, spec, rng);
+        batch.k.push(p.k);
+        batch.sigma.push(p.sigma);
+        batch.v0.push(p.v0);
+        batch.l.push(p.l);
+        batch.c.push(p.c);
+    }
+    batch
+}
+
+/// Scalar reference path: builds the varied scenario and evaluates its
+/// Table-1 maximum through the exact pre-SoA call chain.
 fn sample_vn_max(
     nominal: &SsnScenario,
     spec: &VariationSpec,
     rng: &mut Rng,
 ) -> Result<f64, SsnError> {
-    let a0 = nominal.asdm();
-    let vdd = nominal.vdd().value();
-    let k = (a0.k().value() * (1.0 + spec.k_frac * rng.normal())).max(1e-6);
-    let sigma = (a0.sigma() + spec.sigma_abs * rng.normal()).max(1.0);
-    let v0 = (a0.v0().value() + spec.v0_abs * rng.normal()).clamp(1e-3, vdd * 0.95);
-    let l = (nominal.inductance().value() * (1.0 + spec.l_frac * rng.normal())).max(1e-12);
-    let c = (nominal.capacitance().value() * (1.0 + spec.c_frac * rng.normal())).max(0.0);
-    let asdm = ssn_devices::Asdm::new(Siemens::new(k), sigma, Volts::new(v0));
+    let p = perturb_one(nominal, spec, rng);
+    let asdm = ssn_devices::Asdm::new(Siemens::new(p.k), p.sigma, Volts::new(p.v0));
     let s = SsnScenario::from_asdm(asdm, nominal.vdd())
         .drivers(nominal.n_drivers())
-        .inductance(Henrys::new(l))
-        .capacitance(Farads::new(c))
+        .inductance(Henrys::new(p.l))
+        .capacitance(Farads::new(p.c))
         .rise_time(nominal.rise_time())
         .rail(nominal.rail())
         .build()?;
@@ -298,6 +467,26 @@ pub fn run_monte_carlo_with(
     seed: u64,
     policy: &ExecPolicy,
 ) -> Result<(McResult, ExecStats), SsnError> {
+    run_monte_carlo_with_path(nominal, spec, n_samples, seed, policy, McPath::default())
+}
+
+/// [`run_monte_carlo_with`] on an explicit evaluation path.
+///
+/// The path never changes results — [`McPath::Scalar`] exists as the
+/// differential reference for the batched default, and the equivalence
+/// suite pins `Batched == Scalar` bit for bit at every thread count.
+///
+/// # Errors
+///
+/// As [`run_monte_carlo_with`].
+pub fn run_monte_carlo_with_path(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    n_samples: usize,
+    seed: u64,
+    policy: &ExecPolicy,
+    path: McPath,
+) -> Result<(McResult, ExecStats), SsnError> {
     if n_samples == 0 {
         return Err(SsnError::invalid(
             "samples",
@@ -308,7 +497,7 @@ pub fn run_monte_carlo_with(
     spec.validate()?;
     let _run_span = ssn_telemetry::span("mc.run");
     let (chunks, mut stats) = try_run_chunked(n_samples, MC_CHUNK, policy, |c, range| {
-        mc_chunk(nominal, spec, seed, c, range)
+        mc_chunk(nominal, spec, seed, c, range, path)
     });
     let _collect_span = ssn_telemetry::span("mc.collect");
     let total = stats.chunks;
@@ -343,9 +532,25 @@ pub fn run_monte_carlo_with(
 }
 
 /// Evaluates one Monte Carlo chunk: samples `range` from RNG stream
-/// `(seed, c)`. The shared body of the plain and durable runners — both
-/// must produce identical chunk results for the resume invariant to hold.
+/// `(seed, c)` on the selected path. The shared body of the plain and
+/// durable runners — all paths must produce identical chunk results for
+/// the determinism and resume invariants to hold.
 fn mc_chunk(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    seed: u64,
+    c: usize,
+    range: Range<usize>,
+    path: McPath,
+) -> Result<Vec<f64>, SsnError> {
+    match path {
+        McPath::Batched => mc_chunk_batched(nominal, spec, seed, c, range),
+        McPath::Scalar => mc_chunk_scalar(nominal, spec, seed, c, range),
+    }
+}
+
+/// The retained scalar reference chunk: one scenario rebuild per sample.
+fn mc_chunk_scalar(
     nominal: &SsnScenario,
     spec: &VariationSpec,
     seed: u64,
@@ -369,6 +574,69 @@ fn mc_chunk(
             Ok(v)
         })
         .collect::<Result<Vec<f64>, SsnError>>()
+}
+
+/// The batched SoA chunk: perturb the whole chunk into parameter slabs,
+/// then evaluate `vn_max` over the contiguous columns.
+///
+/// Mirrors the scalar chunk observable for observable: same panic
+/// injection point, same `mc.samples` accounting, same per-sample NaN
+/// injection index (the *global* sample index `i`), and the same
+/// chunk-fails-whole error on a non-finite sample.
+fn mc_chunk_batched(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    seed: u64,
+    c: usize,
+    range: Range<usize>,
+) -> Result<Vec<f64>, SsnError> {
+    hooks::inject_chunk_panic(c);
+    let mut rng = Rng::from_seed_and_stream(seed, c as u64);
+    ssn_telemetry::add("mc.samples", range.len() as u64);
+    let batch = {
+        let _span = ssn_telemetry::span("mc.perturb");
+        perturb_batch(nominal, spec, &mut rng, range.len())
+    };
+    let mut out = vec![0.0; batch.len()];
+    {
+        let _span = ssn_telemetry::span("mc.eval");
+        // A C = 0 nominal with any c_frac perturbs to exactly 0 (the
+        // `max(0.0)` clamp), so the pure L-only kernel applies to the
+        // whole slab; otherwise the LC kernel handles per-sample C = 0
+        // fall-through exactly like the scalar path.
+        if nominal.capacitance().value() == 0.0 {
+            lmodel::vn_max_slab(
+                nominal,
+                batch.k(),
+                batch.sigma(),
+                batch.v0(),
+                batch.l(),
+                &mut out,
+            );
+        } else {
+            lcmodel::vn_max_slab(
+                nominal,
+                batch.k(),
+                batch.sigma(),
+                batch.v0(),
+                batch.l(),
+                batch.c(),
+                &mut out,
+            );
+        }
+    }
+    for (j, i) in range.enumerate() {
+        let v = hooks::inject_nan(i, out[j]);
+        if !v.is_finite() {
+            return Err(SsnError::invalid(
+                "vn_max",
+                v,
+                "model output must be finite",
+            ));
+        }
+        out[j] = v;
+    }
+    Ok(out)
 }
 
 /// The durable-run identity of a Monte Carlo job: every parameter that
@@ -436,6 +704,37 @@ pub fn run_monte_carlo_durable(
     policy: &ExecPolicy,
     durable: &DurableOptions,
 ) -> Result<(McResult, ExecStats, Durability), SsnError> {
+    run_monte_carlo_durable_with_path(
+        nominal,
+        spec,
+        n_samples,
+        seed,
+        policy,
+        durable,
+        McPath::default(),
+    )
+}
+
+/// [`run_monte_carlo_durable`] on an explicit evaluation path.
+///
+/// The run spec does **not** digest the path: both paths produce
+/// bit-identical chunk payloads, so a checkpoint journal written mid-run
+/// by one path resumes seamlessly on the other (pinned by the cross-path
+/// cases in `tests/durability.rs`). In particular, journals written before
+/// the batched path existed resume on it unchanged.
+///
+/// # Errors
+///
+/// As [`run_monte_carlo_durable`].
+pub fn run_monte_carlo_durable_with_path(
+    nominal: &SsnScenario,
+    spec: &VariationSpec,
+    n_samples: usize,
+    seed: u64,
+    policy: &ExecPolicy,
+    durable: &DurableOptions,
+    path: McPath,
+) -> Result<(McResult, ExecStats, Durability), SsnError> {
     if n_samples == 0 {
         return Err(SsnError::invalid(
             "samples",
@@ -462,7 +761,7 @@ pub fn run_monte_carlo_durable(
             let n = r.take_usize()?;
             (0..n).map(|_| r.take_f64()).collect()
         },
-        |c, range| mc_chunk(nominal, spec, seed, c, range),
+        |c, range| mc_chunk(nominal, spec, seed, c, range, path),
     )?;
 
     let mut durability = Durability {

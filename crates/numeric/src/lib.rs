@@ -18,7 +18,9 @@
 //! * [`interp`] — linear and monotone-cubic interpolation,
 //! * [`ode`] — reference ODE integrators (RK4, adaptive RKF45) used to
 //!   cross-check both the closed-form SSN solutions and the simulator,
-//! * [`stats`] — error metrics and grid helpers,
+//! * [`stats`] — error metrics, grid helpers, and pinned-order reductions,
+//! * [`slab`] — fixed-width lane helpers for structure-of-arrays kernels
+//!   (the batched Monte Carlo hot path),
 //! * [`rng`] — deterministic, stream-splittable pseudo-random numbers
 //!   (xoshiro256++) for Monte Carlo work,
 //! * [`cancel`] — process-wide cooperative deadline checks polled by the
@@ -56,6 +58,7 @@ pub mod quadrature;
 pub mod rng;
 pub mod roots;
 pub mod shrink;
+pub mod slab;
 pub mod solve;
 pub mod stats;
 

@@ -1,0 +1,115 @@
+//! Fixed-width lane helpers for structure-of-arrays (SoA) kernels.
+//!
+//! The batched Monte Carlo hot path (`ssn-core::montecarlo`) evaluates the
+//! closed-form SSN models over contiguous parameter slabs. The inner loops
+//! there are written against fixed-width *lanes*: a slab of [`LANE`]
+//! elements is viewed as `&[f64; LANE]`, which removes bounds checks and
+//! hands the optimizer an exact trip count it can unroll and vectorize.
+//! Everything that does not fill a whole lane is the *ragged tail* and is
+//! processed by the same scalar expression, one element at a time.
+//!
+//! Lanes change codegen only — iteration stays in ascending index order and
+//! every element goes through the identical floating-point expression, so a
+//! laned kernel is bit-identical to its plain loop by construction. That
+//! property is what lets the Monte Carlo engine keep its determinism
+//! contract while batching (see DESIGN.md, "Batched SoA Monte Carlo").
+
+use std::ops::Range;
+
+/// Lane width of the SoA kernels, in `f64` elements.
+///
+/// Eight doubles span one 64-byte cache line and map onto one AVX-512
+/// register or two AVX2 registers; narrower widths leave vector slots
+/// empty, wider ones spill. The width is a codegen hint, never a unit of
+/// work: results do not depend on it (the equivalence suite exercises
+/// sample counts that are deliberately not multiples of `LANE`).
+pub const LANE: usize = 8;
+
+/// Number of full [`LANE`]-wide slabs in a slice of length `len`.
+#[inline]
+pub fn full_slabs(len: usize) -> usize {
+    len / LANE
+}
+
+/// Index where the ragged tail begins (equals `len` when `LANE` divides
+/// `len`).
+#[inline]
+pub fn tail_start(len: usize) -> usize {
+    full_slabs(len) * LANE
+}
+
+/// The ragged-tail index range of a slice of length `len` (possibly empty).
+#[inline]
+pub fn tail(len: usize) -> Range<usize> {
+    tail_start(len)..len
+}
+
+/// Borrows full slab `slab` of `xs` as a fixed-width array.
+///
+/// # Panics
+///
+/// Panics when `slab >= full_slabs(xs.len())` — lanes only exist over the
+/// full-slab prefix; the tail is iterated element-wise.
+#[inline]
+pub fn lane(xs: &[f64], slab: usize) -> &[f64; LANE] {
+    let start = slab * LANE;
+    xs[start..start + LANE]
+        .try_into()
+        .expect("slab range is LANE wide by construction")
+}
+
+/// Mutable counterpart of [`lane`].
+///
+/// # Panics
+///
+/// Panics when `slab >= full_slabs(xs.len())`.
+#[inline]
+pub fn lane_mut(xs: &mut [f64], slab: usize) -> &mut [f64; LANE] {
+    let start = slab * LANE;
+    (&mut xs[start..start + LANE])
+        .try_into()
+        .expect("slab range is LANE wide by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_geometry() {
+        assert_eq!(full_slabs(0), 0);
+        assert_eq!(full_slabs(LANE - 1), 0);
+        assert_eq!(full_slabs(LANE), 1);
+        assert_eq!(full_slabs(3 * LANE + 2), 3);
+        assert_eq!(tail_start(3 * LANE + 2), 3 * LANE);
+        assert_eq!(tail(3 * LANE + 2), 3 * LANE..3 * LANE + 2);
+        assert!(tail(2 * LANE).is_empty());
+    }
+
+    #[test]
+    fn lanes_cover_exactly_the_full_prefix() {
+        let n = 2 * LANE + 3;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut seen = Vec::new();
+        for s in 0..full_slabs(n) {
+            seen.extend_from_slice(lane(&xs, s));
+        }
+        seen.extend_from_slice(&xs[tail(n)]);
+        assert_eq!(seen, xs, "slabs + tail must cover every element once");
+    }
+
+    #[test]
+    fn lane_mut_writes_through() {
+        let mut xs = vec![0.0; LANE + 1];
+        lane_mut(&mut xs, 0)[LANE - 1] = 7.0;
+        assert_eq!(xs[LANE - 1], 7.0);
+        assert_eq!(xs[LANE], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range end index")]
+    fn lane_rejects_the_tail() {
+        let xs = vec![0.0; LANE + 1];
+        let _ = lane(&xs, 1);
+    }
+}

@@ -120,7 +120,46 @@ pub fn logspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>, NumericError> {
         .collect())
 }
 
-/// Arithmetic mean of a non-empty slice.
+/// Sum of a slice in **pinned left-to-right order**: `((x0 + x1) + x2) + …`.
+///
+/// Floating-point addition is not associative, so the accumulation order is
+/// part of any bit-reproducibility contract. This function is the single
+/// reduction primitive behind the Monte Carlo statistics (`McResult::mean`
+/// / `std_dev` in `ssn-core`): whatever layout the samples were *produced*
+/// in (scalar or SoA slabs), they are always reduced strictly
+/// left-to-right, so a faster accumulation scheme (pairwise, lane-wise
+/// partial sums, …) can never slip in and silently change the mean or σ
+/// bits. The order is pinned by `ordered_sum_is_left_to_right` below.
+pub fn sum_ordered(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Sample mean and standard deviation (`n - 1` normalization, `σ = 0` for a
+/// single sample) with both passes accumulated in the pinned left-to-right
+/// order of [`sum_ordered`].
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] for an empty slice.
+pub fn moments_ordered(xs: &[f64]) -> Result<(f64, f64), NumericError> {
+    if xs.is_empty() {
+        return Err(NumericError::argument("moments of empty slice"));
+    }
+    let mean = sum_ordered(xs) / xs.len() as f64;
+    let mut ss = 0.0;
+    for &x in xs {
+        ss += (x - mean) * (x - mean);
+    }
+    let var = ss / (xs.len() as f64 - 1.0).max(1.0);
+    Ok((mean, var.sqrt()))
+}
+
+/// Arithmetic mean of a non-empty slice (left-to-right accumulation, see
+/// [`sum_ordered`]).
 ///
 /// # Errors
 ///
@@ -129,7 +168,7 @@ pub fn mean(xs: &[f64]) -> Result<f64, NumericError> {
     if xs.is_empty() {
         return Err(NumericError::argument("mean of empty slice"));
     }
-    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+    Ok(sum_ordered(xs) / xs.len() as f64)
 }
 
 #[cfg(test)]
@@ -273,5 +312,44 @@ mod tests {
     fn mean_basic() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
         assert!(mean(&[]).is_err());
+    }
+
+    /// Pins the reduction order bit-for-bit. The vector is built so that
+    /// left-to-right, right-to-left, and pairwise accumulation all give
+    /// *different* bits — if this test passes, no reassociating "fast sum"
+    /// has replaced the pinned order.
+    #[test]
+    fn ordered_sum_is_left_to_right() {
+        let xs = [1.0, 1e16, 1.0, -1e16, 1e-3, 0.1, 7.0, -3.5, 1e8, -0.25];
+        let left_to_right = xs.iter().fold(0.0f64, |acc, &x| acc + x);
+        assert_eq!(sum_ordered(&xs).to_bits(), left_to_right.to_bits());
+
+        // Prove the pin has teeth: other orders really differ in bits.
+        let right_to_left = xs.iter().rev().fold(0.0f64, |acc, &x| acc + x);
+        assert_ne!(left_to_right.to_bits(), right_to_left.to_bits());
+        fn pairwise(xs: &[f64]) -> f64 {
+            match xs.len() {
+                0 => 0.0,
+                1 => xs[0],
+                n => pairwise(&xs[..n / 2]) + pairwise(&xs[n / 2..]),
+            }
+        }
+        assert_ne!(left_to_right.to_bits(), pairwise(&xs).to_bits());
+    }
+
+    #[test]
+    fn moments_ordered_matches_the_two_pass_definition() {
+        let xs = [0.61, 0.6699, 0.58, 0.7013, 0.64, 0.625];
+        let (m, sd) = moments_ordered(&xs).unwrap();
+        let mean_ref = xs.iter().fold(0.0f64, |a, &x| a + x) / xs.len() as f64;
+        let ss = xs
+            .iter()
+            .fold(0.0f64, |a, &x| a + (x - mean_ref) * (x - mean_ref));
+        let sd_ref = (ss / (xs.len() - 1) as f64).sqrt();
+        assert_eq!(m.to_bits(), mean_ref.to_bits());
+        assert_eq!(sd.to_bits(), sd_ref.to_bits());
+        // Degenerate cases: one sample has zero deviation, empty errors.
+        assert_eq!(moments_ordered(&[2.5]).unwrap(), (2.5, 0.0));
+        assert!(moments_ordered(&[]).is_err());
     }
 }

@@ -70,6 +70,36 @@ grep -q "resume: 2 chunk(s) restored" "$resumed_out" \
 diff -u "$golden_csv" "$resumed_csv" \
     || { echo "ci: kill -> resume summary drifted from the uninterrupted run" >&2; exit 1; }
 
+echo "== batched SoA Monte Carlo gates =="
+# The scalar-vs-batched differential suite, a bench smoke (mc_soa asserts
+# bit-identity internally on both models at 1/2/4/8 threads), and a real
+# mid-run kill of the batched MC path resumed on the *scalar* path: the
+# cross-path resume must report the restored chunks and reproduce the
+# uninterrupted run's statistics exactly.
+cargo test -q --test soa_equivalence
+./target/release/mc_soa 4096 > /dev/null
+mc_golden="$tmp_dir/mc_golden.out"
+./target/release/ssn montecarlo --process p018 --drivers 8 --samples 1536 \
+    --threads 2 --seed 1 > "$mc_golden"
+mc_ckpt="$tmp_dir/mc.ckpt"
+rc=0
+SSN_CRASH_AFTER_COMMITS=2 ./target/release/ssn montecarlo --process p018 \
+    --drivers 8 --samples 1536 --threads 2 --seed 1 \
+    --checkpoint "$mc_ckpt" > /dev/null || rc=$?
+[ "$rc" -eq 12 ] \
+    || { echo "ci: injected MC crash should exit 12 (interrupted), got $rc" >&2; exit 1; }
+[ -f "$mc_ckpt" ] \
+    || { echo "ci: the crashed MC run left no checkpoint journal at $mc_ckpt" >&2; exit 1; }
+mc_resumed="$tmp_dir/mc_resumed.out"
+./target/release/ssn montecarlo --process p018 --drivers 8 --samples 1536 \
+    --threads 2 --seed 1 --checkpoint "$mc_ckpt" --resume --path scalar \
+    > "$mc_resumed"
+grep -q "resume: 2 chunk(s) restored" "$mc_resumed" \
+    || { echo "ci: resumed MC run did not report the 2 restored chunks" >&2; exit 1; }
+diff -u <(grep -E "samples:|q[0-9]" "$mc_golden") \
+        <(grep -E "samples:|q[0-9]" "$mc_resumed") \
+    || { echo "ci: cross-path MC resume drifted from the uninterrupted run" >&2; exit 1; }
+
 echo "== panic audit =="
 ./scripts/panic_audit.sh
 

@@ -16,7 +16,8 @@ use ssn_lab::core::durable::{DegradeStep, DurableOptions, RunBudget};
 use ssn_lab::core::error::CheckpointErrorKind;
 use ssn_lab::core::faults::{corrupt_checkpoint, with_faults, FaultPlan, JournalCorruption};
 use ssn_lab::core::montecarlo::{
-    run_monte_carlo_durable, run_monte_carlo_with, VariationSpec, MC_CHUNK,
+    run_monte_carlo_durable, run_monte_carlo_durable_with_path, run_monte_carlo_with, McPath,
+    VariationSpec, MC_CHUNK,
 };
 use ssn_lab::core::oracle::{run_differential, run_differential_durable, OracleOptions};
 use ssn_lab::core::parallel::ExecPolicy;
@@ -146,6 +147,63 @@ fn montecarlo_kill_resume_is_bit_identical_at_every_thread_count() {
         assert_eq!(stats.checkpointed_chunks, 2, "threads={threads}");
         assert!(!durability.is_degraded(), "resume is full fidelity");
         assert_bit_identical(mc.samples(), golden.samples());
+    }
+}
+
+/// Cross-path resume: a checkpoint journal written mid-run by one Monte
+/// Carlo evaluation path resumes on the *other* path bit-identically to an
+/// uninterrupted run. The run spec deliberately does not digest the path —
+/// both produce identical chunk payloads — so journals written before the
+/// batched path existed (i.e. by the scalar implementation) must resume on
+/// the batched default unchanged, and vice versa.
+#[test]
+fn montecarlo_checkpoint_resumes_across_evaluation_paths() {
+    let s = scenario(8);
+    let spec = VariationSpec::typical();
+    let samples = 6 * MC_CHUNK;
+    let (golden, _) =
+        run_monte_carlo_with(&s, &spec, samples, 42, &ExecPolicy::serial()).expect("golden");
+
+    for (write_path, resume_path) in [
+        (McPath::Scalar, McPath::Batched),
+        (McPath::Batched, McPath::Scalar),
+    ] {
+        for threads in THREAD_MATRIX {
+            let journal = TempJournal::new("mc-xpath");
+            let err = with_faults(crash_after(2), || {
+                run_monte_carlo_durable_with_path(
+                    &s,
+                    &spec,
+                    samples,
+                    42,
+                    &policy(threads),
+                    &checkpoint_at(journal.path(), false),
+                    write_path,
+                )
+            })
+            .expect_err("injected crash must interrupt the run");
+            assert!(
+                matches!(err, SsnError::Interrupted { .. }),
+                "{write_path}->{resume_path} threads={threads}: want Interrupted, got {err}"
+            );
+            assert!(journal.path().exists(), "journal must survive the kill");
+
+            let (mc, stats, durability) = run_monte_carlo_durable_with_path(
+                &s,
+                &spec,
+                samples,
+                42,
+                &policy(threads),
+                &checkpoint_at(journal.path(), true),
+                resume_path,
+            )
+            .expect("cross-path resume");
+            let tag = format!("{write_path}->{resume_path} threads={threads}");
+            assert_eq!(durability.resumed_chunks, 2, "{tag}");
+            assert_eq!(stats.checkpointed_chunks, 2, "{tag}");
+            assert!(!durability.is_degraded(), "{tag}: resume is full fidelity");
+            assert_bit_identical(mc.samples(), golden.samples());
+        }
     }
 }
 

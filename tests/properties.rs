@@ -650,3 +650,127 @@ fn units_display_parse_roundtrip() {
         }
     });
 }
+
+/// Batched perturbation kernel, part 1: every perturbed parameter respects
+/// its `VariationSpec` clamp — `K >= 1e-6`, `sigma >= 1`,
+/// `V_0 in [1e-3, 0.95 Vdd]`, `L >= 1e-12`, `C >= 0` — even under sigmas
+/// large enough that raw draws land far outside the model domain.
+#[test]
+fn perturbed_batch_respects_variation_clamps() {
+    use ssn_lab::core::montecarlo::{perturb_batch, VariationSpec};
+    use ssn_lab::numeric::rng::Rng;
+
+    forall("perturbed batch respects clamps", 128, |g| {
+        let s = gen_scenario(g);
+        // Deliberately huge sigmas so the clamps actually bind.
+        let spec = VariationSpec {
+            k_frac: g.f64_in(0.0, 3.0),
+            sigma_abs: g.f64_in(0.0, 2.0),
+            v0_abs: g.f64_in(0.0, 2.0),
+            l_frac: g.f64_in(0.0, 3.0),
+            c_frac: g.f64_in(0.0, 3.0),
+        };
+        let seed = g.usize_in(0, 1 << 30) as u64;
+        let mut rng = Rng::from_seed_and_stream(seed, 0);
+        let n = g.usize_in(1, 96);
+        let batch = perturb_batch(&s, &spec, &mut rng, n);
+        let vdd = s.vdd().value();
+        for i in 0..batch.len() {
+            if batch.k()[i] < 1e-6 {
+                return Err(format!("k[{i}] = {} below clamp", batch.k()[i]));
+            }
+            if batch.sigma()[i] < 1.0 {
+                return Err(format!("sigma[{i}] = {} below clamp", batch.sigma()[i]));
+            }
+            let v0 = batch.v0()[i];
+            if !(1e-3..=vdd * 0.95).contains(&v0) {
+                return Err(format!("v0[{i}] = {v0} outside [1e-3, {}]", vdd * 0.95));
+            }
+            if batch.l()[i] < 1e-12 {
+                return Err(format!("l[{i}] = {} below clamp", batch.l()[i]));
+            }
+            if batch.c()[i] < 0.0 {
+                return Err(format!("c[{i}] = {} negative", batch.c()[i]));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Batched perturbation kernel, part 2: `perturb_batch` is draw-for-draw
+/// the scalar `perturb_one` sequence — same stream, same order, same bits.
+/// This is the property that makes the SoA path's RNG consumption
+/// compatible with existing seeds and checkpoints by construction.
+#[test]
+fn perturb_batch_is_bitwise_the_perturb_one_sequence() {
+    use ssn_lab::core::montecarlo::{perturb_batch, perturb_one, VariationSpec};
+    use ssn_lab::numeric::rng::Rng;
+
+    forall("perturb_batch == perturb_one sequence", 128, |g| {
+        let s = gen_scenario(g);
+        let spec = VariationSpec {
+            k_frac: g.f64_in(0.0, 0.5),
+            sigma_abs: g.f64_in(0.0, 0.2),
+            v0_abs: g.f64_in(0.0, 0.1),
+            l_frac: g.f64_in(0.0, 0.5),
+            c_frac: g.f64_in(0.0, 0.5),
+        };
+        let seed = g.usize_in(0, 1 << 30) as u64;
+        let stream = g.usize_in(0, 1 << 10) as u64;
+        let n = g.usize_in(1, 96);
+        let mut batch_rng = Rng::from_seed_and_stream(seed, stream);
+        let batch = perturb_batch(&s, &spec, &mut batch_rng, n);
+        let mut one_rng = Rng::from_seed_and_stream(seed, stream);
+        for i in 0..n {
+            let p = perturb_one(&s, &spec, &mut one_rng);
+            let cols = [
+                ("k", batch.k()[i], p.k),
+                ("sigma", batch.sigma()[i], p.sigma),
+                ("v0", batch.v0()[i], p.v0),
+                ("l", batch.l()[i], p.l),
+                ("c", batch.c()[i], p.c),
+            ];
+            for (name, b, s) in cols {
+                if b.to_bits() != s.to_bits() {
+                    return Err(format!("{name}[{i}]: batch {b:?} vs scalar {s:?}"));
+                }
+            }
+        }
+        // Both consumers must leave the stream at the same position.
+        if batch_rng.next_u64() != one_rng.next_u64() {
+            return Err("stream positions diverged after the batch".into());
+        }
+        Ok(())
+    });
+}
+
+/// Batched perturbation kernel, part 3: the full batched Monte Carlo run
+/// reproduces the scalar path's sample moments *exactly* — same stream,
+/// same order, same pinned reduction, hence the same bits.
+#[test]
+fn batched_monte_carlo_moments_match_scalar_bitwise() {
+    use ssn_lab::core::montecarlo::{run_monte_carlo_with_path, McPath, VariationSpec};
+    use ssn_lab::core::parallel::ExecPolicy;
+
+    forall("batched MC moments == scalar MC moments", 16, |g| {
+        let s = gen_scenario(g);
+        let spec = VariationSpec::typical();
+        let seed = g.usize_in(0, 1 << 20) as u64;
+        let n = g.usize_in(1, 700);
+        let run = |path| {
+            run_monte_carlo_with_path(&s, &spec, n, seed, &ExecPolicy::serial(), path)
+                .map(|(mc, _)| mc)
+        };
+        let (scalar, batched) = match (run(McPath::Scalar), run(McPath::Batched)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => return Err(format!("run failed: {a:?} / {b:?}")),
+        };
+        if scalar.mean().value().to_bits() != batched.mean().value().to_bits() {
+            return Err(format!("mean {} vs {}", scalar.mean(), batched.mean()));
+        }
+        if scalar.std_dev().value().to_bits() != batched.std_dev().value().to_bits() {
+            return Err(format!("sd {} vs {}", scalar.std_dev(), batched.std_dev()));
+        }
+        Ok(())
+    });
+}
