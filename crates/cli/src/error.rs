@@ -17,6 +17,8 @@
 //! | 11   | unusable checkpoint journal (corrupt/version/spec)  |
 //! | 12   | run interrupted with a checkpoint (resume with `--resume`) |
 //! | 13   | deadline expired before any work item completed     |
+//! | 14   | `ssn serve` drain exceeded its deadline (jobs left checkpointed) |
+//! | 15   | `ssn serve` could not bind its listen address       |
 //! | 1    | any other analysis failure                          |
 
 use ssn_core::SsnError;
@@ -43,6 +45,21 @@ pub enum CliError {
     Validation {
         /// How many corpus scenarios violated their budget.
         violations: usize,
+    },
+    /// `ssn serve` drained past its deadline: some connections or jobs
+    /// did not finish in time. Interrupted jobs stay checkpointed in the
+    /// spool and resume on resubmission after restart.
+    DrainDeadline {
+        /// Jobs left in the resumable `interrupted` state.
+        interrupted_jobs: u64,
+    },
+    /// `ssn serve` could not bind its listen address (in use, no
+    /// permission, unparseable).
+    BindFailure {
+        /// The address that failed.
+        addr: String,
+        /// The underlying socket error.
+        source: std::io::Error,
     },
 }
 
@@ -73,6 +90,8 @@ impl CliError {
                 _ => 1,
             },
             Self::Validation { .. } => 10,
+            Self::DrainDeadline { .. } => 14,
+            Self::BindFailure { .. } => 15,
         }
     }
 
@@ -94,6 +113,8 @@ impl CliError {
                 _ => "analysis",
             },
             Self::Validation { .. } => "validation",
+            Self::DrainDeadline { .. } => "drain-deadline",
+            Self::BindFailure { .. } => "bind",
         }
     }
 
@@ -119,6 +140,13 @@ impl fmt::Display for CliError {
                 f,
                 "differential validation failed: {violations} scenario(s) beyond budget"
             ),
+            Self::DrainDeadline { interrupted_jobs } => write!(
+                f,
+                "drain deadline exceeded: {interrupted_jobs} job(s) checkpointed for resume"
+            ),
+            Self::BindFailure { addr, source } => {
+                write!(f, "cannot bind {addr}: {source}")
+            }
         }
     }
 }
@@ -130,6 +158,8 @@ impl Error for CliError {
             Self::Io(e) => Some(e),
             Self::Analysis(e) => Some(e),
             Self::Validation { .. } => None,
+            Self::DrainDeadline { .. } => None,
+            Self::BindFailure { source, .. } => Some(source),
         }
     }
 }
@@ -202,6 +232,21 @@ mod tests {
                 "all-chunks-failed",
             ),
             (CliError::Validation { violations: 3 }, 10, "validation"),
+            (
+                CliError::DrainDeadline {
+                    interrupted_jobs: 1,
+                },
+                14,
+                "drain-deadline",
+            ),
+            (
+                CliError::BindFailure {
+                    addr: "127.0.0.1:80".into(),
+                    source: std::io::Error::other("in use"),
+                },
+                15,
+                "bind",
+            ),
             (
                 CliError::Analysis(SsnError::Checkpoint {
                     path: "run.ckpt".into(),

@@ -233,6 +233,15 @@ impl RunBudget {
         self.deadline
             .map(|d| ssn_numeric::cancel::arm(Some(d.saturating_duration_since(Instant::now()))))
     }
+
+    /// Wall-clock time left before the deadline (zero once past it).
+    /// `None` when the budget has no wall-clock deadline — unlimited and
+    /// check-quota budgets both report `None`, since neither maps to a
+    /// socket- or kernel-level timeout.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 impl Default for RunBudget {
@@ -361,6 +370,133 @@ impl<'a> ByteReader<'a> {
     /// `true` once every byte has been consumed.
     pub fn is_empty(&self) -> bool {
         self.pos >= self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal lock
+// ---------------------------------------------------------------------------
+
+/// An exclusive, crash-recoverable lock on a checkpoint journal.
+///
+/// Two processes resuming (and committing to) the same journal would race
+/// each other's write-temp/rename commits and could interleave torn state;
+/// the durable runner therefore takes `<journal>.lock` for the duration of
+/// every checkpointed run. The lock file is created with `create_new`
+/// (O_EXCL) and records the holder's PID:
+///
+/// * **Held by a live process** — acquisition fails with the typed
+///   [`SsnError::Checkpoint`] `{kind: Locked}` naming the holder, never a
+///   silent double-resume.
+/// * **Left behind by a dead process** (`kill -9`, OOM, reboot) — the PID
+///   no longer exists, the stale lock is removed, and acquisition
+///   proceeds. A lock whose contents are unreadable garbage (torn write)
+///   is treated as stale the same way.
+///
+/// Dropping the guard removes the lock file; an abnormal exit leaves it
+/// for the next acquirer's staleness check.
+#[derive(Debug)]
+pub struct JournalLock {
+    lock_path: PathBuf,
+}
+
+/// `<journal>.lock` — appended, not `with_extension`, so `run.ckpt` locks
+/// as `run.ckpt.lock` and distinct journals never share a lock path.
+fn lock_path_for(journal: &Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_os_string();
+    os.push(".lock");
+    PathBuf::from(os)
+}
+
+/// Whether `pid` names a live process. On Linux this consults `/proc`;
+/// elsewhere liveness cannot be probed from std alone, so locks are
+/// conservatively treated as held.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+impl JournalLock {
+    /// Acquires the exclusive lock for `journal`, recovering stale locks
+    /// left by dead processes.
+    ///
+    /// # Errors
+    ///
+    /// [`SsnError::Checkpoint`] with [`CheckpointErrorKind::Locked`] when a
+    /// live process holds the lock, or [`CheckpointErrorKind::Io`] for
+    /// filesystem failures.
+    pub fn acquire(journal: &Path) -> Result<Self, SsnError> {
+        let lock_path = lock_path_for(journal);
+        match Self::try_create(&lock_path)? {
+            Some(lock) => Ok(lock),
+            None => {
+                // The lock file exists. Live holder → typed refusal; dead
+                // or unreadable holder → stale, remove and retry once (a
+                // live contender can still win that second race).
+                let holder = std::fs::read_to_string(&lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                if let Some(pid) = holder {
+                    if pid_alive(pid) {
+                        return Err(SsnError::checkpoint(
+                            lock_path.display().to_string(),
+                            CheckpointErrorKind::Locked,
+                            format!("held by live process {pid}"),
+                        ));
+                    }
+                }
+                match std::fs::remove_file(&lock_path) {
+                    Ok(()) => {}
+                    // The dead holder's lock vanished under us: fine.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(io_err(&lock_path, "remove stale lock", &e)),
+                }
+                match Self::try_create(&lock_path)? {
+                    Some(lock) => Ok(lock),
+                    None => Err(SsnError::checkpoint(
+                        lock_path.display().to_string(),
+                        CheckpointErrorKind::Locked,
+                        "lock recreated while recovering a stale one (live contender)",
+                    )),
+                }
+            }
+        }
+    }
+
+    /// One `create_new` attempt: `Ok(Some)` on success, `Ok(None)` when the
+    /// lock file already exists, `Err` for any other filesystem failure.
+    fn try_create(lock_path: &Path) -> Result<Option<Self>, SsnError> {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(lock_path)
+        {
+            Ok(mut f) => {
+                let pid = std::process::id();
+                f.write_all(format!("{pid}\n").as_bytes())
+                    .and_then(|()| f.sync_all())
+                    .map_err(|e| io_err(lock_path, "write lock", &e))?;
+                Ok(Some(Self {
+                    lock_path: lock_path.to_path_buf(),
+                }))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+            Err(e) => Err(io_err(lock_path, "create lock", &e)),
+        }
+    }
+
+    /// The lock file's path (diagnostics and tests).
+    pub fn path(&self) -> &Path {
+        &self.lock_path
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.lock_path).ok();
     }
 }
 
@@ -797,6 +933,15 @@ where
     let _span = ssn_telemetry::span("durable.run");
     let started = Instant::now();
     let n_chunks = spec.n_chunks();
+
+    // Take the journal's exclusive lock for the whole run: two processes
+    // must never resume (or interleave commits into) the same journal. The
+    // guard's drop removes the lock file; a hard kill leaves it behind for
+    // the next acquirer's stale-PID recovery.
+    let _journal_lock: Option<JournalLock> = match &opts.checkpoint {
+        Some(path) => Some(JournalLock::acquire(path)?),
+        None => None,
+    };
 
     // Load or create the journal, restoring completed chunks.
     let mut resumed: BTreeMap<usize, T> = BTreeMap::new();
@@ -1309,6 +1454,99 @@ mod tests {
         assert_eq!(run.stats.failed_chunks, 1);
         assert!(matches!(&run.chunks[2], ChunkOutcome::Failed(m) if m.contains("refuses")));
         assert!(matches!(&run.chunks[0], ChunkOutcome::Done(_)));
+    }
+
+    #[test]
+    fn journal_lock_excludes_second_acquirer_and_releases_on_drop() {
+        let journal = temp_path("lock-exclusive");
+        let lock = JournalLock::acquire(&journal).unwrap();
+        assert!(lock.path().exists());
+        // A second acquirer (same live PID) must be refused, typed.
+        match JournalLock::acquire(&journal).unwrap_err() {
+            SsnError::Checkpoint { kind, detail, .. } => {
+                assert_eq!(kind, CheckpointErrorKind::Locked);
+                assert!(detail.contains(&std::process::id().to_string()), "{detail}");
+            }
+            other => panic!("expected Locked, got {other}"),
+        }
+        let lock_path = lock.path().to_path_buf();
+        drop(lock);
+        assert!(!lock_path.exists(), "drop must remove the lock file");
+        // Released: re-acquisition succeeds.
+        drop(JournalLock::acquire(&journal).unwrap());
+    }
+
+    #[test]
+    fn journal_lock_recovers_stale_and_garbage_locks() {
+        let journal = temp_path("lock-stale");
+        let lock_path = lock_path_for(&journal);
+        // A dead PID: 32-bit PIDs cap below this on Linux, and the kernel
+        // never hands out pid 0 to a user process either way.
+        std::fs::write(&lock_path, "4194999999\n").unwrap();
+        let lock = JournalLock::acquire(&journal).expect("stale lock must be recovered");
+        drop(lock);
+        // Unreadable contents (torn write of the lock itself): also stale.
+        std::fs::write(&lock_path, b"\xff\xfenot a pid").unwrap();
+        drop(JournalLock::acquire(&journal).expect("garbage lock must be recovered"));
+        assert!(!lock_path.exists());
+    }
+
+    #[test]
+    fn durable_runner_holds_the_lock_and_releases_after() {
+        let path = temp_path("runner-lock");
+        let spec = toy_spec(8);
+        let opts = DurableOptions {
+            checkpoint: Some(path.clone()),
+            resume: false,
+            budget: RunBudget::unlimited(),
+        };
+        // While a lock is held, the runner must refuse to start.
+        let held = JournalLock::acquire(&path).unwrap();
+        let err = run_chunked_durable(
+            &spec,
+            &ExecPolicy::serial(),
+            &opts,
+            encode_chunk,
+            decode_chunk,
+            toy_eval(&spec),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SsnError::Checkpoint {
+                    kind: CheckpointErrorKind::Locked,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        drop(held);
+        // Lock free: the run completes and leaves no lock file behind.
+        let run = run_chunked_durable(
+            &spec,
+            &ExecPolicy::serial(),
+            &opts,
+            encode_chunk,
+            decode_chunk,
+            toy_eval(&spec),
+        )
+        .unwrap();
+        assert_eq!(collect(run).len(), 100);
+        assert!(!lock_path_for(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budget_remaining_reports_only_wall_deadlines() {
+        assert_eq!(RunBudget::unlimited().remaining(), None);
+        assert_eq!(RunBudget::expire_after_checks(3).remaining(), None);
+        let b = RunBudget::with_deadline(Duration::from_secs(3600));
+        let left = b.remaining().expect("deadline budget reports remaining");
+        assert!(left <= Duration::from_secs(3600));
+        assert!(left > Duration::from_secs(3000));
+        let spent = RunBudget::with_deadline(Duration::ZERO);
+        assert_eq!(spent.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

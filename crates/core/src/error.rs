@@ -91,6 +91,10 @@ pub enum CheckpointErrorKind {
     SpecMismatch,
     /// The journal could not be read or written at the filesystem level.
     Io,
+    /// Another live process holds the journal's exclusive lock file —
+    /// two runs must never resume (and concurrently commit to) the same
+    /// journal.
+    Locked,
 }
 
 impl CheckpointErrorKind {
@@ -101,6 +105,7 @@ impl CheckpointErrorKind {
             Self::VersionMismatch => "version-mismatch",
             Self::SpecMismatch => "spec-mismatch",
             Self::Io => "io",
+            Self::Locked => "locked",
         }
     }
 }
@@ -175,12 +180,19 @@ impl fmt::Display for SsnError {
             Self::Fit(e) => write!(f, "model fit failed: {e}"),
             Self::Simulation(e) => write!(f, "validation simulation failed: {e}"),
             Self::Waveform(e) => write!(f, "waveform operation failed: {e}"),
-            Self::Checkpoint { path, kind, detail } => write!(
-                f,
-                "checkpoint {path:?} unusable ({}): {detail}; delete the file or rerun \
-                 without --resume to start fresh",
-                kind.tag()
-            ),
+            Self::Checkpoint { path, kind, detail } => match kind {
+                CheckpointErrorKind::Locked => write!(
+                    f,
+                    "checkpoint {path:?} is locked: {detail}; wait for the holding run to \
+                     finish (a stale lock left by a dead process is recovered automatically)"
+                ),
+                _ => write!(
+                    f,
+                    "checkpoint {path:?} unusable ({}): {detail}; delete the file or rerun \
+                     without --resume to start fresh",
+                    kind.tag()
+                ),
+            },
             Self::Interrupted {
                 committed_chunks,
                 total_chunks,

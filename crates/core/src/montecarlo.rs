@@ -642,7 +642,12 @@ fn mc_chunk_batched(
 /// The durable-run identity of a Monte Carlo job: every parameter that
 /// determines its samples, digested so a checkpoint can never be resumed
 /// under different settings.
-fn mc_run_spec(
+///
+/// Public so out-of-process schedulers (the `ssn-server` job queue) can
+/// name the exact same journal identity — a server-side checkpoint written
+/// before a crash must resume under the identical [`RunSpec`] the library
+/// runner derives.
+pub fn mc_run_spec(
     nominal: &SsnScenario,
     spec: &VariationSpec,
     n_samples: usize,

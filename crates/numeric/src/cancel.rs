@@ -73,6 +73,20 @@ pub fn arm(budget: Option<Duration>) -> DeadlineGuard {
     guard
 }
 
+/// Time left before the armed deadline (zero once past it), or `None` when
+/// no deadline is armed. Unlike [`deadline_exceeded`] this is *not* a
+/// hot-loop primitive — the network layer uses it to derive per-I/O socket
+/// timeouts from the same budget the kernels poll, so a slow peer cannot
+/// outlive the request deadline by hiding in a blocking read or write.
+pub fn remaining() -> Option<Duration> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let deadline = DEADLINE_NS.load(Ordering::Relaxed);
+    let now = u64::try_from(anchor().elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Some(Duration::from_nanos(deadline.saturating_sub(now)))
+}
+
 /// `true` once the armed deadline has passed. Unarmed: always `false`, and
 /// the clock is never read.
 #[inline]
@@ -117,6 +131,26 @@ mod tests {
         let _gate = serialized();
         let _g = arm(Some(Duration::from_secs(3600)));
         assert!(!deadline_exceeded());
+    }
+
+    #[test]
+    fn remaining_tracks_the_armed_deadline() {
+        let _gate = serialized();
+        assert_eq!(remaining(), None, "unarmed reports no remaining budget");
+        {
+            let _g = arm(Some(Duration::from_secs(3600)));
+            let left = remaining().expect("armed deadline reports remaining");
+            assert!(left > Duration::from_secs(3000) && left <= Duration::from_secs(3600));
+        }
+        {
+            let _g = arm(Some(Duration::ZERO));
+            assert_eq!(
+                remaining(),
+                Some(Duration::ZERO),
+                "past deadline clamps to zero"
+            );
+        }
+        assert_eq!(remaining(), None, "guard drop restores the unarmed state");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Content-addressed result cache.
+//!
+//! Keys are [`crate::api::ApiRequest::digest`] values — a canonical FNV-1a
+//! digest over the *resolved* request parameters — so two requests that
+//! mean the same computation share one entry no matter how they were
+//! spelled. Values are the exact response-body bytes; the robustness
+//! contract ("a cache hit returns byte-identical data to the miss that
+//! filled it") is pinned by the server test suite.
+//!
+//! Entries live in memory and, when a spool directory is configured, as
+//! `res-<digest>.json` files written atomically (temp + fsync + rename,
+//! the same discipline as the checkpoint journal). The disk tier is what
+//! lets a restarted server serve a completed job's result after `kill -9`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared result cache (memory + optional disk spool).
+#[derive(Debug)]
+pub struct ResultCache {
+    mem: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache spooling to `dir` (`None` = memory only). The directory is
+    /// created if missing.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the spool directory.
+    pub fn new(dir: Option<PathBuf>) -> std::io::Result<Self> {
+        if let Some(d) = &dir {
+            fs::create_dir_all(d)?;
+        }
+        Ok(Self {
+            mem: Mutex::new(HashMap::new()),
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    fn path_for(dir: &Path, digest: u64) -> PathBuf {
+        dir.join(format!("res-{digest:016x}.json"))
+    }
+
+    /// Looks up `digest`, falling back to the disk spool (and promoting
+    /// the bytes to memory on a disk hit). Counts a hit or miss.
+    pub fn get(&self, digest: u64) -> Option<Arc<Vec<u8>>> {
+        let mut mem = self.mem.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(bytes) = mem.get(&digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(bytes));
+        }
+        if let Some(dir) = &self.dir {
+            if let Ok(bytes) = fs::read(Self::path_for(dir, digest)) {
+                let bytes = Arc::new(bytes);
+                mem.insert(digest, Arc::clone(&bytes));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(bytes);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// `true` when `digest` is present (no hit/miss accounting).
+    pub fn contains(&self, digest: u64) -> bool {
+        let mem = self.mem.lock().unwrap_or_else(|e| e.into_inner());
+        if mem.contains_key(&digest) {
+            return true;
+        }
+        drop(mem);
+        self.dir
+            .as_deref()
+            .is_some_and(|d| Self::path_for(d, digest).exists())
+    }
+
+    /// Stores `bytes` under `digest` in memory and (when spooling) on
+    /// disk. The disk write is atomic: a crash can lose the entry but
+    /// never expose a torn one.
+    pub fn put(&self, digest: u64, bytes: Vec<u8>) {
+        let bytes = Arc::new(bytes);
+        if let Some(dir) = &self.dir {
+            // Best effort: a failed spool write degrades durability, not
+            // correctness — the in-memory tier still serves this process.
+            let _ = Self::write_atomic(dir, digest, &bytes);
+        }
+        self.mem
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(digest, bytes);
+    }
+
+    fn write_atomic(dir: &Path, digest: u64, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = dir.join(format!("res-{digest:016x}.tmp"));
+        let finalp = Self::path_for(dir, digest);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &finalp)
+    }
+
+    /// `(hits, misses)` counters since start.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ssn-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn memory_round_trip_and_stats() {
+        let c = ResultCache::new(None).unwrap();
+        assert!(c.get(1).is_none());
+        c.put(1, b"abc".to_vec());
+        assert_eq!(c.get(1).unwrap().as_slice(), b"abc");
+        assert_eq!(c.stats(), (1, 1));
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn disk_spool_survives_a_new_cache_instance() {
+        let dir = tmpdir("spool");
+        let digest = 0xfeed_f00d_u64;
+        {
+            let c = ResultCache::new(Some(dir.clone())).unwrap();
+            c.put(digest, b"durable-bytes".to_vec());
+        }
+        // A fresh instance (fresh process, after kill -9) finds the entry.
+        let c = ResultCache::new(Some(dir.clone())).unwrap();
+        assert!(c.contains(digest));
+        assert_eq!(c.get(digest).unwrap().as_slice(), b"durable-bytes");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

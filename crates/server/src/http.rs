@@ -1,0 +1,606 @@
+//! Strict, bounded HTTP/1.1 request parsing and response writing.
+//!
+//! The parser is deliberately minimal and hostile-input-first: every
+//! limit is a hard constant, every malformed byte sequence maps to a
+//! *typed* [`HttpError`] (which the server renders as a 4xx JSON body),
+//! and nothing in this module can panic on untrusted input — the
+//! malformed-HTTP fuzz suite drives random garbage through
+//! [`parse_request`] and asserts exactly that.
+//!
+//! Scope is intentionally narrow: `GET`/`POST`, `Content-Length` bodies
+//! only (no chunked transfer coding), `Connection: close` semantics on
+//! every response. The service is a computation endpoint, not a general
+//! web server.
+
+use std::io::{BufRead, Read, Write};
+use std::time::Duration;
+
+/// Maximum request-line length in bytes (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum number of header fields.
+pub const MAX_HEADERS: usize = 32;
+/// Maximum length of a single header line in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum request body size in bytes.
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// Everything that can go wrong while reading one request.
+///
+/// Variants with a `status()` become an HTTP error response; the rest
+/// (peer vanished before/while talking) just close the connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a full request.
+    Closed,
+    /// A socket read or write hit its deadline (slow-loris defense).
+    Timeout,
+    /// Connection-level I/O failure.
+    Io(std::io::Error),
+    /// The request line exceeded [`MAX_REQUEST_LINE`].
+    RequestLineTooLong,
+    /// The request line was not `METHOD SP TARGET SP HTTP/1.x`.
+    MalformedRequestLine(String),
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion(String),
+    /// More than [`MAX_HEADERS`] header fields.
+    TooManyHeaders,
+    /// A header line exceeded [`MAX_HEADER_LINE`].
+    HeaderLineTooLong,
+    /// A header line without a colon, or with a malformed name.
+    MalformedHeader(String),
+    /// `Content-Length` missing for a body, duplicated, or not a number.
+    BadContentLength(String),
+    /// Declared body larger than [`MAX_BODY`].
+    BodyTooLarge(usize),
+    /// The peer promised `Content-Length` bytes but sent fewer.
+    TornBody {
+        /// Bytes the `Content-Length` header declared.
+        wanted: usize,
+        /// Bytes actually received before EOF.
+        got: usize,
+    },
+    /// A body or query string that must be UTF-8 text was not.
+    NotUtf8,
+    /// `Transfer-Encoding` is not supported (no chunked bodies).
+    UnsupportedTransferEncoding,
+    /// A `%` escape in the target or body was malformed.
+    BadPercentEscape(String),
+}
+
+impl HttpError {
+    /// The HTTP status this error maps to, or `None` when the connection
+    /// should simply be dropped (peer already gone).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            Self::Closed | Self::Io(_) => None,
+            Self::Timeout => Some(408),
+            Self::RequestLineTooLong => Some(414),
+            Self::MalformedRequestLine(_)
+            | Self::MalformedHeader(_)
+            | Self::BadContentLength(_)
+            | Self::TornBody { .. }
+            | Self::NotUtf8
+            | Self::BadPercentEscape(_) => Some(400),
+            Self::UnsupportedVersion(_) => Some(505),
+            Self::TooManyHeaders | Self::HeaderLineTooLong => Some(431),
+            Self::BodyTooLarge(_) => Some(413),
+            Self::UnsupportedTransferEncoding => Some(501),
+        }
+    }
+
+    /// Short kebab-case tag for error bodies and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Closed => "closed",
+            Self::Timeout => "timeout",
+            Self::Io(_) => "io",
+            Self::RequestLineTooLong => "request-line-too-long",
+            Self::MalformedRequestLine(_) => "malformed-request-line",
+            Self::UnsupportedVersion(_) => "unsupported-version",
+            Self::TooManyHeaders => "too-many-headers",
+            Self::HeaderLineTooLong => "header-line-too-long",
+            Self::MalformedHeader(_) => "malformed-header",
+            Self::BadContentLength(_) => "bad-content-length",
+            Self::BodyTooLarge(_) => "body-too-large",
+            Self::TornBody { .. } => "torn-body",
+            Self::NotUtf8 => "not-utf8",
+            Self::UnsupportedTransferEncoding => "unsupported-transfer-encoding",
+            Self::BadPercentEscape(_) => "bad-percent-escape",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed before a full request"),
+            Self::Timeout => write!(f, "request deadline exceeded while reading"),
+            Self::Io(e) => write!(f, "connection i/o error: {e}"),
+            Self::RequestLineTooLong => {
+                write!(f, "request line exceeds {MAX_REQUEST_LINE} bytes")
+            }
+            Self::MalformedRequestLine(line) => {
+                write!(f, "malformed request line {line:?}")
+            }
+            Self::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            Self::TooManyHeaders => write!(f, "more than {MAX_HEADERS} header fields"),
+            Self::HeaderLineTooLong => {
+                write!(f, "header line exceeds {MAX_HEADER_LINE} bytes")
+            }
+            Self::MalformedHeader(h) => write!(f, "malformed header {h:?}"),
+            Self::BadContentLength(v) => write!(f, "bad Content-Length {v:?}"),
+            Self::BodyTooLarge(n) => {
+                write!(f, "declared body of {n} bytes exceeds {MAX_BODY}")
+            }
+            Self::TornBody { wanted, got } => write!(
+                f,
+                "torn body: Content-Length promised {wanted} bytes, got {got}"
+            ),
+            Self::NotUtf8 => write!(f, "body/query must be UTF-8 text"),
+            Self::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding is not supported; use Content-Length")
+            }
+            Self::BadPercentEscape(s) => write!(f, "malformed percent escape {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Self::Timeout,
+            std::io::ErrorKind::UnexpectedEof => Self::Closed,
+            _ => Self::Io(e),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path component of the target.
+    pub path: String,
+    /// Raw (still-encoded) query string, without the `?`.
+    pub query: String,
+    /// Header fields, names lowercased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one line (up to and including `\n`) without ever buffering more
+/// than `limit` bytes; strips the trailing `\r\n`/`\n`.
+///
+/// Returns `Ok(None)` on clean EOF before any byte.
+fn read_line_bounded<R: BufRead>(
+    r: &mut R,
+    limit: usize,
+) -> Result<Option<Vec<u8>>, std::io::Error> {
+    let mut line = Vec::new();
+    let mut take = r.take(limit as u64 + 1);
+    let n = take.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.last() != Some(&b'\n') {
+        // Either the line exceeded the cap or the peer hung up mid-line;
+        // both surface as an oversized/incomplete line to the caller.
+        if line.len() > limit {
+            return Ok(Some(line)); // caller checks length
+        }
+        return Err(std::io::ErrorKind::UnexpectedEof.into());
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Parses one request from `r`, enforcing every limit in this module.
+///
+/// # Errors
+///
+/// A typed [`HttpError`] for every way a request can be malformed,
+/// oversized, torn, or slow.
+pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+    // Request line.
+    let line = read_line_bounded(r, MAX_REQUEST_LINE)?.ok_or(HttpError::Closed)?;
+    if line.len() > MAX_REQUEST_LINE {
+        return Err(HttpError::RequestLineTooLong);
+    }
+    let line = String::from_utf8(line).map_err(|_| HttpError::NotUtf8)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => {
+            (m.to_owned(), t.to_owned(), v.to_owned())
+        }
+        _ => return Err(HttpError::MalformedRequestLine(truncate_for_log(&line))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(truncate_for_log(&version)));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::MalformedRequestLine(truncate_for_log(&line)));
+    }
+
+    // Headers.
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let hline = read_line_bounded(r, MAX_HEADER_LINE)?.ok_or(HttpError::Closed)?;
+        if hline.len() > MAX_HEADER_LINE {
+            return Err(HttpError::HeaderLineTooLong);
+        }
+        if hline.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let hline = String::from_utf8(hline).map_err(|_| HttpError::NotUtf8)?;
+        let Some((name, value)) = hline.split_once(':') else {
+            return Err(HttpError::MalformedHeader(truncate_for_log(&hline)));
+        };
+        let name = name.trim();
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(HttpError::MalformedHeader(truncate_for_log(&hline)));
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| HttpError::BadContentLength(truncate_for_log(&value)))?;
+                if let Some(prev) = content_length {
+                    if prev != n {
+                        return Err(HttpError::BadContentLength(format!(
+                            "conflicting values {prev} and {n}"
+                        )));
+                    }
+                }
+                content_length = Some(n);
+            }
+            "transfer-encoding" => {
+                if !value.eq_ignore_ascii_case("identity") {
+                    return Err(HttpError::UnsupportedTransferEncoding);
+                }
+            }
+            _ => {}
+        }
+        headers.push((name, value));
+    }
+
+    // Body.
+    let body = match content_length {
+        None | Some(0) => Vec::new(),
+        Some(n) if n > MAX_BODY => return Err(HttpError::BodyTooLarge(n)),
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            let mut got = 0usize;
+            while got < n {
+                match r.read(&mut body[got..]) {
+                    Ok(0) => return Err(HttpError::TornBody { wanted: n, got }),
+                    Ok(k) => got += k,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Err(HttpError::Timeout)
+                    }
+                    Err(e) => return Err(HttpError::Io(e)),
+                }
+            }
+            body
+        }
+    };
+
+    let (path_raw, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q.to_owned()),
+        None => (target.as_str(), String::new()),
+    };
+    let path = percent_decode(path_raw)?;
+    let path = String::from_utf8(path).map_err(|_| HttpError::NotUtf8)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn truncate_for_log(s: &str) -> String {
+    // Keep error bodies bounded even when the offending input is huge.
+    let mut t: String = s.chars().take(80).collect();
+    if t.len() < s.len() {
+        t.push_str("...");
+    }
+    t
+}
+
+/// Decodes `%XX` escapes (and `+` as space) in a query/path component.
+fn percent_decode(s: &str) -> Result<Vec<u8>, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| HttpError::BadPercentEscape(truncate_for_log(s)))?;
+                let hi = hex_val(hex[0]);
+                let lo = hex_val(hex[1]);
+                match (hi, lo) {
+                    (Some(h), Some(l)) => out.push(h << 4 | l),
+                    _ => return Err(HttpError::BadPercentEscape(truncate_for_log(s))),
+                }
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Parses `a=1&b=2` form/query text into ordered `(key, value)` pairs,
+/// percent-decoding both sides. Duplicate keys are rejected — a request
+/// must have exactly one meaning.
+///
+/// # Errors
+///
+/// [`HttpError::BadPercentEscape`], [`HttpError::NotUtf8`], or
+/// [`HttpError::MalformedHeader`]-style malformed pairs.
+pub fn parse_params(s: &str) -> Result<Vec<(String, String)>, HttpError> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for pair in s.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let k = String::from_utf8(percent_decode(k)?).map_err(|_| HttpError::NotUtf8)?;
+        let v = String::from_utf8(percent_decode(v)?).map_err(|_| HttpError::NotUtf8)?;
+        if k.is_empty() {
+            return Err(HttpError::MalformedRequestLine(truncate_for_log(pair)));
+        }
+        if out.iter().any(|(ek, _)| *ek == k) {
+            return Err(HttpError::MalformedRequestLine(format!(
+                "duplicate parameter {k:?}"
+            )));
+        }
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+/// The reason phrase for the statuses this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` JSON response.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the peer may already be gone; the
+/// caller logs and drops).
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> Result<(), std::io::Error> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A socket deadline derived from a per-request budget: the smaller of the
+/// configured per-I/O timeout and the budget's remaining wall-clock time,
+/// floored at 1ms (a zero timeout would mean "no timeout" to the OS).
+pub fn io_deadline(per_io: Duration, budget_left: Option<Duration>) -> Duration {
+    let d = match budget_left {
+        Some(left) => per_io.min(left),
+        None => per_io,
+    };
+    d.max(Duration::from_millis(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        parse_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let r =
+            parse(b"GET /v1/estimate?process=p018&drivers=8 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/estimate");
+        assert_eq!(r.query, "process=p018&drivers=8");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        let params = parse_params(&r.query).unwrap();
+        assert_eq!(params[0], ("process".into(), "p018".into()));
+    }
+
+    #[test]
+    fn parses_a_post_body_exactly() {
+        let r = parse(b"POST /v1/budget HTTP/1.1\r\ncontent-length: 9\r\n\r\nbudget=0.4").unwrap();
+        assert_eq!(r.body, b"budget=0.");
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_input() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse(b"GET /\r\n\r\n"),
+            Err(HttpError::MalformedRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::MalformedHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ncontent-length: zebra\r\n\r\n"),
+            Err(HttpError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort"),
+            Err(HttpError::TornBody { wanted: 50, got: 5 })
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        ));
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert!(matches!(
+            parse(long.as_bytes()),
+            Err(HttpError::RequestLineTooLong)
+        ));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "x-h: v\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert!(matches!(
+            parse(many.as_bytes()),
+            Err(HttpError::TooManyHeaders)
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_and_param_rules() {
+        assert_eq!(
+            parse_params("rise-time=0.5n&l=2.5e%2D9").unwrap()[1].1,
+            "2.5e-9"
+        );
+        assert!(matches!(
+            parse_params("a=%zz"),
+            Err(HttpError::BadPercentEscape(_))
+        ));
+        assert!(matches!(
+            parse_params("a=1&a=2"),
+            Err(HttpError::MalformedRequestLine(_))
+        ));
+        assert!(matches!(parse_params("a=%ff"), Err(HttpError::NotUtf8)));
+    }
+
+    #[test]
+    fn status_mapping_is_total_for_respondable_errors() {
+        assert_eq!(HttpError::Timeout.status(), Some(408));
+        assert_eq!(HttpError::Closed.status(), None);
+        assert_eq!(HttpError::BodyTooLarge(1).status(), Some(413));
+        assert_eq!(
+            HttpError::TornBody { wanted: 2, got: 1 }.status(),
+            Some(400)
+        );
+    }
+
+    #[test]
+    fn response_writer_emits_close_and_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, &[("x-ssn-cache", "hit".into())], b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("x-ssn-cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn io_deadline_prefers_the_tighter_bound() {
+        let per_io = Duration::from_secs(5);
+        assert_eq!(io_deadline(per_io, None), per_io);
+        assert_eq!(
+            io_deadline(per_io, Some(Duration::from_secs(1))),
+            Duration::from_secs(1)
+        );
+        assert_eq!(
+            io_deadline(per_io, Some(Duration::ZERO)),
+            Duration::from_millis(1)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Network-layer fault injection: the service-level extension of
+//! `ssn_core::faults`.
+//!
+//! Where the core plan corrupts model outputs and checkpoint journals,
+//! this plan attacks the *transport*: torn request bodies, connections
+//! dropped before the response is written, and panics injected into
+//! request handlers. The server must convert every one of these into a
+//! typed response or a clean connection close — never a crash, never a
+//! hung worker — and the CI smoke gate runs the load generator with this
+//! plan armed to prove it.
+//!
+//! Decisions are deterministic: each fault site hashes
+//! `(seed, site, connection-serial)` with FNV-1a into `[0, 1)` and fires
+//! when the value falls under the configured probability. Same seed, same
+//! connection order → same faults, which keeps failures reproducible.
+//!
+//! Arming works two ways:
+//! * programmatically ([`arm`]/[`disarm`]) from tests;
+//! * via the `SSN_NET_FAULTS` environment variable
+//!   (`seed=1,torn=0.1,disconnect=0.1,panic=0.05`), which release binaries
+//!   honor — the CI gate uses this to attack a stock `ssn serve`.
+
+use ssn_core::durable::fnv1a64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Fault-site probabilities (all default 0).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetFaultPlan {
+    /// Seed for the per-connection fault decisions.
+    pub seed: u64,
+    /// Probability a request body read is torn mid-transfer.
+    pub torn_body: f64,
+    /// Probability the connection drops before the response is written.
+    pub disconnect: f64,
+    /// Probability a handler panics mid-computation.
+    pub handler_panic: f64,
+}
+
+impl NetFaultPlan {
+    /// Parses the `SSN_NET_FAULTS` grammar:
+    /// `seed=<u64>,torn=<f64>,disconnect=<f64>,panic=<f64>` (all fields
+    /// optional, any order). Returns `None` for empty/malformed text —
+    /// a malformed plan must fail *loud* in tests but a production binary
+    /// should not crash on a bad env var, so the caller logs and ignores.
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut plan = Self::default();
+        for field in text.split(',') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (key, value) = field.split_once('=')?;
+            match key.trim() {
+                "seed" => plan.seed = value.trim().parse().ok()?,
+                "torn" => plan.torn_body = parse_prob(value)?,
+                "disconnect" => plan.disconnect = parse_prob(value)?,
+                "panic" => plan.handler_panic = parse_prob(value)?,
+                _ => return None,
+            }
+        }
+        Some(plan)
+    }
+
+    fn decide(&self, site: u64, conn: u64, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        let mut bytes = [0u8; 24];
+        bytes[..8].copy_from_slice(&self.seed.to_le_bytes());
+        bytes[8..16].copy_from_slice(&site.to_le_bytes());
+        bytes[16..].copy_from_slice(&conn.to_le_bytes());
+        let h = fnv1a64(&bytes);
+        // Upper 53 bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < prob
+    }
+}
+
+fn parse_prob(s: &str) -> Option<f64> {
+    let p: f64 = s.trim().parse().ok()?;
+    (0.0..=1.0).contains(&p).then_some(p)
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<NetFaultPlan> = Mutex::new(NetFaultPlan {
+    seed: 0,
+    torn_body: 0.0,
+    disconnect: 0.0,
+    handler_panic: 0.0,
+});
+
+/// Arms `plan` process-wide until [`disarm`].
+pub fn arm(plan: NetFaultPlan) {
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms all network faults.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Arms from `SSN_NET_FAULTS` if set and well-formed; returns the armed
+/// plan (callers log it so CI output shows what was attacked).
+pub fn arm_from_env() -> Option<NetFaultPlan> {
+    let text = std::env::var("SSN_NET_FAULTS").ok()?;
+    let plan = NetFaultPlan::parse(&text)?;
+    arm(plan);
+    Some(plan)
+}
+
+fn armed_plan() -> Option<NetFaultPlan> {
+    if !ARMED.load(Ordering::SeqCst) {
+        return None;
+    }
+    Some(*PLAN.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Should connection `conn`'s request body be torn?
+pub fn torn_body(conn: u64) -> bool {
+    armed_plan().is_some_and(|p| p.decide(0, conn, p.torn_body))
+}
+
+/// Should connection `conn` be dropped before its response is written?
+pub fn disconnect_before_write(conn: u64) -> bool {
+    armed_plan().is_some_and(|p| p.decide(1, conn, p.disconnect))
+}
+
+/// Panics iff the plan injects a handler panic for connection `conn`.
+/// Called *inside* the handler's `catch_unwind` boundary.
+pub fn maybe_panic_handler(conn: u64) {
+    if armed_plan().is_some_and(|p| p.decide(2, conn, p.handler_panic)) {
+        panic!("injected handler panic (connection {conn})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_env_grammar() {
+        let p = NetFaultPlan::parse("seed=7,torn=0.25,disconnect=0.5,panic=1").unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.torn_body, 0.25);
+        assert_eq!(p.disconnect, 0.5);
+        assert_eq!(p.handler_panic, 1.0);
+        assert_eq!(NetFaultPlan::parse("").unwrap(), NetFaultPlan::default());
+        assert!(NetFaultPlan::parse("torn=2").is_none());
+        assert!(NetFaultPlan::parse("zebra=1").is_none());
+        assert!(NetFaultPlan::parse("torn").is_none());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_probability_shaped() {
+        let p = NetFaultPlan {
+            seed: 1,
+            torn_body: 0.5,
+            ..NetFaultPlan::default()
+        };
+        let fired: Vec<bool> = (0..1000).map(|c| p.decide(0, c, p.torn_body)).collect();
+        let again: Vec<bool> = (0..1000).map(|c| p.decide(0, c, p.torn_body)).collect();
+        assert_eq!(fired, again, "same seed and order fire identically");
+        let count = fired.iter().filter(|&&b| b).count();
+        assert!(
+            (300..700).contains(&count),
+            "~half of 1000 connections at p=0.5, got {count}"
+        );
+        assert!(!p.decide(0, 3, 0.0), "zero probability never fires");
+        assert!(p.decide(0, 3, 1.0), "unit probability always fires");
+        // Sites are independent streams.
+        let other_site: Vec<bool> = (0..1000).map(|c| p.decide(1, c, 0.5)).collect();
+        assert_ne!(fired, other_site);
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        disarm();
+        assert!(!torn_body(0));
+        assert!(!disconnect_before_write(0));
+        maybe_panic_handler(0); // must not panic
+    }
+}

@@ -66,6 +66,19 @@ pub mod names {
     pub const DURABLE_DEADLINE_SKIPPED: &str = "durable.deadline_skipped_chunks";
     /// Degradation-ladder steps applied (one per recorded downgrade).
     pub const DURABLE_DEGRADED: &str = "durable.degraded";
+    /// HTTP requests the server accepted for handling.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Requests shed by admission control (503 + `Retry-After`): connection
+    /// cap or full job queue.
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Content-addressed result-cache hits.
+    pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+    /// Content-addressed result-cache misses (request was computed).
+    pub const SERVE_CACHE_MISSES: &str = "serve.cache_misses";
+    /// Handler panics caught and converted to typed 500s.
+    pub const SERVE_PANICS: &str = "serve.panics";
+    /// Current depth of the durable job queue (gauge).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 }
 
 use std::cell::RefCell;

@@ -100,6 +100,101 @@ diff -u <(grep -E "samples:|q[0-9]" "$mc_golden") \
         <(grep -E "samples:|q[0-9]" "$mc_resumed") \
     || { echo "ci: cross-path MC resume drifted from the uninterrupted run" >&2; exit 1; }
 
+echo "== server gate: fault smoke, graceful drain, kill -9 -> resume =="
+# The HTTP service's robustness contract, end to end over real sockets:
+#  1. under injected network faults (torn bodies, disconnects, handler
+#     panics) the server keeps serving and then drains cleanly (exit 0);
+#  2. a durable job killed with SIGKILL mid-run leaves a journal; a
+#     restarted server on the same spool resumes it and the resulting body
+#     hash is identical to an uninterrupted run on a pristine spool.
+cargo test -q --test server_robustness
+cargo build --release -p ssn-bench --bin serve_load
+
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null; rm -rf "$tmp_dir"' EXIT
+start_server() {
+    # $1 = log file; the rest goes to `ssn serve`. Sets serve_pid / port.
+    local log=$1; shift
+    ./target/release/ssn serve "$@" > "$log" 2>&1 &
+    serve_pid=$!
+    local i
+    for i in $(seq 100); do
+        if grep -q "listening on" "$log" 2>/dev/null; then
+            port=$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' "$log")
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "ci: ssn serve did not come up" >&2; cat "$log" >&2; return 1
+}
+drain_server() {
+    # Ask for a graceful drain until the process exits; with faults armed
+    # an individual drain request can be eaten by an injected fault, so
+    # repeat against fresh connections (fault decisions are per-connection).
+    local i rc=0
+    for i in $(seq 40); do
+        curl -s -m 2 -X POST "http://127.0.0.1:$port/v1/admin/drain" > /dev/null 2>&1 || true
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.3
+    done
+    wait "$serve_pid" || rc=$?
+    serve_pid=""
+    return "$rc"
+}
+
+# --- 1. fault-injection smoke + graceful drain ---
+SSN_NET_FAULTS="seed=7,torn=0.1,disconnect=0.1,panic=0.05" \
+    start_server "$tmp_dir/serve_faults.log" --addr 127.0.0.1:0 \
+    --spool "$tmp_dir/spool_faults"
+./target/release/serve_load --addr "127.0.0.1:$port" --requests 200 --concurrency 4 \
+    > "$tmp_dir/load.out" \
+    || { echo "ci: serve_load smoke failed under faults" >&2; cat "$tmp_dir/load.out" >&2; exit 1; }
+grep -q "health: ok" "$tmp_dir/load.out" \
+    || { echo "ci: server unhealthy after fault smoke" >&2; exit 1; }
+panics=$(curl -s -m 5 "http://127.0.0.1:$port/metrics" | grep -o '"panics_caught":[0-9]*' || true)
+{ [ -n "$panics" ] && [ "$panics" != '"panics_caught":0' ]; } \
+    || { echo "ci: fault plan injected no handler panics ($panics)" >&2; exit 1; }
+drain_server \
+    || { echo "ci: faulted server did not drain cleanly (exit $?)" >&2; exit 1; }
+grep -q "drained" "$tmp_dir/serve_faults.log" \
+    || { echo "ci: no drain line in the serve log" >&2; cat "$tmp_dir/serve_faults.log" >&2; exit 1; }
+
+# --- 2. kill -9 mid-job -> restart -> byte-identical resume ---
+# The job must comfortably outlive the kill window (a completed job
+# deletes its journal and leaves only the cached result), so size it to
+# several seconds of work and kill as soon as chunks start committing.
+job_samples=400000
+job_query="/v1/montecarlo?drivers=8&samples=$job_samples&seed=7"
+# Golden: the same job on an untouched server and spool, uninterrupted.
+start_server "$tmp_dir/serve_gold.log" --addr 127.0.0.1:0 --spool "$tmp_dir/spool_gold"
+gold_line=$(./target/release/serve_load --addr "127.0.0.1:$port" --job --samples "$job_samples")
+drain_server || { echo "ci: golden server did not drain cleanly" >&2; exit 1; }
+# Crash run: submit, wait for the journal to appear (first committed
+# chunk), let a few more commits land, then SIGKILL mid-job.
+start_server "$tmp_dir/serve_crash.log" --addr 127.0.0.1:0 --spool "$tmp_dir/spool_crash"
+curl -s -m 5 "http://127.0.0.1:$port$job_query" | grep -Eq '"queued"|"running"' \
+    || { echo "ci: job submission was not accepted" >&2; exit 1; }
+for i in $(seq 100); do
+    ls "$tmp_dir"/spool_crash/job-*.ckpt > /dev/null 2>&1 && break
+    sleep 0.1
+done
+sleep 0.5
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+ls "$tmp_dir"/spool_crash/job-*.ckpt > /dev/null 2>&1 \
+    || { echo "ci: SIGKILL left no checkpoint journal in the spool (job already done?)" >&2; exit 1; }
+# Restart on the same spool; resubmitting the identical request resumes.
+start_server "$tmp_dir/serve_resume.log" --addr 127.0.0.1:0 --spool "$tmp_dir/spool_crash"
+resumed_line=$(./target/release/serve_load --addr "127.0.0.1:$port" --job --samples "$job_samples")
+resumed=$(curl -s -m 5 "http://127.0.0.1:$port/metrics" | grep -o '"chunks_resumed":[0-9]*' || true)
+{ [ -n "$resumed" ] && [ "$resumed" != '"chunks_resumed":0' ]; } \
+    || { echo "ci: restarted server recomputed instead of resuming ($resumed)" >&2; exit 1; }
+drain_server || { echo "ci: resumed server did not drain cleanly" >&2; exit 1; }
+[ -n "$gold_line" ] && [ "$gold_line" = "$resumed_line" ] \
+    || { echo "ci: resumed job bytes differ from the uninterrupted run:" >&2; \
+         echo "  golden:  $gold_line" >&2; echo "  resumed: $resumed_line" >&2; exit 1; }
+
 echo "== panic audit =="
 ./scripts/panic_audit.sh
 

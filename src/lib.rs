@@ -16,6 +16,7 @@
 //! | [`waveform`] | `ssn-waveform` | time series, peaks, metrics, plotting |
 //! | [`spice`] | `ssn-spice` | the MNA transient simulator |
 //! | [`core`] | `ssn-core` | the paper: SSN closed forms + baselines |
+//! | [`server`] | `ssn-server` | SSN-as-a-service: the hardened HTTP front end |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@
 pub use ssn_core as core;
 pub use ssn_devices as devices;
 pub use ssn_numeric as numeric;
+pub use ssn_server as server;
 pub use ssn_spice as spice;
 pub use ssn_units as units;
 pub use ssn_waveform as waveform;
