@@ -1,0 +1,251 @@
+//! PERF3 — the large-circuit MNA solver tier on synthesized power grids.
+//!
+//! Sweeps mesh sizes from 8x8 (dim 72) to 32x32 (dim 1032, past anything
+//! the oracle corpus exercises) through a transient of the grid's rail
+//! droop, and reports two things:
+//!
+//! 1. **Tier scaling** — wall clock and accepted-steps/s for the sparse
+//!    CSR + GMRES tier at every size, with a dense-LU run of the same
+//!    circuit at the sizes where dense is still affordable. Where both
+//!    tiers run, the rail trajectories must agree within the step
+//!    controller's accuracy class — the same differential the grid gate
+//!    (`ssn validate --grids`) enforces.
+//! 2. **Factor reuse A/B** — the transient re-run with `reuse_factor`
+//!    off, i.e. the old factor-per-Newton-iteration path. The grids are
+//!    linear circuits, so reuse must be **bit-identical**: the bench
+//!    asserts equal step sequences and equal rail waveform bits, then
+//!    reports the speedup. This is the before/after for the batched-LU
+//!    satellite.
+//!
+//! Run with `cargo run -p ssn-bench --bin mna_scale --release`; pass a
+//! maximum mesh edge to cut the sweep short (the CI smoke uses 12).
+
+use ssn_bench::Table;
+use ssn_spice::synth::{power_grid_circuit, power_grid_tran_options, PowerGridParams};
+use ssn_spice::{transient, TranOptions, TranResult};
+use std::time::{Duration, Instant};
+
+/// Mesh edges swept (square grids).
+const EDGES: [usize; 5] = [8, 12, 16, 24, 32];
+/// Dense runs are skipped above this MNA dimension (O(dim^3) factors).
+const DENSE_DIM_CAP: usize = 600;
+/// Best-of-N wall clock to damp scheduler noise.
+const REPEATS: usize = 2;
+/// Shared-controller trajectory agreement budget, relative to the droop.
+const AGREE_REL_TOL: f64 = 2e-2;
+
+/// Fixed (not randomized) grid parameters: the bench must be
+/// deterministic run to run so the numbers are comparable.
+fn params(edge: usize) -> PowerGridParams {
+    PowerGridParams {
+        rows: edge,
+        cols: edge,
+        r_mesh: 0.2,
+        c_node: 20e-15,
+        l_pad: 1e-9,
+        r_pad: 0.2,
+        n_drivers: 16,
+        i_peak: 1e-3,
+        rise_time: 100e-12,
+    }
+}
+
+/// Best-of-`REPEATS` transient, returning the last run and the best wall.
+fn best_tran(
+    circuit: &ssn_spice::Circuit,
+    opts: &TranOptions,
+) -> Result<(TranResult, Duration), Box<dyn std::error::Error>> {
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..REPEATS {
+        let t = Instant::now();
+        let r = transient(circuit, opts.clone())?;
+        best = best.min(t.elapsed());
+        result = Some(r);
+    }
+    Ok((result.ok_or("REPEATS >= 1")?, best))
+}
+
+/// Max trajectory difference between two runs of the same circuit on the
+/// center rail node, relative to the droop scale, over a fixed time grid.
+fn center_disagreement(
+    p: &PowerGridParams,
+    a: &TranResult,
+    b: &TranResult,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let node = format!("g{}_{}", p.rows / 2, p.cols / 2);
+    let wa = a.voltage(&node)?;
+    let wb = b.voltage(&node)?;
+    let scale = wa.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let t_stop = p.rise_time * 3.0;
+    let mut worst = 0.0f64;
+    for k in 0..=60 {
+        let t = t_stop * f64::from(k) / 60.0;
+        worst = worst.max((wa.sample(t) - wb.sample(t)).abs() / scale.max(1e-30));
+    }
+    Ok(worst)
+}
+
+/// Asserts two transients of a linear circuit are bit-for-bit identical
+/// on the step sequence and the center rail waveform.
+fn assert_bit_identical(
+    p: &PowerGridParams,
+    a: &TranResult,
+    b: &TranResult,
+    what: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    assert!(
+        a.times() == b.times(),
+        "{what}: timestep trajectories diverge"
+    );
+    let node = format!("g{}_{}", p.rows / 2, p.cols / 2);
+    let wa = a.voltage(&node)?;
+    let wb = b.voltage(&node)?;
+    assert!(
+        wa.values() == wb.values(),
+        "{what}: rail waveform bits diverge"
+    );
+    assert_eq!(
+        a.rejected_steps(),
+        b.rejected_steps(),
+        "{what}: controller paths diverge"
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let max_edge: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(32);
+    println!("== PERF3: MNA solver tiers on synthesized power grids (max edge {max_edge}) ==");
+
+    let mut scale = Table::new(&[
+        "grid",
+        "dim",
+        "tier",
+        "steps",
+        "newton iters",
+        "wall (s)",
+        "steps/s",
+        "vs dense",
+    ]);
+    let mut reuse = Table::new(&[
+        "grid",
+        "dim",
+        "tier",
+        "reuse",
+        "wall (s)",
+        "speedup",
+        "bit-identical",
+    ]);
+
+    for edge in EDGES.iter().copied().filter(|e| *e <= max_edge) {
+        let p = params(edge);
+        let circuit = power_grid_circuit(&p)?;
+        let opts = power_grid_tran_options(&p);
+        let dim = p.mna_dim();
+        let grid = format!("{edge}x{edge}");
+
+        // -- tier scaling ------------------------------------------------
+        let (sparse, sparse_wall) = best_tran(&circuit, &opts)?;
+        let droop = sparse
+            .voltage(&format!("g{}_{}", p.rows / 2, p.cols / 2))?
+            .values()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(
+            droop > 0.0 && droop <= p.droop_bound(),
+            "{grid}: droop {droop:e} outside (0, {:e}]",
+            p.droop_bound()
+        );
+
+        let dense = if dim <= DENSE_DIM_CAP {
+            let mut dense_opts = opts.clone();
+            dense_opts.newton.sparse_dim_threshold = usize::MAX;
+            let (dense, dense_wall) = best_tran(&circuit, &dense_opts)?;
+            let err = center_disagreement(&p, &sparse, &dense)?;
+            assert!(
+                err <= AGREE_REL_TOL,
+                "{grid}: sparse and dense tiers disagree by {err:e} of the droop"
+            );
+            Some((dense, dense_wall, err))
+        } else {
+            None
+        };
+
+        let dense_wall = dense.as_ref().map(|(_, w, _)| *w);
+        scale.row(&[
+            grid.clone(),
+            dim.to_string(),
+            "sparse gmres+ilu0".to_owned(),
+            sparse.len().to_string(),
+            sparse.newton_iterations().to_string(),
+            format!("{:.4}", sparse_wall.as_secs_f64()),
+            format!("{:.0}", sparse.len() as f64 / sparse_wall.as_secs_f64()),
+            match dense_wall {
+                Some(w) => format!("{:.2}x", w.as_secs_f64() / sparse_wall.as_secs_f64()),
+                None => "-".to_owned(),
+            },
+        ]);
+        if let Some((d, w, err)) = &dense {
+            scale.row(&[
+                grid.clone(),
+                dim.to_string(),
+                "dense lu".to_owned(),
+                d.len().to_string(),
+                d.newton_iterations().to_string(),
+                format!("{:.4}", w.as_secs_f64()),
+                format!("{:.0}", d.len() as f64 / w.as_secs_f64()),
+                format!("agree {err:.1e}"),
+            ]);
+        }
+
+        // -- factor reuse A/B --------------------------------------------
+        // Both tiers where both run; the contract is bit-identity, so the
+        // reference is simply the run above (reuse_factor defaults to on).
+        let mut tiers: Vec<(&str, TranOptions, &TranResult, Duration)> =
+            vec![("sparse", opts.clone(), &sparse, sparse_wall)];
+        if let Some((d, w, _)) = &dense {
+            let mut o = opts.clone();
+            o.newton.sparse_dim_threshold = usize::MAX;
+            tiers.push(("dense", o, d, *w));
+        }
+        for (tier, tier_opts, reused, reused_wall) in tiers {
+            let mut off = tier_opts.clone();
+            off.reuse_factor = false;
+            let (fresh, fresh_wall) = best_tran(&circuit, &off)?;
+            assert_bit_identical(&p, reused, &fresh, &format!("{grid} {tier}"))?;
+            reuse.row(&[
+                grid.clone(),
+                dim.to_string(),
+                tier.to_owned(),
+                "off".to_owned(),
+                format!("{:.4}", fresh_wall.as_secs_f64()),
+                "1.00x".to_owned(),
+                "reference".to_owned(),
+            ]);
+            reuse.row(&[
+                grid.clone(),
+                dim.to_string(),
+                tier.to_owned(),
+                "on".to_owned(),
+                format!("{:.4}", reused_wall.as_secs_f64()),
+                format!(
+                    "{:.2}x",
+                    fresh_wall.as_secs_f64() / reused_wall.as_secs_f64().max(1e-9)
+                ),
+                "yes".to_owned(),
+            ]);
+        }
+    }
+
+    println!("{scale}");
+    println!("{reuse}");
+    println!("every dense run agreed with sparse within the controller budget;");
+    println!("every reuse_factor run was bit-identical to the factor-per-iteration path.");
+    scale.write_csv("perf3_mna_scale")?;
+    reuse.write_csv("perf3_mna_reuse")?;
+    Ok(())
+}

@@ -3,6 +3,7 @@
 use super::{durable_options, with_telemetry, TelemetryMode, DURABLE_HELP};
 use crate::args::ParsedArgs;
 use crate::error::CliError;
+use ssn_core::grids::GridSweepOptions;
 use ssn_core::oracle::{self, case_slug, OracleOptions, ReproCase, TolerancePolicy};
 use ssn_core::parallel::ExecPolicy;
 use ssn_core::report::run_footer;
@@ -29,6 +30,10 @@ options:
     --csv <path>        also write the per-case summary CSV to <path>
     --replay <file>     re-run one repro file instead of the corpus and
                         report whether the recorded violation reproduces
+    --grids <n>         run the large-circuit gate instead of the corpus:
+                        n synthesized power-grid meshes (the last one
+                        1024 nodes) on the sparse/GMRES solver tier, with
+                        a sparse-vs-dense differential on small meshes
     --telemetry[=json:<path>]
                         profile the run: print a per-stage breakdown table,
                         or write the span/counter stream as JSON lines to
@@ -54,6 +59,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
             "repro-dir",
             "csv",
             "replay",
+            "grids",
             "checkpoint",
             "deadline",
         ],
@@ -76,8 +82,17 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         });
     }
 
-    let corpus: usize = args.parsed_or("corpus", 500)?;
     let seed: u64 = args.parsed_or("seed", 1)?;
+    if let Some(cases) = args.parsed::<usize>("grids")? {
+        if cases == 0 {
+            return Err(CliError::usage("--grids must be at least 1"));
+        }
+        return with_telemetry(&telemetry, "cli.validate", out, |out| {
+            grid_sweep(cases, seed, out)
+        });
+    }
+
+    let corpus: usize = args.parsed_or("corpus", 500)?;
     let exec = match args.parsed::<usize>("threads")? {
         Some(0) => return Err(CliError::usage("--threads must be at least 1")),
         Some(t) => ExecPolicy::with_threads(t),
@@ -157,6 +172,21 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         Err(CliError::Validation {
             violations: report.violations,
         })
+    })
+}
+
+/// The `--grids` gate: synthesized power-grid meshes through the sparse
+/// solver tier, exit 10 on any invariant or differential violation.
+fn grid_sweep<W: Write>(cases: usize, seed: u64, out: &mut W) -> Result<(), CliError> {
+    let report = ssn_core::grids::run_grid_sweep(&GridSweepOptions { cases, seed })?;
+    writeln!(out, "grid gate: {cases} mesh(es), seed {seed}")?;
+    write!(out, "{}", report.summary())?;
+    if report.violations == 0 {
+        writeln!(out, "all grids within invariants")?;
+        return Ok(());
+    }
+    Err(CliError::Validation {
+        violations: report.violations,
     })
 }
 

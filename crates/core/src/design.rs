@@ -365,24 +365,33 @@ fn grid_chunk(
 ) -> Result<Vec<GridPoint>, SsnError> {
     hooks::inject_chunk_panic(c);
     ssn_telemetry::add("grid.points", range.len() as u64);
-    range
-        .map(|i| {
-            let _point_span = ssn_telemetry::span("grid.point");
-            let n = drivers[i / inductances.len()];
-            let l = inductances[i % inductances.len()];
-            let s = template
-                .with_drivers(n)?
-                .with_package(l, template.capacitance())?;
-            let (vn_lc, case) = lcmodel::vn_max(&s);
-            Ok(GridPoint {
-                n_drivers: n,
-                inductance: l,
-                vn_l_only: crate::lmodel::vn_max(&s),
-                vn_lc,
-                case,
-            })
-        })
-        .collect::<Result<Vec<GridPoint>, SsnError>>()
+    // Row-major order means `n` is constant across `inductances.len()`
+    // consecutive points, so the `with_drivers` rebuild is hoisted behind
+    // a one-slot cache. `with_drivers` is deterministic, so reusing its
+    // result is bit-identical to recomputing it per point — pinned by the
+    // thread-count-invariance test below (chunk boundaries land mid-row).
+    let mut sized: Option<(usize, SsnScenario)> = None;
+    let mut points = Vec::with_capacity(range.len());
+    for i in range {
+        let _point_span = ssn_telemetry::span("grid.point");
+        let n = drivers[i / inductances.len()];
+        let l = inductances[i % inductances.len()];
+        let base = match sized.take() {
+            Some((cached_n, s)) if cached_n == n => s,
+            _ => template.with_drivers(n)?,
+        };
+        let s = base.with_package(l, template.capacitance())?;
+        sized = Some((n, base));
+        let (vn_lc, case) = lcmodel::vn_max(&s);
+        points.push(GridPoint {
+            n_drivers: n,
+            inductance: l,
+            vn_l_only: crate::lmodel::vn_max(&s),
+            vn_lc,
+            case,
+        });
+    }
+    Ok(points)
 }
 
 /// [`sweep_design_grid`] with durable execution: checkpoint/resume and a
@@ -666,7 +675,11 @@ mod tests {
         let ns: Vec<usize> = (1..=40).collect();
         let ls: Vec<Henrys> = (1..=10).map(|l| Henrys::from_nanos(l as f64)).collect();
         let (serial, _) = sweep_design_grid(&t, &ns, &ls, &ExecPolicy::serial()).unwrap();
-        for threads in [2, 8] {
+        // GRID_CHUNK (64) is not a multiple of the row length (10), so
+        // chunk starts land mid-row and the per-chunk `with_drivers`
+        // cache starts cold at misaligned points — exactly the hoist this
+        // test pins as bit-identical across thread counts.
+        for threads in [2, 4, 8] {
             let (par, _) =
                 sweep_design_grid(&t, &ns, &ls, &ExecPolicy::with_threads(threads)).unwrap();
             assert_eq!(serial, par, "thread count {threads} changed the grid");

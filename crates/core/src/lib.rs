@@ -29,6 +29,9 @@
 //! * [`oracle`] — the corpus-scale differential oracle harness
 //!   cross-validating the closed forms against an MNA transient of the
 //!   same linearized circuit, with minimized reproducers on disagreement,
+//! * [`grids`] — grid-scale validation sweeps: synthesized power-grid
+//!   circuits with 1000+ unknowns exercising the sparse/GMRES solver
+//!   tier, with a sparse-vs-dense differential on the smaller meshes,
 //! * [`durable`] — crash-safe checkpoint/resume (journaled, checksummed,
 //!   atomic commits), deadline-budgeted execution ([`durable::RunBudget`]),
 //!   and the declared degradation ladder for overruns,
@@ -68,6 +71,7 @@ pub mod durable;
 pub mod error;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
+pub mod grids;
 mod hooks;
 pub mod lcmodel;
 pub mod lmodel;

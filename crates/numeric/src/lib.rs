@@ -10,6 +10,9 @@
 //!
 //! * [`matrix`] — dense row-major matrices,
 //! * [`lu`] — LU factorization with partial pivoting (the MNA solver),
+//! * [`sparse`] — CSR sparse matrices and ILU(0) for large MNA systems,
+//! * [`gmres`] — restarted, preconditioned GMRES and the
+//!   `ilu0 → jacobi → dense-lu` linear-solve ladder,
 //! * [`roots`] — bracketing and derivative-based 1-D root finders,
 //! * [`solve`] — a fallback ladder over the root finders
 //!   (`newton` → `brent` → `bisect` with bracket expansion) that reports
@@ -49,6 +52,7 @@ pub mod cancel;
 pub mod check;
 pub mod clu;
 pub mod complex;
+pub mod gmres;
 pub mod interp;
 pub mod lu;
 pub mod matrix;
@@ -60,6 +64,7 @@ pub mod roots;
 pub mod shrink;
 pub mod slab;
 pub mod solve;
+pub mod sparse;
 pub mod stats;
 
 mod error;

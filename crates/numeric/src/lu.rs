@@ -7,8 +7,14 @@
 use crate::matrix::DenseMatrix;
 use crate::NumericError;
 
-/// Pivot magnitude below which a matrix is declared singular.
-const PIVOT_TOL: f64 = 1e-300;
+/// Relative pivot threshold: a column is declared singular when its best
+/// pivot is smaller than `PIVOT_REL` times the original magnitude of the
+/// pivot row (implicit row equilibration). An absolute threshold would
+/// flag badly *scaled* but perfectly well-conditioned systems — e.g. a
+/// diagonal of subnormals — as singular, which matters for MNA matrices
+/// whose entries span conductances from gmin (1e-12 S) to companion terms
+/// (1e3 S and beyond).
+const PIVOT_REL: f64 = 1e-14;
 
 /// An LU factorization `P A = L U` of a square matrix.
 ///
@@ -40,7 +46,9 @@ impl LuFactor {
     /// # Errors
     ///
     /// * [`NumericError::ShapeMismatch`] when `a` is not square.
-    /// * [`NumericError::SingularMatrix`] when a pivot underflows.
+    /// * [`NumericError::SingularMatrix`] when a pivot collapses relative
+    ///   to its row's original magnitude (row-scaled test, so badly scaled
+    ///   but well-conditioned systems still factor).
     pub fn new(a: &DenseMatrix) -> Result<Self, NumericError> {
         if !a.is_square() {
             return Err(NumericError::shape(format!(
@@ -53,6 +61,15 @@ impl LuFactor {
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut sign = 1.0;
+        // Row scales of the *original* matrix, permuted alongside the rows:
+        // the singularity test below is relative to these, so row scaling
+        // never changes the verdict (only genuine rank deficiency does).
+        let mut scale = vec![0.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                scale[i] = scale[i].max(lu[(i, j)].abs());
+            }
+        }
 
         for k in 0..n {
             // Find pivot.
@@ -65,11 +82,15 @@ impl LuFactor {
                     p = i;
                 }
             }
-            if pmax < PIVOT_TOL {
+            // Row-scaled singularity test: an exactly zero column remainder
+            // (or an all-zero row, scale 0) is singular, as is a pivot that
+            // has collapsed far below its row's original magnitude.
+            if pmax <= 0.0 || pmax < PIVOT_REL * scale[p] {
                 return Err(NumericError::SingularMatrix { column: k });
             }
             if p != k {
                 perm.swap(p, k);
+                scale.swap(p, k);
                 sign = -sign;
                 for j in 0..n {
                     let tmp = lu[(k, j)];
@@ -267,6 +288,54 @@ mod tests {
         let a = DenseMatrix::from_rows(&[&[1e6, 0.0], &[0.0, 1e-6]]).unwrap();
         let lu = LuFactor::new(&a).unwrap();
         assert!(lu.pivot_condition() > 1e11);
+    }
+
+    #[test]
+    fn subnormal_scale_is_not_spuriously_singular() {
+        // Regression for the absolute pivot threshold (was 1e-300): a
+        // diagonal of subnormals is perfectly conditioned (cond = 1) but
+        // every pivot sits below any absolute cutoff. The row-scaled test
+        // must factor it and recover the exact solution.
+        let tiny = 1e-310;
+        let a = DenseMatrix::from_rows(&[&[tiny, 0.0], &[0.0, tiny]]).unwrap();
+        let lu = LuFactor::new(&a).expect("well-conditioned subnormal diagonal must factor");
+        let x = lu.solve(&[2.0 * tiny, 3.0 * tiny]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_row_scales_are_not_spuriously_singular() {
+        // One row lives at 1e-310, the other at O(1); the system is
+        // well-conditioned after row scaling ([[1, 2], [3, 4]]).
+        let s = 1e-310;
+        let a = DenseMatrix::from_rows(&[&[s, 2.0 * s], &[3.0, 4.0]]).unwrap();
+        let lu = LuFactor::new(&a).expect("row-scalable system must factor");
+        // b chosen so x = [1, 1].
+        let x = lu.solve(&[3.0 * s, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10, "x0 = {}", x[0]);
+        assert!((x[1] - 1.0).abs() < 1e-10, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn all_zero_row_is_singular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_deficiency_is_still_singular_at_tiny_scale() {
+        // Genuinely rank-1 at subnormal scale: the relative test must keep
+        // flagging it even though an absolute test would too.
+        let s = 1e-310;
+        let a = DenseMatrix::from_rows(&[&[s, 2.0 * s], &[2.0 * s, 4.0 * s]]).unwrap();
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumericError::SingularMatrix { column: 1 })
+        ));
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! DC operating point via Newton–Raphson with gmin and source stepping.
 
 use crate::error::SpiceError;
+use crate::linsolve::{SolverWorkspace, SPARSE_DIM_THRESHOLD};
 use crate::netlist::Circuit;
 use crate::solution::DcSolution;
-use crate::stamp::{assemble, AnalysisMode, SystemLayout};
-use ssn_numeric::lu::LuFactor;
-use ssn_numeric::matrix::DenseMatrix;
+use crate::stamp::{AnalysisMode, SystemLayout};
 
 /// Options for [`dc_operating_point`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,6 +19,10 @@ pub struct DcOptions {
     pub max_newton: usize,
     /// Per-iteration voltage step clamp (V).
     pub v_step_limit: f64,
+    /// Systems with at least this many unknowns use the sparse/GMRES
+    /// ladder instead of dense LU. `usize::MAX` forces dense everywhere;
+    /// a small value forces the sparse tier (useful in tests).
+    pub sparse_dim_threshold: usize,
 }
 
 impl Default for DcOptions {
@@ -30,11 +33,13 @@ impl Default for DcOptions {
             abstol: 1e-12,
             max_newton: 100,
             v_step_limit: 1.0,
+            sparse_dim_threshold: SPARSE_DIM_THRESHOLD,
         }
     }
 }
 
-/// Runs one Newton solve for a fixed analysis mode, starting from `x`.
+/// Runs one Newton solve for a fixed analysis mode, starting from `x`,
+/// using the analysis-scoped solver state in `ws`.
 ///
 /// Returns the converged solution and the number of iterations used.
 pub(crate) fn newton_solve(
@@ -43,21 +48,32 @@ pub(crate) fn newton_solve(
     mode: &AnalysisMode<'_>,
     mut x: Vec<f64>,
     opts: &DcOptions,
+    ws: &mut SolverWorkspace,
 ) -> Result<(Vec<f64>, usize), SpiceError> {
     let n = layout.dim();
     let n_node_unknowns = layout.n_nodes - 1;
-    let mut a = DenseMatrix::zeros(n, n);
-    let mut z = vec![0.0; n];
     // The voltage step clamp grows whenever it engages on consecutive
     // iterations, so legitimate large linear solutions (e.g. a current
     // source into a gmin-only node) stay reachable while nonlinear devices
     // still get damped through their region changes.
     let mut step_limit = opts.v_step_limit;
 
+    // For a linear circuit the assembled system does not depend on the
+    // iterate, so every iteration of the naive loop solves the identical
+    // system and lands on the identical `x_new`: solve once up front and
+    // replay it through the damping iterations (bit-identical, and the
+    // damping/convergence bookkeeping below stays untouched).
+    let hoisted = if ws.is_linear_circuit() {
+        Some(ws.solve(circuit, layout, &x, mode)?)
+    } else {
+        None
+    };
+
     for iter in 1..=opts.max_newton {
-        assemble(circuit, layout, &x, mode, &mut a, &mut z);
-        let lu = LuFactor::new(&a)?;
-        let x_new = lu.solve(&z)?;
+        let x_new = match &hoisted {
+            Some(sol) => sol.clone(),
+            None => ws.solve(circuit, layout, &x, mode)?,
+        };
 
         // Raw Newton step, then damping on the voltage block.
         let mut max_v_step = 0.0f64;
@@ -128,6 +144,7 @@ pub(crate) fn newton_solve(
 pub fn dc_operating_point(circuit: &Circuit, opts: DcOptions) -> Result<DcSolution, SpiceError> {
     let layout = SystemLayout::new(circuit);
     let x0 = vec![0.0; layout.dim()];
+    let mut ws = SolverWorkspace::new(circuit, &layout, opts.sparse_dim_threshold, true)?;
 
     // Plain Newton first.
     let direct = newton_solve(
@@ -139,6 +156,7 @@ pub fn dc_operating_point(circuit: &Circuit, opts: DcOptions) -> Result<DcSoluti
         },
         x0.clone(),
         &opts,
+        &mut ws,
     );
     if let Ok((x, _)) = direct {
         return Ok(DcSolution {
@@ -162,6 +180,7 @@ pub fn dc_operating_point(circuit: &Circuit, opts: DcOptions) -> Result<DcSoluti
             },
             x.clone(),
             &opts,
+            &mut ws,
         ) {
             Ok((next, _)) => x = next,
             Err(_) => {
@@ -180,6 +199,7 @@ pub fn dc_operating_point(circuit: &Circuit, opts: DcOptions) -> Result<DcSoluti
             },
             x,
             &opts,
+            &mut ws,
         ) {
             return Ok(DcSolution {
                 circuit: circuit.clone(),
@@ -202,6 +222,7 @@ pub fn dc_operating_point(circuit: &Circuit, opts: DcOptions) -> Result<DcSoluti
             },
             x,
             &opts,
+            &mut ws,
         )?;
         x = next;
     }

@@ -42,6 +42,7 @@
 pub mod ac;
 mod dc;
 mod error;
+mod linsolve;
 mod netlist;
 pub mod parser;
 mod solution;

@@ -1,0 +1,304 @@
+//! The per-analysis linear-solver tier: dense LU for small systems, the
+//! CSR + GMRES ladder for large ones, and factor reuse for linear circuits.
+//!
+//! A [`SolverWorkspace`] is created once per analysis (one `transient` or
+//! `dc_operating_point` call) and owns the system matrix, the right-hand
+//! side, and the factorization caches, so the Newton loop allocates
+//! nothing per iteration.
+//!
+//! Two independent optimizations live here, both provably bit-identical
+//! to the naive factor-per-iteration path:
+//!
+//! * **Linear-circuit hoisting** (used by `newton_solve`): when the
+//!   circuit has no diodes or MOSFETs, `A` and `z` do not depend on the
+//!   iterate, so every Newton iteration of the original code assembled
+//!   and factored the *same* matrix and produced the *same* `x_new`.
+//!   Solving once and reusing `x_new` across the damping iterations
+//!   reproduces those numbers exactly.
+//! * **Cross-step factor caching**: within one transient, steps that
+//!   share the companion-model key (`dt` bits + integration method)
+//!   assemble bit-identical matrices, so the LU (or ILU) factors are
+//!   bit-identical too and can be reused. The adaptive controller settles
+//!   onto `dt_max` for long stretches, which is where the cache pays.
+//!
+//! Above [`SPARSE_DIM_THRESHOLD`] unknowns the workspace switches from
+//! dense LU to CSR storage with the `gmres+ilu0 → gmres+jacobi →
+//! dense-lu` ladder from [`ssn_numeric::gmres`], mirroring the
+//! `newton → brent → bisect` root-finder ladder.
+
+use crate::error::SpiceError;
+use crate::netlist::Circuit;
+use crate::stamp::{assemble, sparsity_pattern, AnalysisMode, SystemLayout};
+use crate::tran::IntegrationMethod;
+use ssn_numeric::gmres::{gmres, solve_sparse, GmresOptions, LinearSolveReport, Preconditioner};
+use ssn_numeric::lu::LuFactor;
+use ssn_numeric::matrix::DenseMatrix;
+use ssn_numeric::sparse::{CsrMatrix, Ilu0};
+
+/// Systems with at least this many unknowns use the sparse/GMRES tier;
+/// smaller ones stay on dense LU, whose constant factors win there.
+pub(crate) const SPARSE_DIM_THRESHOLD: usize = 64;
+
+/// Bounded factor cache: big enough for the handful of distinct `dt`
+/// values an adaptive transient revisits (plus the DC homotopy stages),
+/// small enough that the linear scan is free.
+const FACTOR_CACHE_CAP: usize = 8;
+
+/// Cache key under which an assembled matrix is reproducible: everything
+/// `A` depends on besides the circuit itself (for linear circuits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FactorKey {
+    /// DC: `A` depends only on the homotopy gmin.
+    Dc { gmin: u64 },
+    /// Transient: `A` depends on the step size and companion method.
+    Tran { dt: u64, method: IntegrationMethod },
+}
+
+fn key_of(mode: &AnalysisMode<'_>) -> FactorKey {
+    match mode {
+        AnalysisMode::Dc { gmin, .. } => FactorKey::Dc {
+            gmin: gmin.to_bits(),
+        },
+        AnalysisMode::Tran { dt, method, .. } => FactorKey::Tran {
+            dt: dt.to_bits(),
+            method: *method,
+        },
+    }
+}
+
+/// System-matrix storage, chosen once per analysis by dimension.
+enum Storage {
+    Dense(DenseMatrix),
+    Sparse(CsrMatrix),
+}
+
+/// Reusable solver state for one analysis of one circuit.
+pub(crate) struct SolverWorkspace {
+    storage: Storage,
+    z: Vec<f64>,
+    /// No diodes/MOSFETs: the assembled system is iterate-independent.
+    linear: bool,
+    /// Factor caching enabled (disable to benchmark the old path).
+    reuse: bool,
+    dense_cache: Vec<(FactorKey, LuFactor)>,
+    ilu_cache: Vec<(FactorKey, Preconditioner)>,
+    gmres_opts: GmresOptions,
+    /// Convergence report of the most recent sparse solve.
+    pub last_report: Option<LinearSolveReport>,
+    // Telemetry accumulators, flushed on drop.
+    dense_solves: u64,
+    sparse_solves: u64,
+    factor_hits: u64,
+    factor_misses: u64,
+    ladder_fallbacks: u64,
+}
+
+impl SolverWorkspace {
+    /// Builds the workspace for `circuit`, picking dense or sparse storage
+    /// by comparing the system dimension against `sparse_threshold`.
+    pub(crate) fn new(
+        circuit: &Circuit,
+        layout: &SystemLayout,
+        sparse_threshold: usize,
+        reuse: bool,
+    ) -> Result<Self, SpiceError> {
+        let dim = layout.dim();
+        let storage = if dim >= sparse_threshold.max(1) {
+            let pattern = sparsity_pattern(circuit, layout);
+            Storage::Sparse(CsrMatrix::from_pattern(dim, &pattern)?)
+        } else {
+            Storage::Dense(DenseMatrix::zeros(dim, dim))
+        };
+        Ok(Self {
+            storage,
+            z: vec![0.0; dim],
+            linear: circuit.is_linear(),
+            reuse,
+            dense_cache: Vec::new(),
+            ilu_cache: Vec::new(),
+            gmres_opts: GmresOptions::default(),
+            last_report: None,
+            dense_solves: 0,
+            sparse_solves: 0,
+            factor_hits: 0,
+            factor_misses: 0,
+            ladder_fallbacks: 0,
+        })
+    }
+
+    /// True when the sparse/GMRES tier is active.
+    #[cfg(test)]
+    pub(crate) fn is_sparse(&self) -> bool {
+        matches!(self.storage, Storage::Sparse(_))
+    }
+
+    /// True when the circuit's MNA system is iterate-independent.
+    pub(crate) fn is_linear_circuit(&self) -> bool {
+        self.linear
+    }
+
+    /// Assembles the system at iterate `x` for `mode` and solves it.
+    pub(crate) fn solve(
+        &mut self,
+        circuit: &Circuit,
+        layout: &SystemLayout,
+        x: &[f64],
+        mode: &AnalysisMode<'_>,
+    ) -> Result<Vec<f64>, SpiceError> {
+        let cacheable = self.reuse && self.linear;
+        match &mut self.storage {
+            Storage::Dense(a) => {
+                self.dense_solves += 1;
+                assemble(circuit, layout, x, mode, a, &mut self.z);
+                if cacheable {
+                    let key = key_of(mode);
+                    if let Some(pos) = self.dense_cache.iter().position(|(k, _)| *k == key) {
+                        self.factor_hits += 1;
+                        return Ok(self.dense_cache[pos].1.solve(&self.z)?);
+                    }
+                    let lu = LuFactor::new(a)?;
+                    let sol = lu.solve(&self.z)?;
+                    self.factor_misses += 1;
+                    if self.dense_cache.len() >= FACTOR_CACHE_CAP {
+                        self.dense_cache.remove(0);
+                    }
+                    self.dense_cache.push((key, lu));
+                    Ok(sol)
+                } else {
+                    let lu = LuFactor::new(a)?;
+                    Ok(lu.solve(&self.z)?)
+                }
+            }
+            Storage::Sparse(csr) => {
+                self.sparse_solves += 1;
+                assemble(circuit, layout, x, mode, csr, &mut self.z);
+                if cacheable {
+                    let key = key_of(mode);
+                    let cached = match self.ilu_cache.iter().position(|(k, _)| *k == key) {
+                        Some(pos) => {
+                            self.factor_hits += 1;
+                            Some(pos)
+                        }
+                        None => match Ilu0::new(csr) {
+                            Ok(ilu) => {
+                                self.factor_misses += 1;
+                                if self.ilu_cache.len() >= FACTOR_CACHE_CAP {
+                                    self.ilu_cache.remove(0);
+                                }
+                                self.ilu_cache.push((key, Preconditioner::Ilu(ilu)));
+                                Some(self.ilu_cache.len() - 1)
+                            }
+                            // ILU breakdown: skip straight to the ladder,
+                            // which retries Jacobi and then densifies.
+                            Err(_) => None,
+                        },
+                    };
+                    if let Some(pos) = cached {
+                        let (sol, report) =
+                            gmres(&*csr, &self.z, &self.ilu_cache[pos].1, &self.gmres_opts)?;
+                        if report.converged {
+                            self.last_report = Some(report);
+                            return Ok(sol);
+                        }
+                        // A stale preconditioner cannot make GMRES converge
+                        // to a *wrong* answer, only slowly — but evict it
+                        // and fall through to the full ladder anyway.
+                        self.ilu_cache.retain(|(k, _)| *k != key);
+                    }
+                }
+                let (sol, report) = solve_sparse(&*csr, &self.z, &self.gmres_opts)?;
+                if !report.is_clean() {
+                    self.ladder_fallbacks += 1;
+                }
+                self.last_report = Some(report);
+                Ok(sol)
+            }
+        }
+    }
+}
+
+impl Drop for SolverWorkspace {
+    fn drop(&mut self) {
+        for (name, value) in [
+            ("spice.linsolve.dense_solves", self.dense_solves),
+            ("spice.linsolve.sparse_solves", self.sparse_solves),
+            ("spice.linsolve.factor_hits", self.factor_hits),
+            ("spice.linsolve.factor_misses", self.factor_misses),
+            ("spice.linsolve.ladder_fallbacks", self.ladder_fallbacks),
+        ] {
+            if value > 0 {
+                ssn_telemetry::add(name, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWave;
+    use crate::tran::{transient, TranOptions};
+
+    /// A vsource-driven RC ladder with `n` sections (dim = n + 2).
+    fn rc_ladder(n: usize) -> Circuit {
+        let mut c = Circuit::new();
+        c.vsource("vin", "n0", "0", SourceWave::ramp(0.0, 1.0, 1e-9, 1e-9))
+            .unwrap();
+        for i in 0..n {
+            c.resistor(
+                &format!("r{i}"),
+                &format!("n{i}"),
+                &format!("n{}", i + 1),
+                100.0,
+            )
+            .unwrap();
+            c.capacitor(&format!("c{i}"), &format!("n{}", i + 1), "0", 1e-12)
+                .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn workspace_picks_tier_by_threshold() {
+        let c = rc_ladder(10);
+        let layout = SystemLayout::new(&c);
+        let dense = SolverWorkspace::new(&c, &layout, usize::MAX, true).unwrap();
+        assert!(!dense.is_sparse());
+        let sparse = SolverWorkspace::new(&c, &layout, 1, true).unwrap();
+        assert!(sparse.is_sparse());
+        assert!(sparse.is_linear_circuit());
+    }
+
+    #[test]
+    fn sparse_tier_transient_matches_dense_tier() {
+        let c = rc_ladder(30);
+        let mut opts = TranOptions::to(10e-9);
+        opts.newton.sparse_dim_threshold = usize::MAX;
+        let dense = transient(&c, opts.clone()).unwrap();
+        opts.newton.sparse_dim_threshold = 1;
+        let sparse = transient(&c, opts).unwrap();
+        let wd = dense.voltage("n30").unwrap();
+        let ws = sparse.voltage("n30").unwrap();
+        let err = wd.max_abs_error(&ws).unwrap();
+        assert!(err < 1e-6, "sparse and dense tiers disagree by {err}");
+    }
+
+    /// The satellite-2 contract: factor reuse must not change a single
+    /// bit of the trajectory relative to the factor-per-iteration path.
+    #[test]
+    fn factor_reuse_is_bit_identical_on_linear_circuits() {
+        let mut c = rc_ladder(8);
+        // An inductor too, so branch equations hit the cache path.
+        c.inductor("l0", "n8", "tail", 1e-9).unwrap();
+        c.resistor("rt", "tail", "0", 50.0).unwrap();
+        let mut opts = TranOptions::to(10e-9);
+        opts.reuse_factor = true;
+        let reused = transient(&c, opts.clone()).unwrap();
+        opts.reuse_factor = false;
+        let fresh = transient(&c, opts).unwrap();
+        assert_eq!(reused.times, fresh.times, "timestep trajectories differ");
+        assert_eq!(reused.states, fresh.states, "solution vectors differ");
+        assert_eq!(reused.newton_iterations, fresh.newton_iterations);
+        assert_eq!(reused.rejected_steps, fresh.rejected_steps);
+    }
+}

@@ -234,6 +234,18 @@ impl Circuit {
         &self.elements
     }
 
+    /// True when the circuit contains no element that needs Newton
+    /// linearization around the iterate (no diodes or MOSFETs), so one
+    /// linear solve per analysis point is exact.
+    pub fn is_linear(&self) -> bool {
+        !self.elements.iter().any(|e| {
+            matches!(
+                e.kind(),
+                ElementKind::Diode { .. } | ElementKind::Mosfet { .. }
+            )
+        })
+    }
+
     /// Finds an element by instance name. Exact match first, then (SPICE
     /// tradition) case-insensitive.
     pub fn find_element(&self, name: &str) -> Option<&Element> {

@@ -11,7 +11,36 @@ use crate::netlist::{Circuit, ElementKind, NodeId};
 use crate::tran::IntegrationMethod;
 use ssn_devices::{MosModel, MosPolarity};
 use ssn_numeric::matrix::DenseMatrix;
+use ssn_numeric::sparse::CsrMatrix;
 use std::collections::HashMap;
+
+/// Matrix storage the stamper can write into: dense for small systems,
+/// CSR (with a precomputed pattern from [`sparsity_pattern`]) for large
+/// ones. Both must accumulate (`+=`) on repeated stamps at one position.
+pub(crate) trait StampMatrix {
+    /// Zeroes every stored coefficient, keeping the structure.
+    fn reset(&mut self);
+    /// `self[i][j] += v`.
+    fn add(&mut self, i: usize, j: usize, v: f64);
+}
+
+impl StampMatrix for DenseMatrix {
+    fn reset(&mut self) {
+        self.fill_zero();
+    }
+    fn add(&mut self, i: usize, j: usize, v: f64) {
+        DenseMatrix::add(self, i, j, v);
+    }
+}
+
+impl StampMatrix for CsrMatrix {
+    fn reset(&mut self) {
+        self.fill_zero();
+    }
+    fn add(&mut self, i: usize, j: usize, v: f64) {
+        CsrMatrix::add(self, i, j, v);
+    }
+}
 
 /// Conductance tied from every node to ground so that floating nodes never
 /// make the MNA matrix singular.
@@ -121,16 +150,100 @@ pub(crate) struct PrevState {
     pub caps: Vec<CapState>,
 }
 
+/// Every matrix position any analysis mode can stamp for this circuit,
+/// as `(row, col)` pairs (duplicates are fine — [`CsrMatrix::from_pattern`]
+/// merges them). The union over DC and transient stamping keeps one CSR
+/// pattern valid for the whole analysis; positions a given mode leaves
+/// unstamped simply hold explicit zeros.
+pub(crate) fn sparsity_pattern(circuit: &Circuit, layout: &SystemLayout) -> Vec<(usize, usize)> {
+    let mut pat = Vec::new();
+    // gmin floor touches every node diagonal.
+    for n in 0..layout.n_nodes - 1 {
+        pat.push((n, n));
+    }
+    let conductance = |pat: &mut Vec<(usize, usize)>, na: NodeId, nb: NodeId| {
+        let (i, j) = (layout.node_index(na), layout.node_index(nb));
+        if let Some(i) = i {
+            pat.push((i, i));
+            if let Some(j) = j {
+                pat.push((i, j));
+                pat.push((j, i));
+            }
+        }
+        if let Some(j) = j {
+            pat.push((j, j));
+        }
+    };
+    for (idx, el) in circuit.elements().iter().enumerate() {
+        match el.kind() {
+            ElementKind::Resistor { a: na, b: nb, .. } => conductance(&mut pat, *na, *nb),
+            ElementKind::Capacitor { a: na, b: nb, .. } => conductance(&mut pat, *na, *nb),
+            ElementKind::Inductor { a: na, b: nb, .. } => {
+                let bi = layout.branch_index(idx).expect("inductor has a branch");
+                for n in [*na, *nb] {
+                    if let Some(i) = layout.node_index(n) {
+                        pat.push((i, bi));
+                        pat.push((bi, i));
+                    }
+                }
+                // Tran stamps -L/dt here; DC pins the degenerate all-ground
+                // case. The full diagonal is in the CSR pattern anyway.
+                pat.push((bi, bi));
+            }
+            ElementKind::VSource { pos, neg, .. } => {
+                let bi = layout.branch_index(idx).expect("vsource has a branch");
+                for n in [*pos, *neg] {
+                    if let Some(i) = layout.node_index(n) {
+                        pat.push((i, bi));
+                        pat.push((bi, i));
+                    }
+                }
+            }
+            ElementKind::ISource { .. } => {}
+            ElementKind::Vccs {
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                ..
+            } => {
+                for out in [*out_p, *out_n] {
+                    if let Some(i) = layout.node_index(out) {
+                        for ctrl in [*ctrl_p, *ctrl_n] {
+                            if let Some(c) = layout.node_index(ctrl) {
+                                pat.push((i, c));
+                            }
+                        }
+                    }
+                }
+            }
+            ElementKind::Diode { a: na, k: nk, .. } => conductance(&mut pat, *na, *nk),
+            ElementKind::Mosfet { d, g, s, b, .. } => {
+                for row in [*d, *s] {
+                    if let Some(i) = layout.node_index(row) {
+                        for col in [*d, *g, *s, *b] {
+                            if let Some(j) = layout.node_index(col) {
+                                pat.push((i, j));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pat
+}
+
 /// Assembles the linearized MNA system at iterate `x` into `(a, z)`.
-pub(crate) fn assemble(
+pub(crate) fn assemble<S: StampMatrix>(
     circuit: &Circuit,
     layout: &SystemLayout,
     x: &[f64],
     mode: &AnalysisMode<'_>,
-    a: &mut DenseMatrix,
+    a: &mut S,
     z: &mut [f64],
 ) {
-    a.fill_zero();
+    a.reset();
     z.fill(0.0);
 
     // gmin floor (plus DC homotopy gmin) on every non-ground node.
@@ -143,7 +256,7 @@ pub(crate) fn assemble(
         a.add(n, n, gmin);
     }
 
-    let stamp_conductance = |a: &mut DenseMatrix, na: NodeId, nb: NodeId, g: f64| {
+    let stamp_conductance = |a: &mut S, na: NodeId, nb: NodeId, g: f64| {
         if let Some(i) = layout.node_index(na) {
             a.add(i, i, g);
             if let Some(j) = layout.node_index(nb) {
@@ -508,6 +621,75 @@ mod tests {
         // Gate at 1.8: off.
         let off = mos_linearize(&model, MosPolarity::Pmos, 0.9, 1.8, 1.8, 1.8);
         assert_eq!(off.i, 0.0);
+    }
+
+    /// One of every element kind; the sparse pattern must cover every
+    /// position the dense stamper writes, in both analysis modes, with
+    /// bit-identical coefficients.
+    #[test]
+    fn sparse_assembly_matches_dense_in_both_modes() {
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", SourceWave::Dc(1.8)).unwrap();
+        c.resistor("r1", "vdd", "mid", 2e3).unwrap();
+        c.capacitor("c1", "mid", "0", 3e-12).unwrap();
+        c.inductor("l1", "mid", "out", 5e-9).unwrap();
+        c.isource("i1", "out", "0", SourceWave::Dc(1e-4)).unwrap();
+        c.vccs("g1", "out", "0", "mid", "0", 2e-3).unwrap();
+        c.diode("d1", "out", "0", ssn_devices::Diode::new(1e-14, 1.5))
+            .unwrap();
+        c.mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            "vdd",
+            "mid",
+            "0",
+            "0",
+            std::sync::Arc::new(AlphaPower::builder().build()),
+        )
+        .unwrap();
+        let layout = SystemLayout::new(&c);
+        let dim = layout.dim();
+        let mut x = vec![0.0; dim];
+        // A non-trivial iterate so the nonlinear stamps are exercised.
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = 0.1 * (i as f64 + 1.0);
+        }
+        let prev = PrevState {
+            x: x.clone(),
+            caps: vec![CapState { v: 0.7, i: 1e-5 }; layout.n_caps],
+        };
+        let modes = [
+            AnalysisMode::Dc {
+                gmin: 1e-9,
+                source_scale: 0.7,
+            },
+            AnalysisMode::Tran {
+                t: 1e-9,
+                dt: 1e-12,
+                method: IntegrationMethod::Trapezoidal,
+                prev: &prev,
+            },
+        ];
+        let pattern = sparsity_pattern(&c, &layout);
+        let mut sparse = CsrMatrix::from_pattern(dim, &pattern).unwrap();
+        for mode in &modes {
+            let mut dense = DenseMatrix::zeros(dim, dim);
+            let mut z_dense = vec![0.0; dim];
+            let mut z_sparse = vec![0.0; dim];
+            assemble(&c, &layout, &x, mode, &mut dense, &mut z_dense);
+            assemble(&c, &layout, &x, mode, &mut sparse, &mut z_sparse);
+            assert_eq!(z_dense, z_sparse, "rhs differs in {mode:?}");
+            let densified = sparse.to_dense();
+            for i in 0..dim {
+                for j in 0..dim {
+                    assert_eq!(
+                        dense[(i, j)],
+                        densified[(i, j)],
+                        "A[{i}][{j}] differs in {mode:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -209,6 +209,169 @@ pub fn ssn_tran_directive(p: &SsnSynthParams) -> TranDirective {
     }
 }
 
+/// Parameters for a synthesized distributed power-grid noise benchmark —
+/// the scenario class the closed forms cannot reach, used to exercise the
+/// sparse/GMRES solver tier at realistic MNA dimensions.
+///
+/// The grid models the *noise* network around an ideal supply: a
+/// `rows x cols` resistive mesh of rail nodes with per-node decap to the
+/// quiet reference, four corner pads returning to the reference through a
+/// series `L + R` package path, and `n_drivers` switching current sinks
+/// (PWL ramps) distributed over the mesh. Node voltages are then the
+/// simultaneous-switching droop directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerGridParams {
+    /// Mesh rows (>= 2).
+    pub rows: usize,
+    /// Mesh columns (>= 2).
+    pub cols: usize,
+    /// Resistance between adjacent mesh nodes (ohm).
+    pub r_mesh: f64,
+    /// Decoupling capacitance per mesh node (F).
+    pub c_node: f64,
+    /// Package inductance of each corner pad (H).
+    pub l_pad: f64,
+    /// Series resistance of each corner pad (ohm).
+    pub r_pad: f64,
+    /// Number of switching current sinks distributed over the mesh.
+    pub n_drivers: usize,
+    /// Peak current per sink (A).
+    pub i_peak: f64,
+    /// Current ramp time (s).
+    pub rise_time: f64,
+}
+
+impl PowerGridParams {
+    /// Mesh node count (excluding pad nodes and ground).
+    pub fn grid_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// MNA dimension of the synthesized circuit: mesh nodes, four pad
+    /// nodes, and four inductor branch currents.
+    pub fn mna_dim(&self) -> usize {
+        self.grid_nodes() + 8
+    }
+
+    /// Total switched current at full ramp (A).
+    pub fn total_current(&self) -> f64 {
+        self.n_drivers as f64 * self.i_peak
+    }
+
+    /// A crude upper bound on the worst droop magnitude: the full switched
+    /// current forced through one pad's `L di/dt + i R`, plus a mesh
+    /// spreading term — generous by construction (the four pads share the
+    /// return), so a violation signals a solver artifact, not physics.
+    pub fn droop_bound(&self) -> f64 {
+        let i = self.total_current();
+        let half_span = (self.rows + self.cols) as f64 / 2.0;
+        i * (self.l_pad / self.rise_time + self.r_pad + self.r_mesh * half_span)
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidValue`] naming the first offending
+    /// field: a mesh smaller than 2x2, no drivers, or a non-positive /
+    /// non-finite electrical value.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        let bad = |context: String| Err(SpiceError::InvalidValue { context });
+        if self.rows < 2 || self.cols < 2 {
+            return bad(format!(
+                "power grid must be at least 2x2, got {}x{}",
+                self.rows, self.cols
+            ));
+        }
+        if self.n_drivers == 0 {
+            return bad("power grid needs at least one driver".to_owned());
+        }
+        for (name, v) in [
+            ("mesh resistance", self.r_mesh),
+            ("node capacitance", self.c_node),
+            ("pad inductance", self.l_pad),
+            ("pad resistance", self.r_pad),
+            ("driver peak current", self.i_peak),
+            ("rise time", self.rise_time),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return bad(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the power-grid noise circuit described by [`PowerGridParams`].
+///
+/// Mesh nodes are named `g<row>_<col>`; the four pad nodes `pad0..pad3`
+/// sit behind the corner inductors. All initial conditions are zero (the
+/// rail is quiet before the ramp), so run it as a `UIC` transient — see
+/// [`power_grid_tran_options`].
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidValue`] for parameters failing
+/// [`PowerGridParams::validate`]; construction cannot fail afterwards.
+pub fn power_grid_circuit(p: &PowerGridParams) -> Result<Circuit, SpiceError> {
+    p.validate()?;
+    let node = |r: usize, c: usize| format!("g{r}_{c}");
+    let mut c = Circuit::new();
+    for r in 0..p.rows {
+        for col in 0..p.cols {
+            let n = node(r, col);
+            c.capacitor_with_ic(&format!("c{r}_{col}"), &n, "0", p.c_node, 0.0)?;
+            if col + 1 < p.cols {
+                c.resistor(&format!("rh{r}_{col}"), &n, &node(r, col + 1), p.r_mesh)?;
+            }
+            if r + 1 < p.rows {
+                c.resistor(&format!("rv{r}_{col}"), &n, &node(r + 1, col), p.r_mesh)?;
+            }
+        }
+    }
+    // Four corner pads: series L + R back to the quiet reference.
+    let corners = [
+        (0, 0),
+        (0, p.cols - 1),
+        (p.rows - 1, 0),
+        (p.rows - 1, p.cols - 1),
+    ];
+    for (k, (r, col)) in corners.into_iter().enumerate() {
+        let pad = format!("pad{k}");
+        c.inductor_with_ic(&format!("lp{k}"), &node(r, col), &pad, p.l_pad, 0.0)?;
+        c.resistor(&format!("rp{k}"), &pad, "0", p.r_pad)?;
+    }
+    // Switching sinks, distributed over the mesh with a fixed stride so
+    // the layout is deterministic in the parameters alone.
+    let total = p.grid_nodes();
+    let stride = (total / p.n_drivers).max(1);
+    for k in 0..p.n_drivers {
+        let pos = (k * stride + stride / 2) % total;
+        let (r, col) = (pos / p.cols, pos % p.cols);
+        c.isource(
+            &format!("id{k}"),
+            &node(r, col),
+            "0",
+            SourceWave::ramp(0.0, p.i_peak, 0.0, p.rise_time),
+        )?;
+    }
+    Ok(c)
+}
+
+/// Transient options for [`power_grid_circuit`]: a `UIC` run over three
+/// ramp times (the droop peaks during the ramp and the window catches the
+/// first relaxation), with tolerances tied to the grid's own droop scale.
+pub fn power_grid_tran_options(p: &PowerGridParams) -> TranOptions {
+    let v_scale = p.droop_bound();
+    TranOptions {
+        lte_rel: 1e-3,
+        lte_abs: (v_scale * 1e-6).max(1e-15),
+        ..TranOptions::to(p.rise_time * 3.0)
+            .with_ic()
+            .with_dt_max(p.rise_time / 100.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +500,63 @@ mod tests {
             pa.value,
             pb.value
         );
+    }
+    fn small_grid() -> PowerGridParams {
+        PowerGridParams {
+            rows: 6,
+            cols: 6,
+            r_mesh: 0.2,
+            c_node: 20e-15,
+            l_pad: 1e-9,
+            r_pad: 0.2,
+            n_drivers: 8,
+            i_peak: 1e-3,
+            rise_time: 100e-12,
+        }
+    }
+
+    #[test]
+    fn power_grid_validates_parameters() {
+        assert!(small_grid().validate().is_ok());
+        for f in [
+            &mut |p: &mut PowerGridParams| p.rows = 1,
+            &mut |p: &mut PowerGridParams| p.cols = 0,
+            &mut |p: &mut PowerGridParams| p.n_drivers = 0,
+            &mut |p: &mut PowerGridParams| p.r_mesh = 0.0,
+            &mut |p: &mut PowerGridParams| p.c_node = -1e-15,
+            &mut |p: &mut PowerGridParams| p.l_pad = f64::NAN,
+            &mut |p: &mut PowerGridParams| p.i_peak = 0.0,
+            &mut |p: &mut PowerGridParams| p.rise_time = f64::INFINITY,
+        ] as [&mut dyn FnMut(&mut PowerGridParams); 8]
+        {
+            let mut p = small_grid();
+            f(&mut p);
+            assert!(power_grid_circuit(&p).is_err(), "{p:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn power_grid_droops_and_stays_within_the_bound() {
+        let p = small_grid();
+        let c = power_grid_circuit(&p).unwrap();
+        assert_eq!(c.node_count() - 1, p.grid_nodes() + 4); // mesh + pads
+        let res = transient(&c, power_grid_tran_options(&p)).unwrap();
+        // Probe the center node: sinks pull the rail *down*.
+        let v = res.voltage("g3_3").unwrap();
+        let (mut vmin, mut vmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in v.values() {
+            vmin = vmin.min(x);
+            vmax = vmax.max(x);
+        }
+        assert!(
+            vmin < 0.0,
+            "switching sinks must droop the rail, got {vmin}"
+        );
+        assert!(
+            vmin.abs() <= p.droop_bound(),
+            "droop {vmin} beyond bound {}",
+            p.droop_bound()
+        );
+        assert!(vmax <= p.droop_bound(), "rebound {vmax} beyond bound");
     }
 }

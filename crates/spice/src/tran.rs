@@ -2,6 +2,7 @@
 
 use crate::dc::{dc_operating_point, newton_solve, DcOptions};
 use crate::error::SpiceError;
+use crate::linsolve::SolverWorkspace;
 use crate::netlist::{Circuit, ElementKind};
 use crate::solution::TranResult;
 use crate::stamp::{AnalysisMode, CapState, PrevState, SystemLayout};
@@ -38,6 +39,10 @@ pub struct TranOptions {
     pub lte_rel: f64,
     /// Absolute local-truncation tolerance (V or A).
     pub lte_abs: f64,
+    /// Reuse matrix factorizations across Newton iterations and timesteps
+    /// when the circuit is linear (bit-identical results; disable only to
+    /// benchmark the factor-per-step path).
+    pub reuse_factor: bool,
 }
 
 impl TranOptions {
@@ -64,6 +69,7 @@ impl TranOptions {
             },
             lte_rel: 0.01,
             lte_abs: 1e-4,
+            reuse_factor: true,
         }
     }
 
@@ -224,6 +230,12 @@ pub fn transient(circuit: &Circuit, opts: TranOptions) -> Result<TranResult, Spi
     let layout = SystemLayout::new(circuit);
     let (dt_init, dt_min, dt_max) = opts.resolved();
     let bps = breakpoints(circuit, opts.t_stop);
+    let mut ws = SolverWorkspace::new(
+        circuit,
+        &layout,
+        opts.newton.sparse_dim_threshold,
+        opts.reuse_factor,
+    )?;
 
     let mut prev = initial_state(circuit, &layout, &opts)?;
     let mut times = vec![0.0];
@@ -278,7 +290,14 @@ pub fn transient(circuit: &Circuit, opts: TranOptions) -> Result<TranResult, Spi
             method,
             prev: &prev,
         };
-        match newton_solve(circuit, &layout, &mode, prev.x.clone(), &opts.newton) {
+        match newton_solve(
+            circuit,
+            &layout,
+            &mode,
+            prev.x.clone(),
+            &opts.newton,
+            &mut ws,
+        ) {
             Ok((x_new, iters)) => {
                 total_newton += iters;
                 // Local-truncation estimate via the linear predictor.

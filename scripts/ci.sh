@@ -195,6 +195,22 @@ drain_server || { echo "ci: resumed server did not drain cleanly" >&2; exit 1; }
     || { echo "ci: resumed job bytes differ from the uninterrupted run:" >&2; \
          echo "  golden:  $gold_line" >&2; echo "  resumed: $resumed_line" >&2; exit 1; }
 
+echo "== large-circuit solver gates =="
+# The sparse/GMRES tier (DESIGN.md §13): the sparse-vs-dense differential
+# and GMRES property suite, a bench smoke (mna_scale asserts tier
+# agreement and factor-reuse bit-identity internally; the small edge cap
+# keeps it cheap — no timing thresholds, timings vary by host), and the
+# grid gate itself: synthesized power-grid meshes through the sparse
+# tier, ending on the 1024-node case, exit 10 on any violation.
+cargo test -q --test solver_scale
+./target/release/mna_scale 12 > /dev/null
+./target/release/ssn validate --grids 2 --seed 1 > "$tmp_dir/grids.out" \
+    || { echo "ci: grid gate failed" >&2; cat "$tmp_dir/grids.out" >&2; exit 1; }
+grep -q "dim 1032" "$tmp_dir/grids.out" \
+    || { echo "ci: grid gate did not reach the 1032-unknown mesh" >&2; exit 1; }
+grep -q "all grids within invariants" "$tmp_dir/grids.out" \
+    || { echo "ci: grid gate reported violations" >&2; cat "$tmp_dir/grids.out" >&2; exit 1; }
+
 echo "== panic audit =="
 ./scripts/panic_audit.sh
 

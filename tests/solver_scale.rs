@@ -1,0 +1,272 @@
+//! The large-circuit solver tier, pinned from the outside: sparse CSR +
+//! GMRES must be a drop-in replacement for dense LU on every linear
+//! network the suite can synthesize, and the GMRES ladder itself must
+//! honour its convergence and restart contracts.
+//!
+//! Three layers:
+//!
+//! 1. **Randomized netlist differential** — seeded random RC(L) networks
+//!    solved through both tiers (`sparse_dim_threshold` forced to 1 and
+//!    to `usize::MAX`); DC operating points must agree to a tight
+//!    absolute/relative budget, far below any physical tolerance.
+//! 2. **GMRES properties** — full-restart GMRES converges within `n`
+//!    iterations (the Krylov dimension argument), short restarts still
+//!    converge (just with restarts > 0), and the ladder report is honest
+//!    about which rung produced the answer.
+//! 3. **Grid-scale gate** — the synthesized power-grid sweep from
+//!    `ssn_core::grids` (the `ssn validate --grids` gate) runs clean, with
+//!    the sparse-vs-dense trajectory differential on the small meshes.
+
+use ssn_lab::core::grids::{run_grid_sweep, GridSweepOptions};
+use ssn_lab::numeric::gmres::{gmres, solve_sparse, GmresOptions, Preconditioner};
+use ssn_lab::numeric::rng::Rng;
+use ssn_lab::numeric::sparse::CsrMatrix;
+use ssn_lab::spice::{dc_operating_point, transient, Circuit, DcOptions, SourceWave, TranOptions};
+
+/// Builds a random connected linear network with `n` internal nodes:
+/// a resistor spanning tree rooted at the driven node, random cross
+/// resistors, capacitors to ground, a few inductor branches, and a couple
+/// of current sources. Every element keeps a DC path to ground.
+fn random_linear_network(n: usize, rng: &mut Rng) -> Circuit {
+    let mut c = Circuit::new();
+    c.vsource("vin", "n0", "0", SourceWave::Dc(rng.uniform_in(0.5, 2.0)))
+        .expect("source");
+    // Spanning tree: node i hangs off a random earlier node.
+    for i in 1..n {
+        let parent = (rng.uniform_in(0.0, i as f64) as usize).min(i - 1);
+        c.resistor(
+            &format!("rt{i}"),
+            &format!("n{parent}"),
+            &format!("n{i}"),
+            rng.uniform_in(10.0, 1000.0),
+        )
+        .expect("tree resistor");
+    }
+    // Random cross links (may duplicate tree edges; that's fine).
+    for k in 0..n {
+        let a = (rng.uniform_in(0.0, n as f64) as usize).min(n - 1);
+        let b = (rng.uniform_in(0.0, n as f64) as usize).min(n - 1);
+        if a != b {
+            c.resistor(
+                &format!("rx{k}"),
+                &format!("n{a}"),
+                &format!("n{b}"),
+                rng.uniform_in(10.0, 1000.0),
+            )
+            .expect("cross resistor");
+        }
+    }
+    // Capacitors to ground on every third node, inductor stubs on a few.
+    for i in (0..n).step_by(3) {
+        c.capacitor(
+            &format!("c{i}"),
+            &format!("n{i}"),
+            "0",
+            rng.uniform_in(1e-13, 1e-11),
+        )
+        .expect("cap");
+    }
+    for i in (1..n).step_by(7) {
+        c.inductor(
+            &format!("l{i}"),
+            &format!("n{i}"),
+            &format!("nl{i}"),
+            rng.uniform_in(1e-10, 1e-8),
+        )
+        .expect("inductor");
+        c.resistor(
+            &format!("rl{i}"),
+            &format!("nl{i}"),
+            "0",
+            rng.uniform_in(20.0, 200.0),
+        )
+        .expect("inductor load");
+    }
+    // A couple of current sinks.
+    for k in 0..2 {
+        let a = (rng.uniform_in(0.0, n as f64) as usize).min(n - 1);
+        c.isource(
+            &format!("i{k}"),
+            &format!("n{a}"),
+            "0",
+            SourceWave::Dc(rng.uniform_in(1e-5, 1e-3)),
+        )
+        .expect("isource");
+    }
+    c
+}
+
+#[test]
+fn sparse_and_dense_dc_agree_on_random_networks() {
+    for (trial, &n) in [20usize, 45, 80, 140].iter().enumerate() {
+        let mut rng = Rng::from_seed_and_stream(42, trial as u64);
+        let circuit = random_linear_network(n, &mut rng);
+
+        let mut dense_opts = DcOptions::default();
+        dense_opts.sparse_dim_threshold = usize::MAX;
+        let dense = dc_operating_point(&circuit, dense_opts).expect("dense DC");
+
+        let mut sparse_opts = DcOptions::default();
+        sparse_opts.sparse_dim_threshold = 1;
+        let sparse = dc_operating_point(&circuit, sparse_opts).expect("sparse DC");
+
+        for i in 0..n {
+            let node = format!("n{i}");
+            let vd = dense.voltage(&node).expect("dense probe");
+            let vs = sparse.voltage(&node).expect("sparse probe");
+            let err = (vd - vs).abs() / vd.abs().max(1e-3);
+            assert!(
+                err < 1e-8,
+                "trial {trial} node {node}: dense {vd:e} vs sparse {vs:e} (rel {err:e})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_and_dense_transients_agree_on_a_random_network() {
+    let mut rng = Rng::from_seed_and_stream(7, 0);
+    let circuit = random_linear_network(60, &mut rng);
+    let mut opts = TranOptions::to(5e-9);
+    opts.newton.sparse_dim_threshold = usize::MAX;
+    let dense = transient(&circuit, opts.clone()).expect("dense transient");
+    opts.newton.sparse_dim_threshold = 1;
+    let sparse = transient(&circuit, opts).expect("sparse transient");
+    for node in ["n10", "n30", "n59"] {
+        let wd = dense.voltage(node).expect("probe");
+        let ws = sparse.voltage(node).expect("probe");
+        let scale = wd.values().iter().fold(1e-6f64, |m, v| m.max(v.abs()));
+        for k in 0..=50 {
+            let t = 5e-9 * f64::from(k) / 50.0;
+            let err = (wd.sample(t) - ws.sample(t)).abs() / scale;
+            assert!(err < 1e-4, "{node} at {t:e}s: tiers differ by {err:e}");
+        }
+    }
+}
+
+/// A 2-D Poisson-like SPD test matrix on a `side x side` grid.
+fn poisson2d(side: usize) -> CsrMatrix {
+    let n = side * side;
+    let idx = |r: usize, c: usize| r * side + c;
+    let mut pattern = Vec::new();
+    for r in 0..side {
+        for c in 0..side {
+            let i = idx(r, c);
+            pattern.push((i, i));
+            if r + 1 < side {
+                pattern.push((i, idx(r + 1, c)));
+                pattern.push((idx(r + 1, c), i));
+            }
+            if c + 1 < side {
+                pattern.push((i, idx(r, c + 1)));
+                pattern.push((idx(r, c + 1), i));
+            }
+        }
+    }
+    let mut a = CsrMatrix::from_pattern(n, &pattern).expect("pattern");
+    a.fill_zero();
+    for r in 0..side {
+        for c in 0..side {
+            let i = idx(r, c);
+            a.add(i, i, 4.0);
+            if r + 1 < side {
+                a.add(i, idx(r + 1, c), -1.0);
+                a.add(idx(r + 1, c), i, -1.0);
+            }
+            if c + 1 < side {
+                a.add(i, idx(r, c + 1), -1.0);
+                a.add(idx(r, c + 1), i, -1.0);
+            }
+        }
+    }
+    a
+}
+
+fn rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::from_seed_and_stream(seed, 1);
+    (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect()
+}
+
+/// The Krylov-dimension property: with a full restart window, GMRES on an
+/// `n`-dimensional system converges in at most `n` iterations (and in
+/// practice far fewer on a preconditioned Poisson matrix).
+#[test]
+fn full_gmres_converges_within_the_krylov_dimension() {
+    for side in [5usize, 8, 12] {
+        let a = poisson2d(side);
+        let n = side * side;
+        let b = rhs(n, side as u64);
+        let opts = GmresOptions {
+            restart: n,
+            max_iters: n,
+            ..GmresOptions::default()
+        };
+        let jacobi = Preconditioner::jacobi(&a).expect("nonzero diagonal");
+        let (x, report) = gmres(&a, &b, &jacobi, &opts).expect("gmres runs");
+        assert!(report.converged, "side {side}: not converged in n iters");
+        assert!(report.iterations <= n);
+        assert_eq!(report.restarts, 0, "full window must never restart");
+        assert!(a.residual_inf(&x, &b).expect("shapes match") <= 1e-10);
+    }
+}
+
+/// Short restart windows trade iterations for memory but must still get
+/// there; the report must show the restarts it paid.
+#[test]
+fn restarted_gmres_still_converges_and_reports_restarts() {
+    let side = 10;
+    let a = poisson2d(side);
+    let b = rhs(side * side, 3);
+    let full = GmresOptions {
+        restart: side * side,
+        max_iters: 10_000,
+        rel_tol: 1e-10,
+        ..GmresOptions::default()
+    };
+    let jacobi = Preconditioner::jacobi(&a).expect("nonzero diagonal");
+    let (_, full_report) = gmres(&a, &b, &jacobi, &full).expect("full gmres");
+    let short = GmresOptions { restart: 8, ..full };
+    let (x, short_report) = gmres(&a, &b, &jacobi, &short).expect("short gmres");
+    assert!(short_report.converged);
+    assert!(short_report.restarts > 0, "a window of 8 must restart");
+    assert!(
+        short_report.iterations >= full_report.iterations,
+        "restarting cannot beat the full Krylov space"
+    );
+    assert!(a.residual_inf(&x, &b).expect("shapes match") <= 1e-8);
+}
+
+/// The ladder's honesty: an easy system reports the first rung, an
+/// impossible budget falls through to dense LU and says so.
+#[test]
+fn ladder_reports_the_rung_that_solved() {
+    let a = poisson2d(8);
+    let b = rhs(64, 9);
+    let (x, report) = solve_sparse(&a, &b, &GmresOptions::default()).expect("ladder");
+    assert!(report.converged && report.is_clean());
+    assert_eq!(report.method, "gmres+ilu0");
+    assert!(a.residual_inf(&x, &b).expect("shapes match") <= 1e-9);
+
+    let starved = GmresOptions {
+        restart: 1,
+        max_iters: 1,
+        rel_tol: 1e-300,
+        ..GmresOptions::default()
+    };
+    let (x, report) = solve_sparse(&a, &b, &starved).expect("ladder");
+    assert!(report.converged, "the dense rung always lands");
+    assert_eq!(report.method, "dense-lu");
+    assert_eq!(report.rungs_tried, 3);
+    assert!(!report.is_clean());
+    assert!(a.residual_inf(&x, &b).expect("shapes match") <= 1e-9);
+}
+
+/// The `ssn validate --grids` gate end to end: randomized meshes plus the
+/// 1024-node headline grid, all clean.
+#[test]
+fn grid_sweep_gate_runs_clean() {
+    let report = run_grid_sweep(&GridSweepOptions { cases: 2, seed: 11 }).expect("sweep");
+    assert_eq!(report.violations, 0, "\n{}", report.summary());
+    let big = report.cases.last().expect("at least one case");
+    assert!(big.dim >= 1000, "headline case must be past 1000 unknowns");
+}
