@@ -1,0 +1,171 @@
+//! OPT1 — coarse-to-fine design-space search vs exhaustive enumeration.
+//!
+//! Runs `ssn_core::optimize::search` and `optimize::enumerate` on the same
+//! `(N, L, C, tr)` grids, **asserts the Pareto fronts are identical**
+//! (the search's exactness contract — the same invariant the differential
+//! suite pins on its seeded corpus), and reports how many model
+//! evaluations the refinement skipped and the wall-clock ratio.
+//!
+//! Three workloads:
+//!
+//! 1. **unconstrained, 3 objectives** — the hardest case for pruning (a
+//!    point is only skippable when some front member beats its noise
+//!    *bound* and both cheap objectives), reported honestly;
+//! 2. **capped (`max_noise_frac`)** — the flagship inverse question
+//!    ("what still fits the budget?"), where coarse corners prove whole
+//!    slabs infeasible without evaluating them;
+//! 3. **capped, noise+cost** — dropping the speed objective widens
+//!    dominance and prunes further.
+//!
+//! Run with `cargo run -p ssn-bench --bin opt_scale --release`; pass
+//! `<max_drivers> <l_points>` to override the grid (the CI smoke uses a
+//! small one).
+
+use ssn_bench::Table;
+use ssn_core::optimize::{enumerate, search, DesignSpace, ObjectiveSet, OptimizeOptions};
+use ssn_core::parallel::ExecPolicy;
+use ssn_core::scenario::SsnScenario;
+use ssn_devices::process::Process;
+use ssn_units::Seconds;
+use std::time::{Duration, Instant};
+
+const DEFAULT_MAX_DRIVERS: usize = 48;
+const DEFAULT_L_POINTS: usize = 16;
+/// Best-of-N wall clock to damp scheduler noise.
+const REPEATS: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_drivers: usize = match args.first() {
+        Some(raw) => raw.parse()?,
+        None => DEFAULT_MAX_DRIVERS,
+    };
+    let l_points: usize = match args.get(1) {
+        Some(raw) => raw.parse()?,
+        None => DEFAULT_L_POINTS,
+    };
+
+    let template = SsnScenario::builder(&Process::p018())
+        .rise_time(Seconds::from_nanos(0.5))
+        .build()?;
+    let space = DesignSpace::around(&template, max_drivers, l_points, 4, 4, 4.0)?;
+    let total = space.total_points();
+    println!(
+        "opt_scale: {max_drivers} x {l_points} x 4 x 4 grid = {total} points, p018 template\n"
+    );
+
+    let workloads: [(&str, OptimizeOptions); 3] = [
+        (
+            "3-obj, unconstrained",
+            OptimizeOptions {
+                objectives: ObjectiveSet::NoiseCostSpeed,
+                max_noise_frac: None,
+            },
+        ),
+        (
+            "3-obj, cap 0.12*Vdd",
+            OptimizeOptions {
+                objectives: ObjectiveSet::NoiseCostSpeed,
+                max_noise_frac: Some(0.12),
+            },
+        ),
+        (
+            "noise+cost, cap 0.12",
+            OptimizeOptions {
+                objectives: ObjectiveSet::NoiseCost,
+                max_noise_frac: Some(0.12),
+            },
+        ),
+    ];
+
+    let policy = ExecPolicy::auto();
+    let mut table = Table::new(&[
+        "workload",
+        "front",
+        "evaluated",
+        "exhaustive",
+        "eval ratio",
+        "search ms",
+        "enum ms",
+        "speedup",
+    ]);
+    for (name, opts) in &workloads {
+        let (search_outcome, search_wall) = best_of(|| search(&template, &space, opts, &policy))?;
+        let (enum_outcome, enum_wall) = best_of(|| enumerate(&template, &space, opts, &policy))?;
+
+        // The contract under test: identical fronts, strictly fewer (or at
+        // worst equal) model evaluations. A violation is a bug, not a slow
+        // run — fail loudly so the CI smoke gates on it.
+        assert!(
+            search_outcome.front.same_front(&enum_outcome.front),
+            "{name}: search front ({}) != enumeration front ({})",
+            search_outcome.front.len(),
+            enum_outcome.front.len(),
+        );
+        assert_eq!(
+            enum_outcome.evaluated, total,
+            "{name}: enumeration must visit everything"
+        );
+        assert!(
+            search_outcome.evaluated <= total,
+            "{name}: search evaluated {} of {total}",
+            search_outcome.evaluated,
+        );
+
+        table.row(&[
+            (*name).to_owned(),
+            format!("{}", search_outcome.front.len()),
+            format!("{}", search_outcome.evaluated),
+            format!("{total}"),
+            format!(
+                "{:.1}%",
+                100.0 * search_outcome.evaluated as f64 / total as f64
+            ),
+            format!("{:.1}", search_wall.as_secs_f64() * 1e3),
+            format!("{:.1}", enum_wall.as_secs_f64() * 1e3),
+            format!(
+                "{:.2}x",
+                enum_wall.as_secs_f64() / search_wall.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    println!("{table}");
+
+    // The capped workloads must show real pruning on any non-trivial grid;
+    // this is what "measurably fewer points than exhaustive" means in
+    // EXPERIMENTS.md OPT1 and what the ci.sh smoke asserts.
+    if total >= 1000 {
+        let (capped, _) = best_of(|| search(&template, &space, &workloads[1].1, &policy))?;
+        assert!(
+            capped.evaluated < total,
+            "capped search must evaluate fewer points than enumeration ({} of {total})",
+            capped.evaluated,
+        );
+        println!(
+            "pruning: capped search skipped {} of {total} points ({} infeasible, {} dominated)",
+            total - capped.evaluated,
+            capped.pruned_infeasible,
+            capped.pruned_dominated,
+        );
+    }
+    println!("opt_scale: all internal asserts passed");
+    Ok(())
+}
+
+/// Best-of-`REPEATS` wall clock for `f`, returning its (identical) result.
+fn best_of<T>(
+    mut f: impl FnMut() -> Result<(T, ssn_core::parallel::ExecStats), ssn_core::SsnError>,
+) -> Result<(T, Duration), ssn_core::SsnError> {
+    let started = Instant::now();
+    let (first, _stats) = f()?;
+    let mut best = (first, started.elapsed());
+    for _ in 1..REPEATS {
+        let started = Instant::now();
+        let (out, _stats) = f()?;
+        let wall = started.elapsed();
+        if wall < best.1 {
+            best = (out, wall);
+        }
+    }
+    Ok(best)
+}

@@ -5,6 +5,7 @@ pub mod estimate;
 pub mod fit;
 pub mod impedance;
 pub mod montecarlo;
+pub mod optimize;
 pub mod serve;
 pub mod simulate;
 pub mod sweep;

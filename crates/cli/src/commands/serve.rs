@@ -12,7 +12,7 @@ const HELP: &str = "\
 usage: ssn serve [options]
 
 Serves the estimation suite over HTTP/1.1 (no external dependencies):
-GET/POST /v1/{estimate,budget,montecarlo,sweep,validate} with urlencoded
+GET/POST /v1/{estimate,budget,montecarlo,sweep,validate,optimize} with urlencoded
 parameters, plus /healthz, /metrics, /v1/jobs/<id>, and
 POST /v1/admin/drain. Small requests answer synchronously; large ones
 become crash-safe durable jobs (202 + poll URL) journaled in the spool —

@@ -19,6 +19,7 @@
 //! | 13   | deadline expired before any work item completed     |
 //! | 14   | `ssn serve` drain exceeded its deadline (jobs left checkpointed) |
 //! | 15   | `ssn serve` could not bind its listen address       |
+//! | 16   | `ssn optimize` found no feasible design point under the noise cap |
 //! | 1    | any other analysis failure                          |
 
 use ssn_core::SsnError;
@@ -61,6 +62,16 @@ pub enum CliError {
         /// The underlying socket error.
         source: std::io::Error,
     },
+    /// `ssn optimize` evaluated the search space but every design point
+    /// exceeded the `--max-noise-frac` cap, so the Pareto front is empty.
+    /// Not an execution failure — the search completed — but a distinct
+    /// gating outcome for sizing scripts.
+    NoFeasiblePoint {
+        /// The noise cap that excluded everything (volts).
+        cap: f64,
+        /// Design points actually evaluated before concluding.
+        evaluated: usize,
+    },
 }
 
 impl CliError {
@@ -92,6 +103,7 @@ impl CliError {
             Self::Validation { .. } => 10,
             Self::DrainDeadline { .. } => 14,
             Self::BindFailure { .. } => 15,
+            Self::NoFeasiblePoint { .. } => 16,
         }
     }
 
@@ -115,6 +127,7 @@ impl CliError {
             Self::Validation { .. } => "validation",
             Self::DrainDeadline { .. } => "drain-deadline",
             Self::BindFailure { .. } => "bind",
+            Self::NoFeasiblePoint { .. } => "no-feasible-point",
         }
     }
 
@@ -147,6 +160,10 @@ impl fmt::Display for CliError {
             Self::BindFailure { addr, source } => {
                 write!(f, "cannot bind {addr}: {source}")
             }
+            Self::NoFeasiblePoint { cap, evaluated } => write!(
+                f,
+                "no feasible design point: all {evaluated} evaluated point(s) exceed the {cap} V noise cap"
+            ),
         }
     }
 }
@@ -160,6 +177,7 @@ impl Error for CliError {
             Self::Validation { .. } => None,
             Self::DrainDeadline { .. } => None,
             Self::BindFailure { source, .. } => Some(source),
+            Self::NoFeasiblePoint { .. } => None,
         }
     }
 }
@@ -271,6 +289,14 @@ mod tests {
                 }),
                 13,
                 "deadline",
+            ),
+            (
+                CliError::NoFeasiblePoint {
+                    cap: 0.09,
+                    evaluated: 64,
+                },
+                16,
+                "no-feasible-point",
             ),
         ];
         for (err, code, kind) in cases {

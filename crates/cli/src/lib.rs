@@ -39,6 +39,7 @@ COMMANDS:
     impedance   AC impedance of the ground network
     simulate    run a SPICE deck and report probed waveforms
     validate    differential oracle: closed forms vs MNA over a corpus
+    optimize    inverse design: Pareto front over the (N, L, C, tr) space
     serve       HTTP service: sync answers, durable jobs, graceful drain
     help        show this text
 
@@ -56,6 +57,7 @@ EXIT CODES:
    13  deadline expired before any work item completed
    14  serve: drain exceeded its deadline (interrupted jobs stay resumable)
    15  serve: could not bind the listen address
+   16  optimize: no feasible design point under --max-noise-frac
 Errors print one structured stderr line: `ssn: error kind=... exit=...: ...`.
 ";
 
@@ -82,6 +84,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "impedance" => commands::impedance::run(rest, out),
         "simulate" => commands::simulate::run(rest, out),
         "validate" => commands::validate::run(rest, out),
+        "optimize" => commands::optimize::run(rest, out),
         "serve" => commands::serve::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;

@@ -35,6 +35,9 @@
 //! * [`durable`] — crash-safe checkpoint/resume (journaled, checksummed,
 //!   atomic commits), deadline-budgeted execution ([`durable::RunBudget`]),
 //!   and the declared degradation ladder for overruns,
+//! * [`optimize`] — inverse design: a durable coarse-to-fine Pareto
+//!   search over the `(N, L, C, tr)` space whose front is provably
+//!   identical to exhaustive enumeration while evaluating fewer points,
 //! * `faults` — deterministic fault-injection hooks (NaN model outputs,
 //!   worker panics, forced solver failures), compiled in behind the
 //!   `fault-injection` cargo feature and disarmed by default.
@@ -76,6 +79,7 @@ mod hooks;
 pub mod lcmodel;
 pub mod lmodel;
 pub mod montecarlo;
+pub mod optimize;
 pub mod oracle;
 pub mod parallel;
 pub mod report;

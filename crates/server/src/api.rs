@@ -20,6 +20,7 @@ use ssn_core::design;
 use ssn_core::durable::{Durability, DurableOptions, ParamDigest};
 use ssn_core::error::{CheckpointErrorKind, SsnError};
 use ssn_core::montecarlo::{run_monte_carlo_durable, run_monte_carlo_with, VariationSpec};
+use ssn_core::optimize::{self, DesignSpace, ObjectiveSet, OptimizeOptions};
 use ssn_core::oracle::{self, run_differential_durable, OracleOptions};
 use ssn_core::parallel::ExecPolicy;
 use ssn_core::scenario::SsnScenario;
@@ -244,7 +245,7 @@ fn digest_opt(d: &mut ParamDigest, v: Option<f64>) {
     }
 }
 
-/// The five service endpoints.
+/// The six service endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     /// Closed-form point estimate.
@@ -257,6 +258,8 @@ pub enum Endpoint {
     Sweep,
     /// Differential oracle validation.
     Validate,
+    /// Inverse design: Pareto search over the `(N, L, C, tr)` space.
+    Optimize,
 }
 
 impl Endpoint {
@@ -268,6 +271,7 @@ impl Endpoint {
             "/v1/montecarlo" => Some(Self::MonteCarlo),
             "/v1/sweep" => Some(Self::Sweep),
             "/v1/validate" => Some(Self::Validate),
+            "/v1/optimize" => Some(Self::Optimize),
             _ => None,
         }
     }
@@ -280,6 +284,7 @@ impl Endpoint {
             Self::MonteCarlo => "montecarlo",
             Self::Sweep => "sweep",
             Self::Validate => "validate",
+            Self::Optimize => "optimize",
         }
     }
 }
@@ -326,6 +331,27 @@ pub enum ApiRequest {
         corpus: usize,
         /// Corpus seed.
         seed: u64,
+    },
+    /// `GET|POST /v1/optimize`
+    Optimize {
+        /// Driver-bank parameters (the search template: the rise time is
+        /// the tr-axis center, inductance/capacitance the parasitic-axis
+        /// centers).
+        sc: ScenarioParams,
+        /// Drivers axis `1..=max_drivers`.
+        max_drivers: usize,
+        /// Geometric inductance-axis size.
+        l_points: usize,
+        /// Geometric capacitance-axis size.
+        c_points: usize,
+        /// Geometric rise-time-axis size.
+        tr_points: usize,
+        /// Geometric span of each parasitic axis.
+        span: f64,
+        /// Dominance objectives.
+        objective: ObjectiveSet,
+        /// Optional feasibility cap as a fraction of Vdd.
+        max_noise_frac: Option<f64>,
     },
 }
 
@@ -389,6 +415,56 @@ impl ApiRequest {
                 let seed = p.parsed_or::<u64>("seed", 1)?;
                 Self::Validate { corpus, seed }
             }
+            Endpoint::Optimize => {
+                let sc = ScenarioParams::parse(&mut p)?;
+                let max_drivers = p.parsed_or::<usize>("max-drivers", 16)?;
+                if max_drivers == 0 || max_drivers > 512 {
+                    return Err(ApiError::bad(format!(
+                        "parameter \"max-drivers\": {max_drivers} outside 1..=512"
+                    )));
+                }
+                let l_points = p.parsed_or::<usize>("l-points", 8)?;
+                let c_points = p.parsed_or::<usize>("c-points", 3)?;
+                let tr_points = p.parsed_or::<usize>("tr-points", 3)?;
+                for (name, v) in [
+                    ("l-points", l_points),
+                    ("c-points", c_points),
+                    ("tr-points", tr_points),
+                ] {
+                    if v == 0 || v > 64 {
+                        return Err(ApiError::bad(format!(
+                            "parameter {name:?}: {v} outside 1..=64"
+                        )));
+                    }
+                }
+                let total = max_drivers * l_points * c_points * tr_points;
+                if total > 250_000 {
+                    return Err(ApiError::bad(format!(
+                        "search space of {total} points exceeds the 250000-point cap"
+                    )));
+                }
+                let span = p.parsed_or::<f64>("span", 4.0)?;
+                let objective = match p.take("objective") {
+                    None => ObjectiveSet::NoiseCostSpeed,
+                    Some(raw) => ObjectiveSet::parse(&raw).ok_or_else(|| {
+                        ApiError::bad(format!(
+                            "parameter \"objective\": {raw:?} (expected noise-cost-speed, \
+                             noise-cost or noise-speed)"
+                        ))
+                    })?,
+                };
+                let max_noise_frac = p.parsed::<f64>("max-noise-frac")?;
+                Self::Optimize {
+                    sc,
+                    max_drivers,
+                    l_points,
+                    c_points,
+                    tr_points,
+                    span,
+                    objective,
+                    max_noise_frac,
+                }
+            }
         };
         p.finish()?;
         // Fail fast on out-of-domain scenarios so the queue never admits a
@@ -412,8 +488,55 @@ impl ApiRequest {
                 }
             }
             Self::Validate { .. } => {}
+            Self::Optimize { max_noise_frac, .. } => {
+                // Builds the template scenario *and* the design space, so
+                // axis-domain problems (e.g. a multi-point C axis around a
+                // zero-capacitance package) are 400s here, not failed jobs.
+                req.optimize_inputs()?;
+                if let Some(f) = max_noise_frac {
+                    check_finite_positive("max-noise-frac", *f)?;
+                }
+            }
         }
         Ok(req)
+    }
+
+    /// Resolves an [`ApiRequest::Optimize`] into its template scenario,
+    /// design space, and search options (the same construction the CLI
+    /// uses, so spellings and digests agree across front ends).
+    fn optimize_inputs(&self) -> Result<(SsnScenario, DesignSpace, OptimizeOptions), ApiError> {
+        let Self::Optimize {
+            sc,
+            max_drivers,
+            l_points,
+            c_points,
+            tr_points,
+            span,
+            objective,
+            max_noise_frac,
+        } = self
+        else {
+            return Err(ApiError {
+                status: 500,
+                kind: "internal",
+                detail: "optimize_inputs on a non-optimize request".into(),
+            });
+        };
+        let template = sc.build()?;
+        let space = DesignSpace::around(
+            &template,
+            *max_drivers,
+            *l_points,
+            *c_points,
+            *tr_points,
+            *span,
+        )
+        .map_err(|e| ApiError::bad(e.to_string()))?;
+        let opts = OptimizeOptions {
+            objectives: *objective,
+            max_noise_frac: *max_noise_frac,
+        };
+        Ok((template, space, opts))
     }
 
     /// Which endpoint this request belongs to.
@@ -424,6 +547,7 @@ impl ApiRequest {
             Self::MonteCarlo { .. } => Endpoint::MonteCarlo,
             Self::Sweep { .. } => Endpoint::Sweep,
             Self::Validate { .. } => Endpoint::Validate,
+            Self::Optimize { .. } => Endpoint::Optimize,
         }
     }
 
@@ -437,6 +561,7 @@ impl ApiRequest {
             Self::MonteCarlo { .. } => "serve.montecarlo",
             Self::Sweep { .. } => "serve.sweep",
             Self::Validate { .. } => "serve.validate",
+            Self::Optimize { .. } => "serve.optimize",
         });
         match self {
             Self::Estimate { sc } => sc.digest_into(&mut d),
@@ -468,6 +593,25 @@ impl ApiRequest {
             Self::Validate { corpus, seed } => {
                 d.push_u64(*corpus as u64).push_u64(*seed);
             }
+            Self::Optimize {
+                sc,
+                max_drivers,
+                l_points,
+                c_points,
+                tr_points,
+                span,
+                objective,
+                max_noise_frac,
+            } => {
+                sc.digest_into(&mut d);
+                d.push_u64(*max_drivers as u64)
+                    .push_u64(*l_points as u64)
+                    .push_u64(*c_points as u64)
+                    .push_u64(*tr_points as u64)
+                    .push_f64(*span)
+                    .push_u64(u64::from(objective.code()));
+                digest_opt(&mut d, *max_noise_frac);
+            }
         }
         d.finish()
     }
@@ -479,6 +623,13 @@ impl ApiRequest {
             Self::MonteCarlo { samples, .. } => *samples,
             Self::Sweep { max_drivers, .. } => *max_drivers,
             Self::Validate { corpus, .. } => *corpus,
+            Self::Optimize {
+                max_drivers,
+                l_points,
+                c_points,
+                tr_points,
+                ..
+            } => max_drivers * l_points * c_points * tr_points,
         }
     }
 
@@ -514,7 +665,7 @@ impl ApiRequest {
                 }
                 render_montecarlo(self, sc, &result, *budget)
             }
-            Self::Sweep { .. } | Self::Validate { .. } => {
+            Self::Sweep { .. } | Self::Validate { .. } | Self::Optimize { .. } => {
                 let durable = DurableOptions::none();
                 self.run_durable(&durable).map(|(bytes, _)| bytes)
             }
@@ -595,6 +746,27 @@ impl ApiRequest {
                 };
                 let (report, durability) = run_differential_durable(&opts, durable)?;
                 Ok((render_validate(*corpus, *seed, &report)?, durability))
+            }
+            Self::Optimize { .. } => {
+                let (template, space, opts) = self.optimize_inputs()?;
+                let (outcome, stats, durability) = optimize::search_durable(
+                    &template,
+                    &space,
+                    &opts,
+                    &ExecPolicy::auto(),
+                    durable,
+                )?;
+                if stats.failed_chunks > 0 {
+                    return Err(ApiError {
+                        status: 500,
+                        kind: "partial-result",
+                        detail: format!(
+                            "{} chunk(s) failed; refusing partial data",
+                            stats.failed_chunks
+                        ),
+                    });
+                }
+                Ok((render_optimize(self, &outcome)?, durability))
             }
         }
     }
@@ -744,6 +916,71 @@ fn render_validate(
     Ok(body.into_bytes())
 }
 
+fn render_optimize(
+    req: &ApiRequest,
+    outcome: &ssn_core::optimize::OptimizeOutcome,
+) -> Result<Vec<u8>, ApiError> {
+    let ApiRequest::Optimize {
+        sc,
+        max_drivers,
+        l_points,
+        c_points,
+        tr_points,
+        span,
+        objective,
+        max_noise_frac,
+    } = req
+    else {
+        return Err(ApiError {
+            status: 500,
+            kind: "internal",
+            detail: "render_optimize on a non-optimize request".into(),
+        });
+    };
+    let members: Vec<String> = outcome
+        .front
+        .members()
+        .iter()
+        .map(|p| {
+            Obj::new()
+                .u64("n", p.n_drivers as u64)
+                .f64("inductance", p.inductance.value())
+                .f64("capacitance", p.capacitance.value())
+                .f64("rise_time", p.rise_time.value())
+                .f64("vn_l_only", p.vn_l_only.value())
+                .f64("vn_lc", p.vn_lc.value())
+                .str("case", oracle::case_slug(p.case))
+                .f64("cost", p.cost)
+                .f64("speed", p.speed)
+                .u64("level", u64::from(p.level))
+                .finish()
+        })
+        .collect();
+    let o = sc
+        .render_into(Obj::new().str("endpoint", "optimize"))
+        .u64("max_drivers", *max_drivers as u64)
+        .u64("l_points", *l_points as u64)
+        .u64("c_points", *c_points as u64)
+        .u64("tr_points", *tr_points as u64)
+        .f64("span", *span)
+        .str("objective", objective.name());
+    let o = match max_noise_frac {
+        Some(f) => o.f64("max_noise_frac", *f),
+        None => o,
+    };
+    let body = o
+        .u64("total_points", outcome.total_points as u64)
+        .u64("evaluated", outcome.evaluated as u64)
+        .u64("pruned_infeasible", outcome.pruned_infeasible as u64)
+        .u64("pruned_dominated", outcome.pruned_dominated as u64)
+        .u64("over_cap", outcome.over_cap as u64)
+        .u64("levels", u64::from(outcome.levels))
+        .u64("front_size", outcome.front.len() as u64)
+        .raw("front", &json::array(&members))
+        .finish();
+    Ok(body.into_bytes())
+}
+
 /// Renders a job digest as the service's job-id / cache-key hex form.
 pub fn digest_hex(digest: u64) -> String {
     format!("{digest:016x}")
@@ -850,6 +1087,86 @@ mod tests {
         let text = String::from_utf8(req.run_sync().unwrap()).unwrap();
         assert!(text.contains("\"points_delivered\":5"));
         assert!(text.contains("\"n\":5"));
+    }
+
+    #[test]
+    fn optimize_parses_runs_and_renders_deterministically() {
+        let req = ApiRequest::parse(
+            Endpoint::Optimize,
+            pairs(&[
+                ("max-drivers", "5"),
+                ("l-points", "3"),
+                ("c-points", "2"),
+                ("tr-points", "2"),
+                ("max-noise-frac", "0.4"),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(req.work_items(), 5 * 3 * 2 * 2);
+        let sync = req.run_sync().unwrap();
+        let (durable, _) = req.run_durable(&DurableOptions::none()).unwrap();
+        assert_eq!(
+            sync, durable,
+            "sync and durable paths render identical bytes"
+        );
+        let text = String::from_utf8(sync).unwrap();
+        assert!(text.contains("\"endpoint\":\"optimize\""), "{text}");
+        assert!(text.contains("\"front\":["), "{text}");
+        assert!(text.contains("\"evaluated\":"), "{text}");
+        assert!(
+            text.contains("\"objective\":\"noise-cost-speed\""),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn optimize_rejects_bad_axes_and_objectives() {
+        for (k, v) in [
+            ("max-drivers", "0"),
+            ("max-drivers", "513"),
+            ("l-points", "65"),
+            ("objective", "speed-only"),
+            ("max-noise-frac", "-0.1"),
+            ("span", "0.5"),
+            ("zebra", "1"),
+        ] {
+            let e = ApiRequest::parse(Endpoint::Optimize, pairs(&[(k, v)])).unwrap_err();
+            assert_eq!(e.status, 400, "{k}={v}: {e}");
+        }
+        // The whole-space size cap.
+        let e = ApiRequest::parse(
+            Endpoint::Optimize,
+            pairs(&[
+                ("max-drivers", "512"),
+                ("l-points", "64"),
+                ("c-points", "4"),
+                ("tr-points", "4"),
+            ]),
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("250000"), "{e}");
+    }
+
+    #[test]
+    fn optimize_defaults_share_a_digest_with_explicit_spellings() {
+        let implicit = ApiRequest::parse(Endpoint::Optimize, pairs(&[])).unwrap();
+        let explicit = ApiRequest::parse(
+            Endpoint::Optimize,
+            pairs(&[
+                ("process", "0.18"),
+                ("max-drivers", "16"),
+                ("l-points", "8"),
+                ("c-points", "3"),
+                ("tr-points", "3"),
+                ("span", "4"),
+                ("objective", "noise-cost-speed"),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(implicit.digest(), explicit.digest());
+        let other =
+            ApiRequest::parse(Endpoint::Optimize, pairs(&[("max-noise-frac", "0.2")])).unwrap();
+        assert_ne!(implicit.digest(), other.digest());
     }
 
     #[test]

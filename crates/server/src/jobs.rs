@@ -277,6 +277,42 @@ impl JobQueue {
     }
 }
 
+/// Single-journal workloads checkpoint to the job's base path; multi-level
+/// searches (`/v1/optimize`) journal one `<base>.lv<k>` file per refinement
+/// level. Resume and cleanup must treat the whole family as the job's
+/// durable state: a crash mid-search leaves only `.lv*` siblings, and a
+/// finished or failed job must not leave stale level journals to poison a
+/// later digest collision.
+fn journal_family(journal: &std::path::Path) -> Vec<PathBuf> {
+    let mut family = vec![journal.to_path_buf()];
+    let (Some(dir), Some(name)) = (journal.parent(), journal.file_name()) else {
+        return family;
+    };
+    let prefix = format!("{}.lv", name.to_string_lossy());
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return family;
+    };
+    for entry in entries.flatten() {
+        let file = entry.file_name();
+        if let Some(rest) = file.to_string_lossy().strip_prefix(&prefix) {
+            if !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()) {
+                family.push(dir.join(file));
+            }
+        }
+    }
+    family
+}
+
+fn journal_family_exists(journal: &std::path::Path) -> bool {
+    journal_family(journal).iter().any(|p| p.exists())
+}
+
+fn remove_journal_family(journal: &std::path::Path) {
+    for p in journal_family(journal) {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 fn worker_loop(shared: &Arc<QueueShared>) {
     loop {
         // Claim the next job, or exit when draining with nothing running.
@@ -309,7 +345,7 @@ fn worker_loop(shared: &Arc<QueueShared>) {
         };
 
         let journal = shared.spool.join(format!("job-{digest:016x}.ckpt"));
-        let resume = journal.exists();
+        let resume = journal_family_exists(&journal);
         let durable = DurableOptions {
             checkpoint: Some(journal.clone()),
             resume,
@@ -331,7 +367,7 @@ fn worker_loop(shared: &Arc<QueueShared>) {
                         .resumed_chunks
                         .fetch_add(durability.resumed_chunks as u64, Ordering::Relaxed);
                     shared.cache.put(digest, bytes);
-                    let _ = std::fs::remove_file(&journal);
+                    remove_journal_family(&journal);
                     shared.completed.fetch_add(1, Ordering::Relaxed);
                     JobStatus::Done
                 }
@@ -349,7 +385,7 @@ fn worker_loop(shared: &Arc<QueueShared>) {
             Err(e) => {
                 // A deterministic failure would fail again on resume; a
                 // corrupt journal must not poison the next attempt.
-                let _ = std::fs::remove_file(&journal);
+                remove_journal_family(&journal);
                 JobStatus::Failed(e)
             }
         };

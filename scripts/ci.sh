@@ -211,6 +211,46 @@ grep -q "dim 1032" "$tmp_dir/grids.out" \
 grep -q "all grids within invariants" "$tmp_dir/grids.out" \
     || { echo "ci: grid gate reported violations" >&2; cat "$tmp_dir/grids.out" >&2; exit 1; }
 
+echo "== optimizer gates: differential suite, bench smoke, kill -> resume =="
+# The inverse-design tier (DESIGN.md §14): the enumeration-differential
+# suite (optimizer front == brute force, bit for bit, on a seeded corpus),
+# an opt_scale smoke (asserts front identity and real pruning internally),
+# and a mid-search kill: SSN_CRASH_AFTER_COMMITS crashes the CLI between
+# per-level journal commits, the restart resumes the journal family, and
+# the resumed CSV front must be byte-identical to an uninterrupted run
+# (--format csv is data-only precisely so this diff can be exact).
+cargo test -q --test optimize_differential
+./target/release/opt_scale 12 8 > /dev/null
+opt_args=(--process p018 --max-drivers 12 --l-points 8 --c-points 2
+    --tr-points 2 --threads 2)
+opt_golden="$tmp_dir/opt_golden.csv"
+./target/release/ssn optimize "${opt_args[@]}" --format csv > "$opt_golden"
+opt_ckpt="$tmp_dir/optimize.ckpt"
+rc=0
+SSN_CRASH_AFTER_COMMITS=2 ./target/release/ssn optimize "${opt_args[@]}" \
+    --checkpoint "$opt_ckpt" > /dev/null || rc=$?
+[ "$rc" -eq 12 ] \
+    || { echo "ci: injected optimize crash should exit 12 (interrupted), got $rc" >&2; exit 1; }
+ls "$opt_ckpt".lv* > /dev/null 2>&1 \
+    || { echo "ci: the crashed search left no per-level journal at $opt_ckpt.lv*" >&2; exit 1; }
+opt_resumed_out="$tmp_dir/opt_resumed.out"
+./target/release/ssn optimize "${opt_args[@]}" --checkpoint "$opt_ckpt" --resume \
+    > "$opt_resumed_out"
+grep -q "restored from checkpoint" "$opt_resumed_out" \
+    || { echo "ci: resumed search did not report restored chunks" >&2; exit 1; }
+# A second resume replays the now-complete journal family end to end; its
+# CSV must reproduce the uninterrupted front byte for byte.
+opt_resumed_csv="$tmp_dir/opt_resumed.csv"
+./target/release/ssn optimize "${opt_args[@]}" --checkpoint "$opt_ckpt" --resume \
+    --format csv > "$opt_resumed_csv"
+diff -u "$opt_golden" "$opt_resumed_csv" \
+    || { echo "ci: kill -> resume optimize front drifted from the uninterrupted run" >&2; exit 1; }
+rc=0
+./target/release/ssn optimize "${opt_args[@]}" --max-noise-frac 0.000001 \
+    > /dev/null || rc=$?
+[ "$rc" -eq 16 ] \
+    || { echo "ci: an impossible noise cap should exit 16 (no feasible point), got $rc" >&2; exit 1; }
+
 echo "== panic audit =="
 ./scripts/panic_audit.sh
 

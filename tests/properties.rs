@@ -2,8 +2,9 @@
 //! in-repo deterministic harness (`ssn_numeric::check`): every case derives
 //! from a fixed seed and a failure prints its replay seed.
 
+use ssn_lab::core::parallel::ExecPolicy;
 use ssn_lab::core::scenario::SsnScenario;
-use ssn_lab::core::{lcmodel, lmodel};
+use ssn_lab::core::{lcmodel, lmodel, optimize};
 use ssn_lab::devices::fit::{fit_asdm, IvSample};
 use ssn_lab::devices::{Asdm, MosModel};
 use ssn_lab::numeric::check::{forall, Gen};
@@ -741,6 +742,258 @@ fn perturb_batch_is_bitwise_the_perturb_one_sequence() {
             return Err("stream positions diverged after the batch".into());
         }
         Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer properties: front structure, determinism, metamorphic cap laws
+// ---------------------------------------------------------------------------
+
+/// A small random design space for the optimizer properties (sorted,
+/// deduplicated axes — the type-level invariant).
+fn gen_opt_space(g: &mut Gen) -> optimize::DesignSpace {
+    let mut axis_f64 = |max_len: usize, lo: f64, hi: f64| -> Vec<f64> {
+        let len = g.usize_in(1, max_len);
+        let mut vals: Vec<f64> = (0..len).map(|_| g.f64_in(lo, hi)).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        vals
+    };
+    let inductances = axis_f64(3, 1e-9, 10e-9)
+        .into_iter()
+        .map(Henrys::new)
+        .collect();
+    let capacitances = axis_f64(2, 0.05e-12, 4e-12)
+        .into_iter()
+        .map(Farads::new)
+        .collect();
+    let rise_times = axis_f64(2, 0.2e-9, 2e-9)
+        .into_iter()
+        .map(Seconds::new)
+        .collect();
+    let n_len = g.usize_in(1, 4);
+    let mut drivers: Vec<usize> = (0..n_len).map(|_| g.usize_in(1, 24)).collect();
+    drivers.sort_unstable();
+    drivers.dedup();
+    let space = optimize::DesignSpace {
+        drivers,
+        inductances,
+        capacitances,
+        rise_times,
+    };
+    space.validate().expect("generator yields valid spaces");
+    space
+}
+
+/// A template for the optimizer (its own package values are overridden by
+/// every grid point; only the ASDM and Vdd matter).
+fn gen_opt_template(g: &mut Gen) -> SsnScenario {
+    SsnScenario::from_asdm(gen_asdm(g), Volts::new(1.8))
+        .build()
+        .expect("valid template")
+}
+
+fn gen_opt_options(g: &mut Gen) -> optimize::OptimizeOptions {
+    let objectives = match g.usize_in(0, 2) {
+        0 => optimize::ObjectiveSet::NoiseCostSpeed,
+        1 => optimize::ObjectiveSet::NoiseCost,
+        _ => optimize::ObjectiveSet::NoiseSpeed,
+    };
+    let max_noise_frac = if g.usize_in(0, 1) == 1 {
+        Some(g.f64_in(0.02, 0.3))
+    } else {
+        None
+    };
+    optimize::OptimizeOptions {
+        objectives,
+        max_noise_frac,
+    }
+}
+
+/// Full structural equality of two search outcomes: bit-identical fronts
+/// plus identical bookkeeping (evaluated / pruned / level counts).
+fn same_outcome(a: &optimize::OptimizeOutcome, b: &optimize::OptimizeOutcome) -> bool {
+    a.front.same_front(&b.front)
+        && a.total_points == b.total_points
+        && a.evaluated == b.evaluated
+        && a.pruned_infeasible == b.pruned_infeasible
+        && a.pruned_dominated == b.pruned_dominated
+        && a.over_cap == b.over_cap
+        && a.levels == b.levels
+}
+
+/// Front structure law: no member dominates another, and `seal` leaves the
+/// members in the pinned canonical order (strictly — the tuple includes
+/// the provenance indices, so there are no ties).
+#[test]
+fn optimizer_front_is_mutually_non_dominated_and_canonically_ordered() {
+    use std::cmp::Ordering;
+    forall("optimizer front structure", 64, |g| {
+        let template = gen_opt_template(g);
+        let space = gen_opt_space(g);
+        let opts = gen_opt_options(g);
+        let (out, _) = optimize::search(&template, &space, &opts, &ExecPolicy::serial())
+            .map_err(|e| format!("search failed: {e}"))?;
+        let members = out.front.members();
+        for (i, a) in members.iter().enumerate() {
+            for (j, b) in members.iter().enumerate() {
+                if i != j && optimize::dominates(a, b, opts.objectives) {
+                    return Err(format!(
+                        "front member {i} dominates member {j} under {}",
+                        opts.objectives.name()
+                    ));
+                }
+            }
+        }
+        for (i, w) in members.windows(2).enumerate() {
+            if optimize::canonical_order(&w[0], &w[1]) != Ordering::Less {
+                return Err(format!("members {i} and {} out of canonical order", i + 1));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Determinism law: the whole outcome — front bits *and* the evaluated /
+/// pruned bookkeeping — is invariant under the thread count.
+#[test]
+fn optimizer_outcome_is_thread_count_invariant() {
+    forall("optimizer outcome vs thread count", 16, |g| {
+        let template = gen_opt_template(g);
+        let space = gen_opt_space(g);
+        let opts = gen_opt_options(g);
+        let (base, _) = optimize::search(&template, &space, &opts, &ExecPolicy::with_threads(1))
+            .map_err(|e| format!("search failed: {e}"))?;
+        for threads in [2usize, 4, 8] {
+            let (out, _) =
+                optimize::search(&template, &space, &opts, &ExecPolicy::with_threads(threads))
+                    .map_err(|e| format!("search failed at {threads} threads: {e}"))?;
+            if !same_outcome(&base, &out) {
+                return Err(format!(
+                    "outcome differs between 1 and {threads} threads \
+                     (front {} vs {}, evaluated {} vs {})",
+                    base.front.len(),
+                    out.front.len(),
+                    base.evaluated,
+                    out.evaluated
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Durability law: a search killed at a deterministic commit boundary and
+/// resumed from its per-level journals reproduces the uninterrupted
+/// outcome bit-for-bit.
+#[test]
+fn optimizer_kill_resume_is_bit_identical() {
+    use ssn_lab::core::durable::{DurableOptions, RunBudget};
+    use ssn_lab::core::faults::{with_faults, FaultPlan};
+
+    let asdm = Asdm::new(Siemens::from_millis(7.5), 1.25, Volts::new(0.6));
+    let template = SsnScenario::from_asdm(asdm, Volts::new(1.8))
+        .build()
+        .expect("valid template");
+    // Big enough that some refinement level spans several 64-point chunks,
+    // so the injected crash lands mid-level.
+    let space = optimize::DesignSpace {
+        drivers: (1..=24).collect(),
+        inductances: (0..16)
+            .map(|i| Henrys::new(1e-9 * (1.0 + 0.5 * i as f64)))
+            .collect(),
+        capacitances: vec![Farads::new(0.5e-12), Farads::new(2e-12)],
+        rise_times: vec![Seconds::new(0.4e-9), Seconds::new(1.2e-9)],
+    };
+    let opts = optimize::OptimizeOptions {
+        objectives: optimize::ObjectiveSet::NoiseCostSpeed,
+        max_noise_frac: Some(0.2),
+    };
+    let policy = ExecPolicy::with_threads(4);
+    let (golden, _) = optimize::search(&template, &space, &opts, &policy).expect("golden");
+
+    let journal = std::env::temp_dir().join(format!(
+        "ssn-properties-opt-resume-{}.ckpt",
+        std::process::id()
+    ));
+    let durable = |resume: bool| DurableOptions {
+        checkpoint: Some(journal.clone()),
+        resume,
+        budget: RunBudget::unlimited(),
+    };
+    let err = with_faults(
+        FaultPlan {
+            crash_after_commits: Some(2),
+            ..FaultPlan::default()
+        },
+        || optimize::search_durable(&template, &space, &opts, &policy, &durable(false)),
+    )
+    .expect_err("injected crash must interrupt the search");
+    assert!(
+        matches!(err, ssn_lab::core::SsnError::Interrupted { .. }),
+        "expected Interrupted, got {err:?}"
+    );
+
+    let (resumed, _, durability) =
+        optimize::search_durable(&template, &space, &opts, &policy, &durable(true))
+            .expect("resumed search");
+    assert!(
+        durability.resumed_chunks > 0,
+        "the resumed run must restore committed chunks from the journals"
+    );
+    assert!(
+        same_outcome(&golden, &resumed),
+        "kill -> resume must be bit-identical: front {} vs {}, evaluated {} vs {}",
+        golden.front.len(),
+        resumed.front.len(),
+        golden.evaluated,
+        resumed.evaluated
+    );
+    for level in 0..=16u32 {
+        let _ = std::fs::remove_file(optimize::level_journal_path(&journal, level));
+    }
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// Metamorphic cap law: tightening `max_noise_frac` only ever *removes*
+/// front members, and never changes the noise-optimal point while one
+/// remains feasible.
+#[test]
+fn tightening_the_noise_cap_is_monotone() {
+    forall("noise cap tightening is monotone", 48, |g| {
+        let template = gen_opt_template(g);
+        let space = gen_opt_space(g);
+        let objectives = match g.usize_in(0, 2) {
+            0 => optimize::ObjectiveSet::NoiseCostSpeed,
+            1 => optimize::ObjectiveSet::NoiseCost,
+            _ => optimize::ObjectiveSet::NoiseSpeed,
+        };
+        let loose_frac = g.f64_in(0.1, 0.4);
+        let tight_frac = loose_frac * g.f64_in(0.3, 0.9);
+        let run = |frac: f64| {
+            let opts = optimize::OptimizeOptions {
+                objectives,
+                max_noise_frac: Some(frac),
+            };
+            optimize::search(&template, &space, &opts, &ExecPolicy::serial()).map(|(out, _)| out)
+        };
+        let loose = run(loose_frac).map_err(|e| format!("loose search failed: {e}"))?;
+        let tight = run(tight_frac).map_err(|e| format!("tight search failed: {e}"))?;
+        for p in tight.front.members() {
+            if !loose.front.members().iter().any(|q| q.same_point(p)) {
+                return Err(format!(
+                    "tightening the cap admitted a new front member at N = {}",
+                    p.n_drivers
+                ));
+            }
+        }
+        match (tight.front.min_noise(), loose.front.min_noise()) {
+            (Some(t), Some(l)) if t.value().to_bits() != l.value().to_bits() => Err(format!(
+                "noise-optimal point moved under a tighter cap: {t} vs {l}"
+            )),
+            (Some(_), None) => Err("tight run feasible but loose run empty".into()),
+            _ => Ok(()),
+        }
     });
 }
 
