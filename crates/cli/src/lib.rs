@@ -70,6 +70,10 @@ Errors print one structured stderr line: `ssn: error kind=... exit=...: ...`.
 /// Returns [`CliError`] for unknown commands, malformed options, or any
 /// analysis failure; the caller maps it to an exit code.
 pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    // Storage fault drills (CI, operator rehearsal): a well-formed
+    // `SSN_DISK_FAULTS` arms the deterministic disk-fault injector for
+    // this invocation; unset or malformed leaves the real filesystem.
+    ssn_core::storage::arm_from_env();
     let Some(command) = argv.first() else {
         writeln!(out, "{USAGE}")?;
         return Err(CliError::usage("missing command"));

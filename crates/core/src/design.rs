@@ -487,6 +487,13 @@ pub fn sweep_design_grid_durable(
         deadline_hit: run.deadline_hit,
         degradation: Vec::new(),
     };
+    if let Some(d) = &run.checkpoint_degraded {
+        durability.note_degrade(
+            DegradeStep::Uncheckpointed,
+            d.total_chunks,
+            d.committed_chunks,
+        );
+    }
     let total = run.stats.chunks;
     let mut points = Vec::with_capacity(n_points);
     let mut failed = 0usize;

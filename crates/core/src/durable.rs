@@ -58,8 +58,8 @@
 use crate::error::{CheckpointErrorKind, SsnError};
 use crate::hooks;
 use crate::parallel::{try_run_chunked, ExecPolicy, ExecStats};
+use crate::storage;
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -435,9 +435,13 @@ impl JournalLock {
             None => {
                 // The lock file exists. Live holder → typed refusal; dead
                 // or unreadable holder → stale, remove and retry once (a
-                // live contender can still win that second race).
-                let holder = std::fs::read_to_string(&lock_path)
+                // live contender can still win that second race). An
+                // unreadable or torn lock (a holder power-cut before its
+                // PID landed) parses to no holder and is treated as stale.
+                let holder = storage::io()
+                    .read(&lock_path)
                     .ok()
+                    .and_then(|b| String::from_utf8(b).ok())
                     .and_then(|s| s.trim().parse::<u32>().ok());
                 if let Some(pid) = holder {
                     if pid_alive(pid) {
@@ -448,7 +452,7 @@ impl JournalLock {
                         ));
                     }
                 }
-                match std::fs::remove_file(&lock_path) {
+                match storage::io().remove_file(&lock_path) {
                     Ok(()) => {}
                     // The dead holder's lock vanished under us: fine.
                     Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -466,23 +470,29 @@ impl JournalLock {
         }
     }
 
-    /// One `create_new` attempt: `Ok(Some)` on success, `Ok(None)` when the
-    /// lock file already exists, `Err` for any other filesystem failure.
+    /// One exclusive-create attempt: `Ok(Some)` on success, `Ok(None)` when
+    /// the lock file already exists, `Err` for any other filesystem failure.
+    /// A failure after the file was created (ENOSPC or a failed fsync mid
+    /// PID write) removes the partial lock so the failing process does not
+    /// block the journal it never actually locked.
     fn try_create(lock_path: &Path) -> Result<Option<Self>, SsnError> {
-        match std::fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(lock_path)
-        {
-            Ok(mut f) => {
-                let pid = std::process::id();
-                f.write_all(format!("{pid}\n").as_bytes())
-                    .and_then(|()| f.sync_all())
-                    .map_err(|e| io_err(lock_path, "write lock", &e))?;
-                Ok(Some(Self {
-                    lock_path: lock_path.to_path_buf(),
-                }))
+        let pid_line = format!("{}\n", std::process::id());
+        let attempt = storage::RetryPolicy::default().run(|| {
+            match storage::io().create_new(lock_path, pid_line.as_bytes()) {
+                Err(e) if e.kind() != std::io::ErrorKind::AlreadyExists => {
+                    // Best-effort cleanup of a partially-written lock; a
+                    // dead process (simulated kill) cannot clean up, and
+                    // the next acquirer's staleness pass handles the husk.
+                    let _ = storage::io().remove_file(lock_path);
+                    Err(e)
+                }
+                other => other,
             }
+        });
+        match attempt {
+            Ok(()) => Ok(Some(Self {
+                lock_path: lock_path.to_path_buf(),
+            })),
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
             Err(e) => Err(io_err(lock_path, "create lock", &e)),
         }
@@ -526,6 +536,16 @@ fn io_err(path: &Path, op: &str, e: &std::io::Error) -> SsnError {
     )
 }
 
+/// The directory holding `path`, for post-rename directory fsync. A bare
+/// relative filename has the empty parent, which cannot be opened — that
+/// means the current directory.
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
 impl CheckpointStore {
     /// A fresh, empty store for `spec`; nothing touches disk until the
     /// first [`CheckpointStore::commit`].
@@ -546,7 +566,9 @@ impl CheckpointStore {
     /// truncation, bad magic, unknown version, checksum mismatch, record
     /// bounds, trailing bytes — is a typed [`SsnError::Checkpoint`].
     pub fn load(path: &Path) -> Result<Self, SsnError> {
-        let bytes = std::fs::read(path).map_err(|e| io_err(path, "read", &e))?;
+        let bytes = storage::RetryPolicy::default()
+            .run(|| storage::io().read(path))
+            .map_err(|e| io_err(path, "read", &e))?;
         let p = path.display().to_string();
         let corrupt =
             |detail: String| SsnError::checkpoint(&p, CheckpointErrorKind::Corrupt, detail);
@@ -739,20 +761,32 @@ impl CheckpointStore {
         bytes
     }
 
-    /// Atomically persists the journal: write `<path>.tmp`, fsync, rename
-    /// over `path`. A crash at any point leaves either the previous journal
-    /// or the new one — never a hybrid. `elapsed` is the run's total wall
-    /// time so far (prior sessions plus this one).
+    /// Atomically persists the journal: write `<path>.ckpt-tmp`, fsync,
+    /// rename over `path`, then fsync the parent directory so the rename
+    /// itself is durable (without it, a power cut after the rename can
+    /// still lose the committed file on journaling filesystems). A crash
+    /// at any point leaves either the previous journal or the new one —
+    /// never a hybrid. `elapsed` is the run's total wall time so far
+    /// (prior sessions plus this one). Transient I/O faults are retried
+    /// with backoff; the whole sequence restarts from a fresh temp write,
+    /// so a torn or unsynced attempt is never renamed into place.
     pub fn commit(&self, elapsed: Duration) -> Result<(), SsnError> {
+        self.commit_io(elapsed)
+            .map_err(|e| io_err(&self.path, "commit", &e))
+    }
+
+    /// [`CheckpointStore::commit`]'s I/O with the raw `io::Error` kept, so
+    /// the durable runner can classify the failure (a simulated power cut
+    /// vs. a disk fault worth degrading over).
+    fn commit_io(&self, elapsed: Duration) -> std::io::Result<()> {
         let bytes = self.serialize(elapsed);
         let tmp = self.path.with_extension("ckpt-tmp");
-        {
-            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create temp", &e))?;
-            f.write_all(&bytes)
-                .map_err(|e| io_err(&tmp, "write temp", &e))?;
-            f.sync_all().map_err(|e| io_err(&tmp, "fsync temp", &e))?;
-        }
-        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, "rename temp over", &e))
+        let dir = parent_dir(&self.path);
+        storage::RetryPolicy::default().run(|| {
+            storage::io().write_file(&tmp, &bytes)?;
+            storage::io().rename(&tmp, &self.path)?;
+            storage::io().fsync_dir(dir)
+        })
     }
 
     /// Fault-injection support: deliberately writes only the first half of
@@ -781,6 +815,12 @@ pub enum DegradeStep {
     /// Differential oracle: stop cross-validating against the MNA
     /// simulator; remaining scenarios get closed-form evaluation only.
     ClosedFormOnly,
+    /// Persistent storage failure (ENOSPC, exhausted retries): the run
+    /// continued to a full-fidelity *result* but stopped journaling, so a
+    /// kill after this point restarts from the last good commit instead
+    /// of resuming. The only ladder step that degrades durability rather
+    /// than result fidelity.
+    Uncheckpointed,
 }
 
 impl DegradeStep {
@@ -790,6 +830,7 @@ impl DegradeStep {
             Self::ShrinkSamples => "shrink-samples",
             Self::CoarsenGrid => "coarsen-grid",
             Self::ClosedFormOnly => "closed-form-only",
+            Self::Uncheckpointed => "checkpoint-disabled",
         }
     }
 }
@@ -807,13 +848,23 @@ pub struct DegradeEvent {
 
 impl std::fmt::Display for DegradeEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}: {} -> {} of planned items at full fidelity",
-            self.step.tag(),
-            self.planned,
-            self.delivered
-        )
+        match self.step {
+            DegradeStep::Uncheckpointed => write!(
+                f,
+                "{}: journaling stopped after {} of {} chunk commits; \
+                 results are complete but the run is not resumable",
+                self.step.tag(),
+                self.delivered,
+                self.planned
+            ),
+            _ => write!(
+                f,
+                "{}: {} -> {} of planned items at full fidelity",
+                self.step.tag(),
+                self.planned,
+                self.delivered
+            ),
+        }
     }
 }
 
@@ -846,6 +897,18 @@ impl Durability {
     /// full-fidelity execution.
     pub fn is_degraded(&self) -> bool {
         !self.degradation.is_empty()
+    }
+
+    /// `true` when the *results* were degraded (fewer samples, coarser
+    /// grid, skipped cross-validation). [`DegradeStep::Uncheckpointed`]
+    /// does not count: a storage-degraded run still delivered every item
+    /// at full fidelity, it just cannot be resumed — callers deciding
+    /// whether to trust or publish a result should use this, not
+    /// [`Durability::is_degraded`].
+    pub fn is_fidelity_degraded(&self) -> bool {
+        self.degradation
+            .iter()
+            .any(|e| e.step != DegradeStep::Uncheckpointed)
     }
 }
 
@@ -885,6 +948,18 @@ pub enum ChunkOutcome<T> {
     DeadlineSkipped,
 }
 
+/// How a run lost its checkpointing to persistent storage failure while
+/// its computation carried on (see [`DegradeStep::Uncheckpointed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointDegraded {
+    /// Chunk commits that reached disk before journaling stopped.
+    pub committed_chunks: usize,
+    /// The run's total chunk count.
+    pub total_chunks: usize,
+    /// The persistent fault that disabled journaling.
+    pub detail: String,
+}
+
 /// A durable run's full outcome: per-chunk results in chunk order plus
 /// engine statistics and durability facts.
 #[derive(Debug)]
@@ -898,6 +973,10 @@ pub struct DurableRun<T> {
     pub resumed_chunks: usize,
     /// Whether the budget expired during the run.
     pub deadline_hit: bool,
+    /// `Some` when persistent storage failure disabled journaling mid-run;
+    /// callers fold it into their [`Durability`] as a
+    /// [`DegradeStep::Uncheckpointed`] event.
+    pub checkpoint_degraded: Option<CheckpointDegraded>,
 }
 
 /// Runs `spec`'s chunks with checkpoint/resume and a deadline budget.
@@ -937,38 +1016,90 @@ where
     // Take the journal's exclusive lock for the whole run: two processes
     // must never resume (or interleave commits into) the same journal. The
     // guard's drop removes the lock file; a hard kill leaves it behind for
-    // the next acquirer's stale-PID recovery.
+    // the next acquirer's stale-PID recovery. A *persistent storage
+    // failure* here (ENOSPC writing the lock file) degrades the run to
+    // un-checkpointed instead of aborting — running lock-less is safe
+    // because a run that could not take the lock writes no journal either.
+    // A lock held by a live process stays a typed refusal, and a simulated
+    // power cut stays fatal (a dead process cannot degrade-and-continue).
+    let mut early_degrade: Option<String> = None;
     let _journal_lock: Option<JournalLock> = match &opts.checkpoint {
-        Some(path) => Some(JournalLock::acquire(path)?),
+        Some(path) => match JournalLock::acquire(path) {
+            Ok(lock) => Some(lock),
+            Err(
+                e @ SsnError::Checkpoint {
+                    kind: CheckpointErrorKind::Io,
+                    ..
+                },
+            ) if !storage::simulated_death() => {
+                early_degrade = Some(e.to_string());
+                None
+            }
+            Err(e) => return Err(e),
+        },
         None => None,
     };
 
-    // Load or create the journal, restoring completed chunks.
+    // Clean up an orphaned temp file left by a session that died between
+    // writing `<path>.ckpt-tmp` and renaming it into place. Safe because
+    // we hold the journal lock: nobody else is mid-commit.
+    if _journal_lock.is_some() {
+        if let Some(path) = &opts.checkpoint {
+            let tmp = path.with_extension("ckpt-tmp");
+            if tmp.exists() {
+                let _ = storage::io().remove_file(&tmp);
+            }
+        }
+    }
+
+    // Load or create the journal, restoring completed chunks. Structural
+    // damage (corrupt, version or spec mismatch) stays a typed rejection —
+    // the operator chooses between fresh start and investigation. A
+    // persistent *read* failure degrades instead: the chunks are pure, so
+    // recomputing them is bit-identical to resuming.
     let mut resumed: BTreeMap<usize, T> = BTreeMap::new();
     let store: Option<CheckpointStore> = match &opts.checkpoint {
+        Some(_) if early_degrade.is_some() => None,
         Some(path) => {
             if opts.resume && path.exists() {
-                let s = CheckpointStore::load(path)?;
-                s.verify_spec(spec)?;
-                for (&c, payload) in s.records() {
-                    let mut r = ByteReader::new(payload);
-                    let value = decode(&mut r).map_err(|e| rewrap_payload_err(path, c, e))?;
-                    if !r.is_empty() {
-                        return Err(SsnError::checkpoint(
-                            path.display().to_string(),
-                            CheckpointErrorKind::Corrupt,
-                            format!("chunk {c} payload has trailing bytes"),
-                        ));
+                match CheckpointStore::load(path) {
+                    Ok(s) => {
+                        s.verify_spec(spec)?;
+                        for (&c, payload) in s.records() {
+                            let mut r = ByteReader::new(payload);
+                            let value =
+                                decode(&mut r).map_err(|e| rewrap_payload_err(path, c, e))?;
+                            if !r.is_empty() {
+                                return Err(SsnError::checkpoint(
+                                    path.display().to_string(),
+                                    CheckpointErrorKind::Corrupt,
+                                    format!("chunk {c} payload has trailing bytes"),
+                                ));
+                            }
+                            resumed.insert(c as usize, value);
+                        }
+                        Some(s)
                     }
-                    resumed.insert(c as usize, value);
+                    Err(
+                        e @ SsnError::Checkpoint {
+                            kind: CheckpointErrorKind::Io,
+                            ..
+                        },
+                    ) if !storage::simulated_death() => {
+                        early_degrade = Some(e.to_string());
+                        None
+                    }
+                    Err(e) => return Err(e),
                 }
-                Some(s)
             } else {
                 Some(CheckpointStore::create(path.clone(), spec))
             }
         }
         None => None,
     };
+    if early_degrade.is_some() && ssn_telemetry::enabled() {
+        ssn_telemetry::add(ssn_telemetry::names::STORAGE_DEGRADED, 1);
+    }
     let prior_elapsed = store
         .as_ref()
         .map_or(Duration::ZERO, CheckpointStore::prior_elapsed);
@@ -983,11 +1114,17 @@ where
         store: Option<CheckpointStore>,
         commits: usize,
         commit_error: Option<SsnError>,
+        degraded: Option<CheckpointDegraded>,
     }
     let cell = Mutex::new(StoreCell {
         store,
         commits: 0,
         commit_error: None,
+        degraded: early_degrade.map(|detail| CheckpointDegraded {
+            committed_chunks: 0,
+            total_chunks: n_chunks,
+            detail,
+        }),
     });
 
     // Kernel-level cooperative cancellation for the duration of the run.
@@ -1013,19 +1150,65 @@ where
             Ok(value) => {
                 let payload = encode(&value);
                 let mut guard = cell.lock().unwrap_or_else(|e| e.into_inner());
-                if guard.store.is_some() && !crashed.load(Ordering::SeqCst) {
+                if !crashed.load(Ordering::SeqCst) {
                     let elapsed = prior_elapsed + started.elapsed();
                     let commits_after = guard.commits + 1;
                     let tear = crash.is_some_and(|(after, torn)| commits_after == after && torn);
                     let die = crash.is_some_and(|(after, _)| commits_after >= after);
-                    if let Some(st) = guard.store.as_mut() {
-                        st.record(c, payload);
-                        let res = if tear {
-                            st.commit_torn(elapsed)
-                        } else {
-                            st.commit(elapsed)
-                        };
-                        if let Err(e) = res {
+                    enum CommitOutcome {
+                        /// No store: the run is already degraded to
+                        /// un-checkpointed, so there is nothing to commit.
+                        Skipped,
+                        Committed,
+                        /// The simulated power cut fired mid-commit: the
+                        /// process is dead, exactly like a crash-plan kill.
+                        PowerCut,
+                        TornFailed(SsnError),
+                        /// Persistent storage failure (ENOSPC, exhausted
+                        /// retries): worth degrading over, not dying over.
+                        Persistent(std::io::Error),
+                    }
+                    let outcome = match guard.store.as_mut() {
+                        None => CommitOutcome::Skipped,
+                        Some(st) => {
+                            st.record(c, payload);
+                            if tear {
+                                match st.commit_torn(elapsed) {
+                                    Ok(()) => CommitOutcome::Committed,
+                                    Err(e) => CommitOutcome::TornFailed(e),
+                                }
+                            } else {
+                                match st.commit_io(elapsed) {
+                                    Ok(()) => CommitOutcome::Committed,
+                                    Err(e)
+                                        if storage::injected_fault(&e)
+                                            == Some(storage::InjectedFaultKind::Killed) =>
+                                    {
+                                        CommitOutcome::PowerCut
+                                    }
+                                    Err(e) => CommitOutcome::Persistent(e),
+                                }
+                            }
+                        }
+                    };
+                    match outcome {
+                        CommitOutcome::Skipped => {}
+                        CommitOutcome::Committed => {
+                            guard.commits = commits_after;
+                            if ssn_telemetry::enabled() {
+                                ssn_telemetry::add(ssn_telemetry::names::DURABLE_COMMITS, 1);
+                            }
+                            if die {
+                                crashed.store(true, Ordering::SeqCst);
+                                opts.budget.cancel();
+                            }
+                        }
+                        CommitOutcome::PowerCut => {
+                            crashed.store(true, Ordering::SeqCst);
+                            opts.budget.cancel();
+                            return Ok(None);
+                        }
+                        CommitOutcome::TornFailed(e) => {
                             if guard.commit_error.is_none() {
                                 guard.commit_error = Some(e);
                             }
@@ -1033,14 +1216,24 @@ where
                             opts.budget.cancel();
                             return Ok(None);
                         }
-                    }
-                    guard.commits = commits_after;
-                    if ssn_telemetry::enabled() {
-                        ssn_telemetry::add(ssn_telemetry::names::DURABLE_COMMITS, 1);
-                    }
-                    if die {
-                        crashed.store(true, Ordering::SeqCst);
-                        opts.budget.cancel();
+                        CommitOutcome::Persistent(e) => {
+                            // Declare the degradation, stop journaling, and
+                            // let the computation finish: a lost checkpoint
+                            // must never cost the run its result.
+                            let path = opts
+                                .checkpoint
+                                .as_deref()
+                                .map_or_else(String::new, |p| p.display().to_string());
+                            guard.degraded = Some(CheckpointDegraded {
+                                committed_chunks: guard.commits,
+                                total_chunks: n_chunks,
+                                detail: format!("{path}: {e}"),
+                            });
+                            guard.store = None;
+                            if ssn_telemetry::enabled() {
+                                ssn_telemetry::add(ssn_telemetry::names::STORAGE_DEGRADED, 1);
+                            }
+                        }
                     }
                 }
                 Ok(Some(value))
@@ -1115,6 +1308,7 @@ where
         stats,
         resumed_chunks: resumed_count,
         deadline_hit: hit,
+        checkpoint_degraded: cell.degraded,
     })
 }
 

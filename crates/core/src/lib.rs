@@ -84,6 +84,7 @@ pub mod oracle;
 pub mod parallel;
 pub mod report;
 pub mod scenario;
+pub mod storage;
 
 /// Structured tracing and metrics for the estimation pipeline.
 ///

@@ -774,6 +774,13 @@ pub fn run_monte_carlo_durable_with_path(
         deadline_hit: run.deadline_hit,
         degradation: Vec::new(),
     };
+    if let Some(d) = &run.checkpoint_degraded {
+        durability.note_degrade(
+            DegradeStep::Uncheckpointed,
+            d.total_chunks,
+            d.committed_chunks,
+        );
+    }
     let total = run.stats.chunks;
     let mut samples = Vec::with_capacity(n_samples);
     let mut failed = 0usize;

@@ -912,6 +912,13 @@ pub fn search_durable(
         merge_stats(&mut stats, &run.stats);
         durability.resumed_chunks += run.resumed_chunks;
         durability.deadline_hit |= run.deadline_hit;
+        if let Some(d) = &run.checkpoint_degraded {
+            durability.note_degrade(
+                DegradeStep::Uncheckpointed,
+                d.total_chunks,
+                d.committed_chunks,
+            );
+        }
 
         let mut failed = 0usize;
         let mut first_cause: Option<String> = None;

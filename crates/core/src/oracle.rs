@@ -986,6 +986,13 @@ pub fn run_differential_durable(
         deadline_hit: run.deadline_hit,
         degradation: Vec::new(),
     };
+    if let Some(d) = &run.checkpoint_degraded {
+        durability.note_degrade(
+            DegradeStep::Uncheckpointed,
+            d.total_chunks,
+            d.committed_chunks,
+        );
+    }
     let total = run.stats.chunks;
     let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(opts.corpus);
     let mut fallbacks: Vec<ClosedFormFallback> = Vec::new();

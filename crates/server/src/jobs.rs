@@ -70,6 +70,10 @@ pub enum SubmitOutcome {
     Shed,
     /// Rejected: the server is draining and admits no new work.
     Draining,
+    /// Rejected: the spool disk is in declared degraded mode (journals
+    /// cannot be written), so durable jobs are shed (503 + `Retry-After`)
+    /// until a probe write lands again.
+    DiskDegraded,
 }
 
 #[derive(Debug)]
@@ -100,6 +104,9 @@ struct QueueShared {
     completed: AtomicU64,
     interrupted: AtomicU64,
     resumed_chunks: AtomicU64,
+    /// Raised when a worker's run lost its journaling to persistent
+    /// storage failure; lowered when a probe write to the spool lands.
+    disk_degraded: AtomicBool,
 }
 
 /// Handle to the queue (cheaply cloneable).
@@ -121,7 +128,7 @@ impl JobQueue {
         spool: PathBuf,
         cache: Arc<ResultCache>,
     ) -> std::io::Result<Self> {
-        std::fs::create_dir_all(&spool)?;
+        ssn_core::storage::io().create_dir_all(&spool)?;
         let shared = Arc::new(QueueShared {
             state: Mutex::new(QueueState::default()),
             cond: Condvar::new(),
@@ -133,6 +140,7 @@ impl JobQueue {
             completed: AtomicU64::new(0),
             interrupted: AtomicU64::new(0),
             resumed_chunks: AtomicU64::new(0),
+            disk_degraded: AtomicBool::new(false),
         });
         {
             let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -162,6 +170,21 @@ impl JobQueue {
         }
         if self.shared.cache.contains(digest) {
             return SubmitOutcome::Duplicate(JobStatus::Done);
+        }
+        // Known-degraded spool: probe once per submission (half-open
+        // circuit). A landed probe clears the flag and admits; a failed
+        // one sheds the durable job rather than admit work whose journal
+        // cannot be written.
+        if self.shared.disk_degraded.load(Ordering::SeqCst) {
+            if spool_probe_writable(&self.shared.spool) {
+                self.shared.disk_degraded.store(false, Ordering::SeqCst);
+            } else {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                if ssn_telemetry::enabled() {
+                    ssn_telemetry::add(ssn_telemetry::names::SERVE_SHED, 1);
+                }
+                return SubmitOutcome::DiskDegraded;
+            }
         }
         let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(entry) = st.jobs.get(&digest) {
@@ -226,6 +249,13 @@ impl JobQueue {
     /// Jobs rejected by admission control since start.
     pub fn shed_count(&self) -> u64 {
         self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Whether the spool is in declared degraded mode (journals cannot be
+    /// written; durable submissions are shed). The `/metrics`
+    /// `disk_degraded` gauge combines this with the result cache's flag.
+    pub fn disk_degraded(&self) -> bool {
+        self.shared.disk_degraded.load(Ordering::SeqCst)
     }
 
     /// `(completed, interrupted, resumed_chunks)` counters since start.
@@ -309,8 +339,17 @@ fn journal_family_exists(journal: &std::path::Path) -> bool {
 
 fn remove_journal_family(journal: &std::path::Path) {
     for p in journal_family(journal) {
-        let _ = std::fs::remove_file(p);
+        let _ = ssn_core::storage::io().remove_file(&p);
     }
+}
+
+/// One small write-then-delete through the fault layer: can the spool
+/// take a journal right now?
+fn spool_probe_writable(spool: &std::path::Path) -> bool {
+    let probe = spool.join(format!(".probe-{}", std::process::id()));
+    let ok = ssn_core::storage::io().write_file(&probe, b"probe").is_ok();
+    let _ = ssn_core::storage::io().remove_file(&probe);
+    ok
 }
 
 fn worker_loop(shared: &Arc<QueueShared>) {
@@ -356,13 +395,21 @@ fn worker_loop(shared: &Arc<QueueShared>) {
         let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
         let status = match outcome {
             Ok((bytes, durability)) => {
-                if durability.deadline_hit || durability.is_degraded() {
+                if durability.deadline_hit || durability.is_fidelity_degraded() {
                     // Cancelled mid-run (drain): the partial result is
                     // never published — only full-fidelity bytes may
                     // enter the content-addressed cache.
                     shared.interrupted.fetch_add(1, Ordering::Relaxed);
                     JobStatus::Interrupted
                 } else {
+                    // A storage-only degrade (checkpointing lost to a
+                    // full or flaky spool) still delivered full-fidelity
+                    // bytes: publish them, but raise the degraded flag so
+                    // admission sheds durable work until the disk probes
+                    // healthy again.
+                    if durability.is_degraded() {
+                        shared.disk_degraded.store(true, Ordering::SeqCst);
+                    }
                     shared
                         .resumed_chunks
                         .fetch_add(durability.resumed_chunks as u64, Ordering::Relaxed);

@@ -177,6 +177,7 @@ impl Server {
         )
         .map_err(ServeError::Spool)?;
         netfaults::arm_from_env();
+        ssn_core::storage::arm_from_env();
 
         let shared = Arc::new(Shared {
             cfg,
@@ -587,6 +588,14 @@ fn submit_job(shared: &Arc<Shared>, api_request: &ApiRequest, hex: &str) -> Resp
             };
             (503, vec![("retry-after", "5".into())], e.body())
         }
+        SubmitOutcome::DiskDegraded => {
+            let e = ApiError {
+                status: 503,
+                kind: "disk-degraded",
+                detail: "spool disk cannot take job journals; retry shortly".into(),
+            };
+            (503, vec![("retry-after", "5".into())], e.body())
+        }
     }
 }
 
@@ -670,6 +679,10 @@ fn metrics_body(shared: &Shared) -> Vec<u8> {
         .u64("jobs_completed", completed)
         .u64("jobs_interrupted", interrupted)
         .u64("chunks_resumed", resumed)
+        .u64(
+            "disk_degraded",
+            u64::from(shared.queue.disk_degraded() || shared.cache.disk_degraded()),
+        )
         .bool("draining", shared.draining.load(Ordering::SeqCst))
         .finish()
         .into_bytes()

@@ -79,6 +79,15 @@ pub mod names {
     pub const SERVE_PANICS: &str = "serve.panics";
     /// Current depth of the durable job queue (gauge).
     pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Storage faults injected by the `SSN_DISK_FAULTS` layer (test/drill
+    /// observability — zero in production).
+    pub const STORAGE_FAULTS: &str = "storage.faults_injected";
+    /// Transient storage faults retried by the durable-path retry policy.
+    pub const STORAGE_RETRIES: &str = "storage.retries";
+    /// Durable paths that entered declared degraded mode (checkpointing
+    /// disabled, cache bypassed, or spool shedding) after persistent
+    /// storage failure.
+    pub const STORAGE_DEGRADED: &str = "storage.degraded";
 }
 
 use std::cell::RefCell;

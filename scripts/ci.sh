@@ -251,6 +251,49 @@ rc=0
 [ "$rc" -eq 16 ] \
     || { echo "ci: an impossible noise cap should exit 16 (no feasible point), got $rc" >&2; exit 1; }
 
+echo "== storage fault gates: sweep, ENOSPC degrade, crash-under-EIO resume =="
+# The storage fault contract (DESIGN.md section 15), end to end on the release
+# binary. First the crash-consistency sweep: a hard fault at every I/O
+# operation index followed by a restart must yield a bit-identical resume or a
+# typed clean-slate rerun, never a panic or silently-corrupt output.
+cargo test -q --test storage_faults
+# ENOSPC on every durable write: the run must shed the journal, finish with
+# exit 0, report the degrade in the footer, and still produce statistics
+# byte-identical to the fault-free golden run.
+sf_ckpt="$tmp_dir/sf.ckpt"
+sf_degraded="$tmp_dir/sf_degraded.out"
+SSN_DISK_FAULTS="seed=1,enospc=1" ./target/release/ssn montecarlo \
+    --process p018 --drivers 8 --samples 1536 --threads 2 --seed 1 \
+    --checkpoint "$sf_ckpt" > "$sf_degraded" \
+    || { echo "ci: full-disk MC run should degrade and exit 0" >&2; exit 1; }
+grep -q "degraded: checkpoint-disabled" "$sf_degraded" \
+    || { echo "ci: full-disk MC run did not report the checkpoint degrade" >&2; exit 1; }
+[ ! -f "$sf_ckpt" ] \
+    || { echo "ci: full-disk MC run left a journal despite ENOSPC on every write" >&2; exit 1; }
+diff -u <(grep -E "samples:|q[0-9]" "$mc_golden") \
+        <(grep -E "samples:|q[0-9]" "$sf_degraded") \
+    || { echo "ci: ENOSPC-degraded MC statistics drifted from the uninterrupted run" >&2; exit 1; }
+# Combined drill: a mid-run kill while transient EIO is also firing. The
+# retry policy must absorb the EIO so both commits land, the injected crash
+# must still exit 12, and a fault-off resume must restore exactly those two
+# chunks and reproduce the golden statistics byte for byte.
+rc=0
+SSN_CRASH_AFTER_COMMITS=2 SSN_DISK_FAULTS="seed=2,eio=0.1" \
+    ./target/release/ssn montecarlo --process p018 --drivers 8 --samples 1536 \
+    --threads 2 --seed 1 --checkpoint "$sf_ckpt" > /dev/null || rc=$?
+[ "$rc" -eq 12 ] \
+    || { echo "ci: crash-under-EIO MC run should exit 12 (interrupted), got $rc" >&2; exit 1; }
+[ -f "$sf_ckpt" ] \
+    || { echo "ci: the crash-under-EIO run left no checkpoint journal at $sf_ckpt" >&2; exit 1; }
+sf_resumed="$tmp_dir/sf_resumed.out"
+./target/release/ssn montecarlo --process p018 --drivers 8 --samples 1536 \
+    --threads 2 --seed 1 --checkpoint "$sf_ckpt" --resume > "$sf_resumed"
+grep -q "resume: 2 chunk(s) restored" "$sf_resumed" \
+    || { echo "ci: resume after crash-under-EIO did not report the 2 restored chunks" >&2; exit 1; }
+diff -u <(grep -E "samples:|q[0-9]" "$mc_golden") \
+        <(grep -E "samples:|q[0-9]" "$sf_resumed") \
+    || { echo "ci: resume after crash-under-EIO drifted from the uninterrupted run" >&2; exit 1; }
+
 echo "== panic audit =="
 ./scripts/panic_audit.sh
 
